@@ -1,0 +1,101 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures: each
+// BenchmarkFig*/BenchmarkTable* regenerates the corresponding experiment
+// through the harness at smoke scale. Run the full-scale versions with
+// cmd/h2obench (go run ./cmd/h2obench -exp all).
+package h2o_test
+
+import (
+	"testing"
+
+	"h2o/internal/harness"
+)
+
+// benchCfg is the smoke-scale configuration: the benchmark suite exercises
+// every experiment's full code path; absolute numbers come from h2obench.
+var benchCfg = harness.Config{Quick: true}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Run(name, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", name)
+		}
+	}
+}
+
+// BenchmarkFig1RowVsColumn regenerates Figure 1 (the motivating crossover).
+func BenchmarkFig1RowVsColumn(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2a regenerates Figure 2(a): projectivity sweep, no where clause.
+func BenchmarkFig2a(b *testing.B) { benchExperiment(b, "fig2a") }
+
+// BenchmarkFig2b regenerates Figure 2(b): projectivity sweep, selectivity 40%.
+func BenchmarkFig2b(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// BenchmarkFig2c regenerates Figure 2(c): projectivity sweep, selectivity 1%.
+func BenchmarkFig2c(b *testing.B) { benchExperiment(b, "fig2c") }
+
+// BenchmarkFig7Adaptive regenerates Figure 7 (per-query adaptive sequence).
+func BenchmarkFig7Adaptive(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable1Cumulative regenerates Table 1 (cumulative times).
+func BenchmarkTable1Cumulative(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig8SkyServer regenerates Figure 8 (H2O vs AutoPart).
+func BenchmarkFig8SkyServer(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Window regenerates Figure 9 (static vs dynamic window).
+func BenchmarkFig9Window(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10a regenerates Figure 10(a): projections vs #attributes.
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10b regenerates Figure 10(b): aggregations vs #attributes.
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkFig10c regenerates Figure 10(c): expressions vs #attributes.
+func BenchmarkFig10c(b *testing.B) { benchExperiment(b, "fig10c") }
+
+// BenchmarkFig10d regenerates Figure 10(d): projections vs selectivity.
+func BenchmarkFig10d(b *testing.B) { benchExperiment(b, "fig10d") }
+
+// BenchmarkFig10e regenerates Figure 10(e): aggregations vs selectivity.
+func BenchmarkFig10e(b *testing.B) { benchExperiment(b, "fig10e") }
+
+// BenchmarkFig10f regenerates Figure 10(f): expressions vs selectivity.
+func BenchmarkFig10f(b *testing.B) { benchExperiment(b, "fig10f") }
+
+// BenchmarkFig11Subset regenerates Figure 11 (subset-of-group penalty).
+func BenchmarkFig11Subset(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12MultiGroup regenerates Figure 12 (multi-group access).
+func BenchmarkFig12MultiGroup(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13OnlineReorg regenerates Figure 13 (online vs offline reorg).
+func BenchmarkFig13OnlineReorg(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14Codegen regenerates Figure 14 (generic vs generated code).
+func BenchmarkFig14Codegen(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkAblationWindow sweeps the monitoring window size.
+func BenchmarkAblationWindow(b *testing.B) { benchExperiment(b, "ablation-window") }
+
+// BenchmarkAblationGroups sweeps the MaxGroups layout budget.
+func BenchmarkAblationGroups(b *testing.B) { benchExperiment(b, "ablation-groups") }
+
+// BenchmarkAblationOscillate measures reorganization damping under
+// oscillating workloads.
+func BenchmarkAblationOscillate(b *testing.B) { benchExperiment(b, "ablation-oscillate") }
+
+// BenchmarkAblationVector sweeps the vectorized executor's chunk size.
+func BenchmarkAblationVector(b *testing.B) { benchExperiment(b, "ablation-vector") }
+
+// BenchmarkAblationBitmap compares selection vectors with bit-vectors.
+func BenchmarkAblationBitmap(b *testing.B) { benchExperiment(b, "ablation-bitmap") }
+
+// BenchmarkAblationZonemap measures zone-map scan skipping.
+func BenchmarkAblationZonemap(b *testing.B) { benchExperiment(b, "ablation-zonemap") }

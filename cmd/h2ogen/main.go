@@ -1,0 +1,54 @@
+// Command h2ogen generates SQL workload traces for h2oshell's \replay mode
+// and for driving the engine from scripts. Traces correspond to the paper's
+// workload classes:
+//
+//	h2ogen -workload adaptive -attrs 150 -n 100 > adaptive.sql
+//	h2ogen -workload shift -attrs 150 -n 60 > shift.sql
+//	h2ogen -workload skyserver -n 250 > sky.sql
+//	h2ogen -workload oscillate -period 5 -n 80 > osc.sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"h2o/internal/query"
+	"h2o/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("workload", "adaptive", "adaptive | shift | oscillate | skyserver")
+		attrs  = flag.Int("attrs", 150, "table width (ignored for skyserver)")
+		rows   = flag.Int("rows", 100_000, "table rows (used to scale selectivity dials)")
+		n      = flag.Int("n", 100, "queries to generate")
+		seed   = flag.Int64("seed", 2014, "workload seed")
+		period = flag.Int("period", 5, "oscillation period (oscillate only)")
+		table  = flag.String("table", "R", "table name (ignored for skyserver)")
+	)
+	flag.Parse()
+
+	var qs []*query.Query
+	switch *kind {
+	case "adaptive":
+		qs = workload.AdaptiveSequence(*table, *attrs, *rows, *n, 10, 30, *seed)
+	case "shift":
+		qs = workload.ShiftSequence(*table, *attrs, *n, *n/4, *seed)
+	case "oscillate":
+		qs = workload.OscillatingSequence(*table, *attrs, *n, *period, *seed)
+	case "skyserver":
+		qs = workload.SkyServerTrace(*rows, *seed)
+		if *n < len(qs) {
+			qs = qs[:*n]
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "h2ogen: unknown workload %q\n", *kind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("-- h2ogen: %s workload, %d queries, seed %d\n", *kind, len(qs), *seed)
+	for _, q := range qs {
+		fmt.Println(q)
+	}
+}

@@ -1,0 +1,180 @@
+// Command h2oshell is an interactive SQL shell on top of the adaptive
+// engine. It creates a synthetic wide table and lets you watch the layout
+// and execution strategy evolve query by query:
+//
+//	h2oshell -attrs 50 -rows 100000
+//	h2o> select max(a1), max(a5) from R where a0 < 0
+//	h2o> \layout        # current column groups
+//	h2o> \stats         # adaptations, reorganizations, operator cache
+//	h2o> \replay trace.sql
+//	h2o> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"h2o"
+)
+
+func main() {
+	var (
+		attrs   = flag.Int("attrs", 50, "attributes of the synthetic table R")
+		rows    = flag.Int("rows", 100_000, "rows of the synthetic table R")
+		seed    = flag.Int64("seed", 2014, "data seed")
+		maxRows = flag.Int("display", 5, "result rows to display")
+	)
+	flag.Parse()
+
+	db := h2o.NewDB()
+	db.CreateTableFrom(h2o.SyntheticSchema("R", *attrs), *rows, *seed)
+	fmt.Printf("table R: %d attributes (a0..a%d), %d rows, column-major start\n", *attrs, *attrs-1, *rows)
+	fmt.Println(`type SQL, or \layout, \stats, \explain <sql>, \replay <file>, \save <file>, \load <file>, \quit`)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("h2o> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\layout`:
+			sig, err := db.LayoutSignature("R")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(sig)
+		case line == `\stats`:
+			e, err := db.Engine("R")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			st := e.Stats()
+			fmt.Printf("queries=%d adaptations=%d reorgs=%d groups_created=%d groups_dropped=%d op_cache_hits=%d misses=%d window=%d\n",
+				st.Queries, st.Adaptations, st.Reorgs, st.GroupsCreated, st.GroupsDropped,
+				st.OpCacheHits, st.OpCacheMisses, e.WindowSize())
+		case strings.HasPrefix(line, `\explain `):
+			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
+			q, err := db.Parse(src)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			e, err := db.Engine(q.Table)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ex, err := e.Explain(q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("plan: %v (est %.3gs)\n", ex.Strategy, float64(ex.EstimatedCost))
+			for _, alt := range ex.Alternatives {
+				fmt.Printf("  %-14v est %.3gs\n", alt.Strategy, float64(alt.Cost))
+			}
+			fmt.Printf("groups touched: %s\n", strings.Join(ex.CoveringGroups, " "))
+			if ex.PendingProposal != nil {
+				fmt.Printf("pending layout proposal covers this query: %s\n", ex.PendingProposal)
+			}
+		case strings.HasPrefix(line, `\replay `):
+			replay(db, strings.TrimSpace(strings.TrimPrefix(line, `\replay `)), *maxRows)
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			if err := db.SaveTable("R", path); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("saved R (data + adapted layout) to", path)
+			}
+		case strings.HasPrefix(line, `\load `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\load `))
+			name, err := db.LoadTable(path)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("restored table", name, "with its adapted layout")
+			}
+		default:
+			execute(db, line, *maxRows)
+		}
+	}
+}
+
+func execute(db *h2o.DB, src string, maxRows int) {
+	res, info, err := db.Query(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res, maxRows)
+	event := ""
+	if info.Reorganized {
+		event = fmt.Sprintf("  [reorganized: new group over %d attributes]", len(info.NewGroup))
+	}
+	fmt.Printf("-- %d row(s), %v, strategy=%v layout=%v%s\n",
+		res.Rows, info.Duration.Round(100), info.Strategy, info.Layout, event)
+}
+
+func replay(db *h2o.DB, path string, maxRows int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		n++
+		res, info, err := db.Query(line)
+		if err != nil {
+			fmt.Printf("q%d error: %v\n", n, err)
+			continue
+		}
+		event := ""
+		if info.Reorganized {
+			event = " REORG"
+		}
+		fmt.Printf("q%-4d %8v  %v  %d row(s)%s\n", n, info.Duration.Round(100), info.Strategy, res.Rows, event)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Println("error:", err)
+	}
+	_ = maxRows
+}
+
+func printResult(res *h2o.Result, maxRows int) {
+	fmt.Println(strings.Join(res.Cols, " | "))
+	n := res.Rows
+	truncated := false
+	if n > maxRows {
+		n, truncated = maxRows, true
+	}
+	for i := 0; i < n; i++ {
+		cells := make([]string, res.Width())
+		for j := range cells {
+			cells[j] = fmt.Sprint(res.At(i, j))
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if truncated {
+		fmt.Printf("... (%d more)\n", res.Rows-maxRows)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: create a table, run SQL, and watch H2O pick layouts and
+// execution strategies per query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"h2o"
+)
+
+func main() {
+	// A modest synthetic table: 40 integer attributes, 200k rows, stored
+	// column-major to start (the layout H2O prefers as a morphing origin).
+	db := h2o.NewDB()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 40), 200_000, 1)
+
+	queries := []string{
+		// Columnar-friendly: two independent aggregates.
+		"select max(a3), min(a3) from events",
+		// Selective filter plus projection.
+		"select a1, a2, a4 from events where a0 < -900000000",
+		// An arithmetic expression over five attributes — the shape where
+		// column groups shine (no intermediate results).
+		"select sum(a10 + a11 + a12 + a13 + a14) from events where a9 > 0",
+	}
+
+	for _, src := range queries {
+		res, info, err := db.Query(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", src)
+		fmt.Printf("  -> %d row(s) in %v  [strategy=%v, layout=%v]\n",
+			res.Rows, info.Duration.Round(1000), info.Strategy, info.Layout)
+		if res.Rows == 1 && res.Width() <= 4 {
+			fmt.Printf("  -> %v = %v\n", res.Cols, res.Row(0))
+		}
+	}
+
+	// Keep issuing the expression query: H2O's monitor spots the recurring
+	// pattern, the advisor proposes a column group for it, and the first
+	// query that benefits creates the group online.
+	fmt.Println("\nrepeating the expression pattern 30x ...")
+	for i := 0; i < 30; i++ {
+		_, info, err := db.Query("select sum(a10 + a11 + a12 + a13 + a14) from events where a9 > 0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Reorganized {
+			fmt.Printf("  query %d triggered online reorganization: new group over %d attributes\n",
+				i+1, len(info.NewGroup))
+		}
+	}
+
+	e, _ := db.Engine("events")
+	st := e.Stats()
+	sig, _ := db.LayoutSignature("events")
+	fmt.Printf("\nengine stats: %d queries, %d adaptations, %d reorganizations, %d groups created\n",
+		st.Queries, st.Adaptations, st.Reorgs, st.GroupsCreated)
+	fmt.Printf("final layout: %s\n", sig)
+}

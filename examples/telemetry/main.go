@@ -1,0 +1,112 @@
+// Network-telemetry scenario — the intro's motivating business workload:
+// a wide flow-record table (200 attributes: counters, latencies, flags per
+// protocol) serving two very different query populations that alternate:
+//
+//   - dashboards: narrow, repetitive aggregates over a handful of hot
+//     counters (columnar-friendly);
+//   - incident investigations: wide scans touching dozens of attributes of
+//     the affected subsystems (row/group-friendly).
+//
+// A fixed layout serves one population and punishes the other; H2O serves
+// both by re-partitioning online as the mix shifts.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"h2o/internal/core"
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+)
+
+const (
+	nAttrs = 200
+	rows   = 100_000
+)
+
+func dashboards(n int) []*query.Query {
+	// Hot counters: bytes/packets/errors for the front-end service.
+	hot := []data.AttrID{4, 5, 6}
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = query.Aggregation("flows", expr.AggSum, hot, query.PredGt(0, 0))
+	}
+	return out
+}
+
+func investigation(n int) []*query.Query {
+	// The database tier's whole attribute block, scanned wide while
+	// debugging an incident.
+	block := make([]data.AttrID, 0, 30)
+	for a := 120; a < 150; a++ {
+		block = append(block, a)
+	}
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = query.AggExpression("flows", block, query.PredLt(block[0], 0))
+	}
+	return out
+}
+
+func main() {
+	tb := data.Generate(data.SyntheticSchema("flows", nAttrs), rows, 99)
+
+	opts := core.DefaultOptions()
+	opts.Window.InitialSize = 10
+	eng := core.NewH2O(tb, opts)
+	colEng := core.NewColumnStore(tb)
+	rowEng := core.NewRowStore(tb, false)
+
+	phases := []struct {
+		name string
+		qs   []*query.Query
+	}{
+		{"morning dashboards", dashboards(25)},
+		{"incident investigation", investigation(25)},
+		{"back to dashboards", dashboards(15)},
+		{"second incident", investigation(15)},
+	}
+
+	var h2oT, colT, rowT time.Duration
+	for _, ph := range phases {
+		var phH2O, phCol, phRow time.Duration
+		events := 0
+		for _, q := range ph.qs {
+			_, hi, err := eng.Execute(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, ci, err := colEng.Execute(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, rI, err := rowEng.Execute(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			phH2O += hi.Duration
+			phCol += ci.Duration
+			phRow += rI.Duration
+			if hi.Reorganized {
+				events++
+			}
+		}
+		h2oT += phH2O
+		colT += phCol
+		rowT += phRow
+		fmt.Printf("%-24s h2o=%.1fms column=%.1fms row=%.1fms reorgs=%d\n",
+			ph.name, msf(phH2O), msf(phCol), msf(phRow), events)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("\ntotals: h2o=%.1fms column=%.1fms row=%.1fms\n", msf(h2oT), msf(colT), msf(rowT))
+	fmt.Printf("h2o adapted %d times, created %d groups; layout now: %s\n",
+		st.Adaptations, st.GroupsCreated, eng.Relation().LayoutSignature())
+}
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

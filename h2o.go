@@ -1,0 +1,213 @@
+// Package h2o is a from-scratch Go reproduction of "H2O: A Hands-free
+// Adaptive Store" (Alagiannis, Idreos, Ailamaki — SIGMOD 2014): an
+// in-memory analytical engine that makes no fixed storage-layout decision.
+// It supports row-major, column-major and column-group layouts
+// simultaneously, monitors the query stream through attribute affinity
+// matrices over a dynamic window, proposes new vertical partitions with a
+// cost model that prices the transformation, creates them lazily — fused
+// into the first query that benefits — and generates specialized access
+// operators per (layout, plan-shape) combination.
+//
+// This root package is the public facade: it wires together the internal
+// packages (storage, exec, opgen, advisor, affinity, costmodel, core) into
+// the small API a downstream user needs. See the examples/ directory for
+// runnable walkthroughs and cmd/h2obench for the harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// Basic usage:
+//
+//	schema := h2o.NewSchema("events", []string{"ts", "src", "dst", "bytes"})
+//	db := h2o.NewDB()
+//	db.CreateTableFrom(schema, rows, seed)      // synthetic data
+//	res, info, err := db.Query("select max(bytes) from events where src < 100")
+package h2o
+
+import (
+	"fmt"
+	"io"
+
+	"h2o/internal/core"
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/persist"
+	"h2o/internal/query"
+	"h2o/internal/sql"
+	"h2o/internal/storage"
+)
+
+// Re-exported building blocks for programmatic (non-SQL) use.
+type (
+	// Schema describes a relation's attributes.
+	Schema = data.Schema
+	// Table is generated columnar source data.
+	Table = data.Table
+	// Result is a materialized query result.
+	Result = exec.Result
+	// ExecInfo reports how a query was executed (strategy, layout,
+	// reorganization, timing).
+	ExecInfo = core.ExecInfo
+	// Engine is a single-relation H2O instance.
+	Engine = core.Engine
+	// Options configures an Engine.
+	Options = core.Options
+	// Stats are engine-lifetime counters.
+	Stats = core.Stats
+	// Query is the logical select-project-aggregate representation.
+	Query = query.Query
+)
+
+// NewSchema builds a schema; attribute names must be unique.
+func NewSchema(name string, attrs []string) (*Schema, error) {
+	return data.NewSchema(name, attrs)
+}
+
+// SyntheticSchema builds a schema with n attributes named a0..a{n-1}.
+func SyntheticSchema(name string, n int) *Schema {
+	return data.SyntheticSchema(name, n)
+}
+
+// Generate builds synthetic integer data for schema (uniform in [-1e9,1e9)),
+// deterministically from seed.
+func Generate(schema *Schema, rows int, seed int64) *Table {
+	return data.Generate(schema, rows, seed)
+}
+
+// DefaultOptions returns the paper's adaptive configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DB is a catalog of H2O engines, one per table, with a SQL front end.
+type DB struct {
+	engines map[string]*core.Engine
+	schemas sql.SchemaMap
+	opts    Options
+}
+
+// NewDB creates an empty database with default adaptive options.
+func NewDB() *DB { return NewDBWith(core.DefaultOptions()) }
+
+// NewDBWith creates an empty database; every table created afterwards uses
+// opts.
+func NewDBWith(opts Options) *DB {
+	return &DB{
+		engines: make(map[string]*core.Engine),
+		schemas: make(sql.SchemaMap),
+		opts:    opts,
+	}
+}
+
+// CreateTableFrom registers a table with synthetic data (rows tuples, seeded
+// deterministically), stored column-major initially — the paper's preferred
+// starting layout.
+func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
+	t := data.Generate(schema, rows, seed)
+	db.AddTable(t)
+	return t
+}
+
+// AddTable registers an existing generated table.
+func (db *DB) AddTable(t *Table) {
+	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajor(t), db.opts)
+	db.schemas[t.Schema.Name] = t.Schema
+}
+
+// Engine returns the engine behind a table, for inspection.
+func (db *DB) Engine(table string) (*Engine, error) {
+	e, ok := db.engines[table]
+	if !ok {
+		return nil, fmt.Errorf("h2o: unknown table %q", table)
+	}
+	return e, nil
+}
+
+// Tables lists the registered table names.
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.engines))
+	for name := range db.engines {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Parse parses a SQL statement against the catalog without executing it.
+func (db *DB) Parse(src string) (*Query, error) {
+	return sql.Parse(src, db.schemas)
+}
+
+// Query parses and executes one SQL statement: a select, or an insert
+// ("insert into T values (...), (...)"), which returns an empty result with
+// the inserted row count in ExecInfo-free form (Result.Rows).
+func (db *DB) Query(src string) (*Result, ExecInfo, error) {
+	if sql.IsInsert(src) {
+		stmt, err := sql.ParseInsert(src, db.schemas)
+		if err != nil {
+			return nil, ExecInfo{}, err
+		}
+		e, ok := db.engines[stmt.Table]
+		if !ok {
+			return nil, ExecInfo{}, fmt.Errorf("h2o: unknown table %q", stmt.Table)
+		}
+		if err := e.Insert(stmt.Rows); err != nil {
+			return nil, ExecInfo{}, err
+		}
+		return &Result{Cols: []string{"inserted"}, Rows: 1,
+			Data: []int64{int64(len(stmt.Rows))}}, ExecInfo{}, nil
+	}
+	q, err := sql.Parse(src, db.schemas)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	return db.Exec(q)
+}
+
+// ImportCSV loads a table from a CSV stream (header = attribute names,
+// integer cells) and registers it column-major.
+func (db *DB) ImportCSV(r io.Reader, tableName string) (*Table, error) {
+	t, err := data.ReadCSV(r, tableName)
+	if err != nil {
+		return nil, err
+	}
+	db.AddTable(t)
+	return t, nil
+}
+
+// Exec executes a logical query.
+func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
+	e, ok := db.engines[q.Table]
+	if !ok {
+		return nil, ExecInfo{}, fmt.Errorf("h2o: unknown table %q", q.Table)
+	}
+	return e.Execute(q)
+}
+
+// LayoutSignature describes a table's current physical layout.
+func (db *DB) LayoutSignature(table string) (string, error) {
+	e, err := db.Engine(table)
+	if err != nil {
+		return "", err
+	}
+	return e.Relation().LayoutSignature(), nil
+}
+
+// SaveTable snapshots a table — data plus its current adapted layout — to a
+// binary file.
+func (db *DB) SaveTable(table, path string) error {
+	e, err := db.Engine(table)
+	if err != nil {
+		return err
+	}
+	return persist.SaveFile(path, e.Relation())
+}
+
+// LoadTable restores a snapshot and registers it under its stored table
+// name. The engine resumes with the adapted layout instead of re-learning
+// it.
+func (db *DB) LoadTable(path string) (string, error) {
+	rel, err := persist.LoadFile(path)
+	if err != nil {
+		return "", err
+	}
+	name := rel.Schema.Name
+	db.engines[name] = core.New(rel, db.opts)
+	db.schemas[name] = rel.Schema
+	return name, nil
+}

@@ -1,0 +1,227 @@
+package advisor
+
+import (
+	"reflect"
+	"testing"
+
+	"h2o/internal/costmodel"
+	"h2o/internal/data"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+func window(infos ...query.Info) []query.Info { return infos }
+
+func info(sel, where []data.AttrID) query.Info {
+	return query.Info{Select: data.SortedUnique(sel), Where: data.SortedUnique(where)}
+}
+
+func columnRel(t *testing.T, attrs, rows int) *storage.Relation {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", attrs), rows, 5)
+	return storage.BuildColumnMajor(tb)
+}
+
+func TestProposeGroupsForRepeatedPattern(t *testing.T) {
+	rel := columnRel(t, 50, 100_000)
+	m := costmodel.New(costmodel.Default())
+	// Fifteen queries all touching {3,7,11,19}: the advisor must propose a
+	// group for exactly that set.
+	hot := []data.AttrID{3, 7, 11, 19}
+	var w []query.Info
+	for i := 0; i < 15; i++ {
+		w = append(w, info(hot, nil))
+	}
+	props := Propose(rel, w, m, DefaultConfig())
+	if len(props) == 0 {
+		t.Fatal("expected at least one proposal")
+	}
+	if !reflect.DeepEqual(props[0].Attrs, hot) {
+		t.Fatalf("top proposal = %v, want %v", props[0].Attrs, hot)
+	}
+	if props[0].Gain <= 0 || props[0].TransformBytes <= 0 {
+		t.Fatalf("proposal poorly formed: %+v", props[0])
+	}
+}
+
+func TestProposeNothingOnEmptyWindow(t *testing.T) {
+	rel := columnRel(t, 10, 1000)
+	m := costmodel.New(costmodel.Default())
+	if props := Propose(rel, nil, m, DefaultConfig()); props != nil {
+		t.Fatalf("empty window proposed %v", props)
+	}
+}
+
+func TestProposeSkipsExistingLayout(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 20), 50_000, 6)
+	hot := []data.AttrID{1, 2, 3}
+	rel, err := storage.BuildPartitioned(tb, [][]data.AttrID{hot, {0, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := costmodel.New(costmodel.Default())
+	var w []query.Info
+	for i := 0; i < 10; i++ {
+		w = append(w, info(hot, nil))
+	}
+	for _, p := range Propose(rel, w, m, DefaultConfig()) {
+		if reflect.DeepEqual(p.Attrs, hot) {
+			t.Fatal("advisor proposed a group that already exists")
+		}
+	}
+}
+
+func TestProposeSeparatesSelectAndWhere(t *testing.T) {
+	rel := columnRel(t, 60, 200_000)
+	m := costmodel.New(costmodel.Default())
+	sel := []data.AttrID{10, 11, 12, 13, 14, 15}
+	where := []data.AttrID{40, 41}
+	var w []query.Info
+	for i := 0; i < 20; i++ {
+		w = append(w, info(sel, where))
+	}
+	props := Propose(rel, w, m, DefaultConfig())
+	if len(props) == 0 {
+		t.Fatal("no proposals")
+	}
+	// Candidate generation must have considered the select set, the where
+	// set and their union; the top proposals should be drawn from these.
+	valid := map[string]bool{
+		"[10 11 12 13 14 15]":       true,
+		"[40 41]":                   true,
+		"[10 11 12 13 14 15 40 41]": true,
+	}
+	for _, p := range props {
+		key := ""
+		key = sprint(p.Attrs)
+		if !valid[key] {
+			t.Fatalf("unexpected proposal %v", p.Attrs)
+		}
+	}
+}
+
+func sprint(attrs []data.AttrID) string {
+	s := "["
+	for i, a := range attrs {
+		if i > 0 {
+			s += " "
+		}
+		s += itoa(a)
+	}
+	return s + "]"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestProposeRespectsMaxProposals(t *testing.T) {
+	rel := columnRel(t, 80, 100_000)
+	m := costmodel.New(costmodel.Default())
+	var w []query.Info
+	// Four disjoint hot sets.
+	for i := 0; i < 5; i++ {
+		w = append(w, info([]data.AttrID{0, 1, 2, 3, 4}, nil))
+		w = append(w, info([]data.AttrID{10, 11, 12, 13}, nil))
+		w = append(w, info([]data.AttrID{20, 21, 22}, nil))
+		w = append(w, info([]data.AttrID{30, 31, 32, 33, 34, 35}, nil))
+	}
+	cfg := DefaultConfig()
+	cfg.MaxProposals = 2
+	props := Propose(rel, w, m, cfg)
+	if len(props) > 2 {
+		t.Fatalf("got %d proposals, cap is 2", len(props))
+	}
+}
+
+func TestProposalsSortedByGain(t *testing.T) {
+	rel := columnRel(t, 80, 100_000)
+	m := costmodel.New(costmodel.Default())
+	var w []query.Info
+	// Wide hot set queried often, small set queried rarely.
+	for i := 0; i < 18; i++ {
+		w = append(w, info([]data.AttrID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, nil))
+	}
+	w = append(w, info([]data.AttrID{70, 71}, nil))
+	props := Propose(rel, w, m, DefaultConfig())
+	for i := 1; i < len(props); i++ {
+		if props[i].Gain > props[i-1].Gain {
+			t.Fatal("proposals not sorted by decreasing gain")
+		}
+	}
+}
+
+func TestAutoPartGroupsCoAccessedAttrs(t *testing.T) {
+	m := costmodel.New(costmodel.Default())
+	// Workload: queries over {0,1,2} and queries over {3,4}; attribute 5
+	// never accessed.
+	var w []query.Info
+	for i := 0; i < 10; i++ {
+		w = append(w, info([]data.AttrID{0, 1, 2}, nil))
+		w = append(w, info([]data.AttrID{3, 4}, nil))
+	}
+	parts := AutoPart(6, 100_000, w, m)
+	// Every attribute appears exactly once (a partition, not overlapping
+	// groups).
+	seen := map[data.AttrID]int{}
+	for _, p := range parts {
+		for _, a := range p {
+			seen[a]++
+		}
+	}
+	for a := 0; a < 6; a++ {
+		if seen[a] != 1 {
+			t.Fatalf("attribute %d appears %d times", a, seen[a])
+		}
+	}
+	// Co-accessed attributes must share a fragment.
+	frag := func(a data.AttrID) int {
+		for i, p := range parts {
+			for _, x := range p {
+				if x == a {
+					return i
+				}
+			}
+		}
+		return -1
+	}
+	if frag(0) != frag(1) || frag(1) != frag(2) {
+		t.Fatalf("attributes 0,1,2 split across fragments: %v", parts)
+	}
+	if frag(3) != frag(4) {
+		t.Fatalf("attributes 3,4 split: %v", parts)
+	}
+	if frag(0) == frag(3) {
+		t.Fatalf("disjoint access sets merged: %v", parts)
+	}
+}
+
+func TestAutoPartHandlesEmptyWorkload(t *testing.T) {
+	m := costmodel.New(costmodel.Default())
+	parts := AutoPart(4, 1000, nil, m)
+	seen := 0
+	for _, p := range parts {
+		seen += len(p)
+	}
+	if seen != 4 {
+		t.Fatalf("partition does not cover schema: %v", parts)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	got := subtract([]data.AttrID{1, 2, 3, 4}, []data.AttrID{2, 4})
+	if !reflect.DeepEqual(got, []data.AttrID{1, 3}) {
+		t.Fatalf("subtract = %v", got)
+	}
+	if subtract(nil, []data.AttrID{1}) != nil {
+		t.Fatal("subtract from empty should be nil")
+	}
+}

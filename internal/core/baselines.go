@@ -1,0 +1,73 @@
+package core
+
+import (
+	"time"
+
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// NewRowStore builds the paper's static row-store comparison engine over t:
+// an NSM layout (with slotted-page overhead when padded) executed with the
+// volcano row strategy only.
+func NewRowStore(t *data.Table, padded bool) *Engine {
+	opts := DefaultOptions()
+	opts.Mode = ModeStaticRow
+	return New(storage.BuildRowMajor(t, padded), opts)
+}
+
+// NewColumnStore builds the paper's static column-store comparison engine
+// over t: a DSM layout executed with the late-materialization column
+// strategy only.
+func NewColumnStore(t *data.Table) *Engine {
+	opts := DefaultOptions()
+	opts.Mode = ModeStaticColumn
+	return New(storage.BuildColumnMajor(t), opts)
+}
+
+// NewH2O builds the full adaptive engine with the paper's defaults, starting
+// from a column-major layout ("this is the more desirable starting point as
+// it is easier to morph to other layouts", §4.1).
+func NewH2O(t *data.Table, opts Options) *Engine {
+	return New(storage.BuildColumnMajor(t), opts)
+}
+
+// Oracle is the "Optimal" series of Figure 7: for every query it
+// materializes a perfectly tailored column group (outside the measured
+// path), then executes the fused row strategy over it. It represents the
+// theoretical case of perfect workload knowledge and ample preparation time.
+type Oracle struct {
+	table *data.Table
+	rel   *storage.Relation
+	cache map[string]*storage.ColumnGroup
+}
+
+// NewOracle builds the oracle over t.
+func NewOracle(t *data.Table) *Oracle {
+	return &Oracle{
+		table: t,
+		rel:   storage.BuildColumnMajor(t),
+		cache: make(map[string]*storage.ColumnGroup),
+	}
+}
+
+// Execute answers q from a tailored layout. Only the execution over the
+// perfect group is timed; layout creation is free, per the paper ("without
+// including the cost of creating the data layout").
+func (o *Oracle) Execute(q *query.Query) (*exec.Result, time.Duration, error) {
+	attrs := q.AllAttrs()
+	key := query.InfoOf(q).Pattern()
+	g, ok := o.cache[key]
+	if !ok {
+		g = storage.BuildGroup(o.table, attrs)
+		o.cache[key] = g
+	}
+	start := time.Now()
+	res, err := exec.ExecRow(g, q)
+	if err == exec.ErrUnsupported {
+		res, err = exec.ExecGeneric(o.rel, q)
+	}
+	return res, time.Since(start), err
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"h2o/internal/affinity"
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+const (
+	tAttrs = 30
+	tRows  = 20_000
+)
+
+func table(t *testing.T) *data.Table {
+	t.Helper()
+	return data.Generate(data.SyntheticSchema("R", tAttrs), tRows, 1234)
+}
+
+// reference computes the expected result with naive loops.
+func reference(tb *data.Table, q *query.Query) *exec.Result {
+	rel := storage.BuildRowMajor(tb, false)
+	res, err := exec.ExecGeneric(rel, q)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func hotQueries(n int) []*query.Query {
+	hot := []data.AttrID{2, 5, 9, 14}
+	rng := rand.New(rand.NewSource(7))
+	out := make([]*query.Query, n)
+	for i := range out {
+		// Same hot attribute set with varying predicate constants.
+		out[i] = query.Aggregation("R", expr.AggSum, hot, query.PredLt(hot[0], rng.Int63n(2*data.ValueHi)-data.ValueHi))
+	}
+	return out
+}
+
+func TestAdaptiveEngineCorrectness(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 60; i++ {
+		attrs := query.RandomAttrs(tAttrs, 1+rng.Intn(6), rng.Intn)
+		var q *query.Query
+		switch i % 4 {
+		case 0:
+			q = query.Projection("R", attrs, query.PredGt(rng.Intn(tAttrs), 0))
+		case 1:
+			q = query.Aggregation("R", expr.AggMax, attrs, nil)
+		case 2:
+			q = query.ArithExpression("R", attrs, query.PredLt(rng.Intn(tAttrs), 0))
+		default:
+			q = query.AggExpression("R", attrs, nil)
+		}
+		res, info, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if want := reference(tb, q); !res.Equal(want) {
+			t.Fatalf("query %d (%s, strategy %v): wrong result", i, q, info.Strategy)
+		}
+	}
+	if e.Stats().Queries != 60 {
+		t.Fatalf("stats.Queries = %d", e.Stats().Queries)
+	}
+}
+
+func TestAdaptiveEngineReorganizes(t *testing.T) {
+	tb := table(t)
+	opts := DefaultOptions()
+	opts.Window.InitialSize = 10
+	e := NewH2O(tb, opts)
+
+	queries := hotQueries(40)
+	sawReorg := false
+	for i, q := range queries {
+		res, info, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if info.Reorganized {
+			sawReorg = true
+			if len(info.NewGroup) == 0 {
+				t.Fatal("reorg reported without a new group")
+			}
+			if !res.Equal(reference(tb, q)) {
+				t.Fatalf("reorganizing query %d returned a wrong result", i)
+			}
+		}
+	}
+	if !sawReorg {
+		t.Fatal("hot repeated pattern never triggered online reorganization")
+	}
+	st := e.Stats()
+	if st.Adaptations == 0 || st.Reorgs == 0 || st.GroupsCreated == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// After reorganization the hot queries must run on the new group with
+	// the fused row strategy.
+	_, info, err := e.Execute(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Strategy != exec.StrategyRow {
+		t.Fatalf("post-reorg strategy = %v, want row-fused over the new group", info.Strategy)
+	}
+	// The created group must hold correct data.
+	g, ok := e.Relation().ExactGroup([]data.AttrID{2, 5, 9, 14})
+	if !ok {
+		t.Fatalf("expected group {2,5,9,14}; layout: %s", e.Relation().LayoutSignature())
+	}
+	for r := 0; r < 100; r++ {
+		for _, a := range g.Attrs {
+			if g.Value(r, a) != tb.Value(r, a) {
+				t.Fatal("new group corrupted data")
+			}
+		}
+	}
+}
+
+func TestStaticModesNeverAdapt(t *testing.T) {
+	tb := table(t)
+	for _, mk := range []func() *Engine{
+		func() *Engine { return NewRowStore(tb, true) },
+		func() *Engine { return NewColumnStore(tb) },
+	} {
+		e := mk()
+		groupsBefore := len(e.Relation().Groups)
+		for _, q := range hotQueries(30) {
+			res, info, err := e.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Reorganized {
+				t.Fatalf("%v engine reorganized", e.opts.Mode)
+			}
+			if !res.Equal(reference(tb, q)) {
+				t.Fatalf("%v engine wrong result", e.opts.Mode)
+			}
+		}
+		st := e.Stats()
+		if st.Adaptations != 0 || st.Reorgs != 0 {
+			t.Fatalf("%v engine adapted: %+v", e.opts.Mode, st)
+		}
+		if len(e.Relation().Groups) != groupsBefore {
+			t.Fatalf("%v engine changed its layout", e.opts.Mode)
+		}
+	}
+}
+
+func TestStaticStrategiesArePinned(t *testing.T) {
+	tb := table(t)
+	row := NewRowStore(tb, false)
+	col := NewColumnStore(tb)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
+	_, info, err := row.Execute(q)
+	if err != nil || info.Strategy != exec.StrategyRow {
+		t.Fatalf("row engine strategy = %v err=%v", info.Strategy, err)
+	}
+	_, info, err = col.Execute(q)
+	if err != nil || info.Strategy != exec.StrategyColumn {
+		t.Fatalf("column engine strategy = %v err=%v", info.Strategy, err)
+	}
+}
+
+func TestGenericFallbackForOddShapes(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
+	res, info, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Strategy != exec.StrategyGeneric {
+		t.Fatalf("strategy = %v, want generic", info.Strategy)
+	}
+	if !res.Equal(reference(tb, q)) {
+		t.Fatal("generic fallback computed a wrong result")
+	}
+}
+
+func TestMaxGroupsEviction(t *testing.T) {
+	tb := table(t)
+	opts := DefaultOptions()
+	opts.Window.InitialSize = 4
+	opts.Window.MinSize = 2
+	opts.MaxGroups = tAttrs + 2 // base columns + at most 2 extra groups
+	e := NewH2O(tb, opts)
+	rng := rand.New(rand.NewSource(3))
+	// Rotate between several hot sets to force multiple group creations.
+	sets := [][]data.AttrID{{0, 1, 2}, {5, 6, 7}, {10, 11, 12}, {15, 16, 17}, {20, 21, 22}}
+	for round := 0; round < 10; round++ {
+		for _, s := range sets {
+			for i := 0; i < 6; i++ {
+				q := query.Aggregation("R", expr.AggSum, s, query.PredLt(s[0], rng.Int63n(data.ValueHi)))
+				if _, _, err := e.Execute(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if got := len(e.Relation().Groups); got > opts.MaxGroups {
+		t.Fatalf("groups = %d exceeds cap %d", got, opts.MaxGroups)
+	}
+	if e.Stats().GroupsCreated >= 3 && e.Stats().GroupsDropped == 0 {
+		t.Fatalf("created %d groups but never evicted under a tight cap", e.Stats().GroupsCreated)
+	}
+}
+
+func TestDynamicWindowAdaptsFasterThanStatic(t *testing.T) {
+	tb := table(t)
+	mk := func(dynamic bool) *Engine {
+		opts := DefaultOptions()
+		opts.Window = affinity.Config{
+			InitialSize: 30, MinSize: 4, MaxSize: 60,
+			NoveltyOverlap: 0.5, Dynamic: dynamic,
+		}
+		return NewH2O(tb, opts)
+	}
+	// Fig. 9's shape: 15 queries on one attribute set, then a shift. The
+	// paper's Fig. 9 queries compute arithmetic expressions — the class
+	// where merged groups beat per-column layouts.
+	phase1 := []data.AttrID{1, 2, 3, 4}
+	phase2 := []data.AttrID{20, 21, 22, 23}
+	seq := make([]*query.Query, 0, 60)
+	for i := 0; i < 15; i++ {
+		seq = append(seq, query.AggExpression("R", phase1, nil))
+	}
+	for i := 0; i < 45; i++ {
+		seq = append(seq, query.AggExpression("R", phase2, nil))
+	}
+	firstReorg := func(e *Engine) int {
+		for i, q := range seq {
+			_, info, err := e.Execute(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Reorganized && data.ContainsAll(info.NewGroup, phase2) {
+				return i
+			}
+		}
+		return len(seq)
+	}
+	dyn := firstReorg(mk(true))
+	stat := firstReorg(mk(false))
+	if dyn >= stat {
+		t.Fatalf("dynamic window adapted at query %d, static at %d; dynamic must be earlier", dyn, stat)
+	}
+}
+
+func TestOracleMatchesReference(t *testing.T) {
+	tb := table(t)
+	o := NewOracle(tb)
+	qs := []*query.Query{
+		query.Projection("R", []data.AttrID{1, 3}, query.PredLt(5, 0)),
+		query.Aggregation("R", expr.AggMax, []data.AttrID{2, 8}, nil),
+		query.AggExpression("R", []data.AttrID{0, 7, 9}, query.PredGt(4, 0)),
+	}
+	for _, q := range qs {
+		res, d, err := o.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 {
+			t.Fatal("negative duration")
+		}
+		if !res.Equal(reference(tb, q)) {
+			t.Fatalf("oracle wrong for %s", q)
+		}
+	}
+	// Repeated pattern reuses the cached perfect group.
+	if _, _, err := o.Execute(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.cache) != 3 {
+		t.Fatalf("oracle cache size = %d, want 3", len(o.cache))
+	}
+}
+
+func TestExecuteSQL(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	parse := func(src string) (*query.Query, error) {
+		return nil, nil // never used: engine must call the parser we hand it
+	}
+	_ = parse
+	called := false
+	res, _, err := e.ExecuteSQL("select max(a1) from R", func(src string) (*query.Query, error) {
+		called = true
+		return query.Aggregation("R", expr.AggMax, []data.AttrID{1}, nil), nil
+	})
+	if err != nil || !called || res.Rows != 1 {
+		t.Fatalf("ExecuteSQL: res=%v called=%v err=%v", res, called, err)
+	}
+}
+
+func TestSelectivityEstimateLearning(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	// A highly selective projection teaches the engine its true selectivity.
+	cut := data.ValueLo + (data.ValueHi-data.ValueLo)/100
+	q := query.Projection("R", []data.AttrID{1, 2}, query.PredLt(0, cut))
+	if _, _, err := e.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.selEst[query.InfoOf(q).Pattern()]
+	if !ok {
+		t.Fatal("selectivity was not recorded")
+	}
+	if got < 0 || got > 0.05 {
+		t.Fatalf("learned selectivity %.3f, expected ~0.01", got)
+	}
+}
+
+func TestConcurrentExecute(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	qs := hotQueries(8)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < 20; i++ {
+				q := qs[(w+i)%len(qs)]
+				res, _, err := e.Execute(q)
+				if err != nil {
+					done <- err
+					return
+				}
+				if res.Rows != 1 {
+					done <- fmt.Errorf("bad result shape %d", res.Rows)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().Queries; got != 80 {
+		t.Fatalf("queries counted = %d, want 80", got)
+	}
+}
+
+func TestParallelismOption(t *testing.T) {
+	tb := table(t)
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	serialOpts := DefaultOptions()
+	par := New(storage.BuildRowMajor(tb, false), opts)
+	ser := New(storage.BuildRowMajor(tb, false), serialOpts)
+	for _, q := range hotQueries(10) {
+		rp, ip, err := par.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, _, err := ser.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rp.Equal(rs) {
+			t.Fatal("parallel engine disagrees with serial engine")
+		}
+		if ip.Strategy != exec.StrategyRow {
+			t.Fatalf("row layout should use the row strategy, got %v", ip.Strategy)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	tb := table(t)
+	e := NewH2O(tb, DefaultOptions())
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 5, 9}, query.PredLt(0, 0))
+	ex, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Alternatives) < 2 {
+		t.Fatalf("alternatives = %v", ex.Alternatives)
+	}
+	for i := 1; i < len(ex.Alternatives); i++ {
+		if ex.Alternatives[i].Cost < ex.Alternatives[i-1].Cost {
+			t.Fatal("alternatives not sorted by cost")
+		}
+	}
+	if ex.Strategy != ex.Alternatives[0].Strategy {
+		t.Fatal("chosen strategy must be the cheapest alternative")
+	}
+	if len(ex.CoveringGroups) == 0 {
+		t.Fatal("no covering groups reported")
+	}
+	// Explain must not advance the engine.
+	if e.Stats().Queries != 0 {
+		t.Fatal("Explain executed the query")
+	}
+	// A pending proposal covering the query is surfaced.
+	opts := DefaultOptions()
+	opts.Window.InitialSize = 6
+	e2 := NewH2O(tb, opts)
+	// Drive enough hot queries to schedule an adaptation but pick a query
+	// whose cost-model gain is too small to trigger reorganization (tiny
+	// horizon), leaving the proposal pending.
+	e2.opts.AmortizationHorizon = 1
+	for _, q := range hotQueries(12) {
+		if _, _, err := e2.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e2.PendingProposals()) > 0 {
+		ex2, err := e2.Explain(hotQueries(1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex2.PendingProposal == nil {
+			t.Fatal("pending proposal covering the query not surfaced")
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []Mode{ModeAdaptive, ModeStaticRow, ModeStaticColumn, ModeFrozen, Mode(42)} {
+		if m.String() == "" {
+			t.Fatal("empty mode name")
+		}
+	}
+}

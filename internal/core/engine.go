@@ -1,0 +1,551 @@
+// Package core assembles H2O (paper Figure 3): the Data Layout Manager that
+// owns the relation's column groups, the Query Processor that picks the best
+// (layout, execution strategy) combination per query with the cost model,
+// the Operator Generator that produces specialized access operators, and the
+// Adaptation Mechanism that monitors the workload through a dynamic query
+// window, proposes new layouts, and creates them lazily — fused into the
+// first query that benefits.
+//
+// The package also provides the paper's comparison engines: a static
+// row-store, a static column-store (both sharing this code base, as in §4.1)
+// and the "optimal" oracle that enjoys a perfectly tailored layout for every
+// query with no creation cost.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"h2o/internal/advisor"
+	"h2o/internal/affinity"
+	"h2o/internal/costmodel"
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/opgen"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// Mode fixes or frees the engine's layout/strategy choices.
+type Mode int
+
+const (
+	// ModeAdaptive is full H2O: monitoring, adaptation, lazy reorganization
+	// and cost-based strategy choice.
+	ModeAdaptive Mode = iota
+	// ModeStaticRow pins the row layout and the volcano row strategy
+	// (the paper's "Row-store" comparison engine).
+	ModeStaticRow
+	// ModeStaticColumn pins the column layout and the late-materialization
+	// column strategy (the paper's "Column-store" comparison engine).
+	ModeStaticColumn
+	// ModeFrozen keeps whatever groups the relation has but disables
+	// adaptation; strategy choice stays cost-based. Used for sensitivity
+	// experiments over fixed hybrid layouts.
+	ModeFrozen
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAdaptive:
+		return "h2o-adaptive"
+	case ModeStaticRow:
+		return "row-store"
+	case ModeStaticColumn:
+		return "column-store"
+	case ModeFrozen:
+		return "frozen"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configure an engine instance.
+type Options struct {
+	Mode Mode
+	// Window configures the monitoring window (adaptive mode only).
+	Window affinity.Config
+	// Advisor configures the adaptation algorithm.
+	Advisor advisor.Config
+	// Cost configures the cost model.
+	Cost costmodel.Params
+	// OpGen configures the operator generator.
+	OpGen opgen.Config
+	// MaxGroups caps the number of co-existing column groups; beyond it the
+	// least-recently-used droppable group is evicted ("there is not enough
+	// space to store these alternatives"). Zero selects an automatic cap of
+	// 2x the schema width plus slack, so a fresh column-major layout never
+	// starts over budget.
+	MaxGroups int
+	// AmortizationHorizon is the number of future queries over which a
+	// reorganization must pay for itself before the engine triggers it; 0
+	// means "current window size".
+	AmortizationHorizon int
+	// Parallelism partitions fused row scans across this many goroutines
+	// (the paper's engines "use all the available CPUs"). 0 or 1 keeps scans
+	// serial.
+	Parallelism int
+}
+
+// DefaultOptions returns the adaptive configuration used in §4.1.
+func DefaultOptions() Options {
+	return Options{
+		Mode:    ModeAdaptive,
+		Window:  affinity.DefaultConfig(),
+		Advisor: advisor.DefaultConfig(),
+		Cost:    costmodel.Default(),
+		OpGen:   opgen.DefaultConfig(),
+		// MaxGroups 0 = automatic (2x schema width plus slack).
+	}
+}
+
+// ExecInfo reports how one query was executed.
+type ExecInfo struct {
+	Strategy exec.Strategy
+	Layout   storage.LayoutKind // kind of the layout actually scanned
+	// Reorganized is true when the query piggybacked the creation of a new
+	// column group (online reorganization).
+	Reorganized bool
+	// NewGroup is the attribute set of the group created, if any.
+	NewGroup []data.AttrID
+	// CompileTime is the simulated operator-generation cost charged to this
+	// query (zero on operator-cache hits).
+	CompileTime time.Duration
+	// Duration is the measured wall-clock execution time, including
+	// reorganization and compile time.
+	Duration time.Duration
+	// EstimatedCost is the cost model's estimate for the chosen plan.
+	EstimatedCost costmodel.Seconds
+	// WindowSize is the monitoring window size after this query.
+	WindowSize int
+}
+
+// Stats accumulates engine-lifetime counters.
+type Stats struct {
+	Queries         int
+	Adaptations     int
+	Reorgs          int
+	GroupsCreated   int
+	GroupsDropped   int
+	OpCacheHits     int
+	OpCacheMisses   int
+	GenericFallback int
+}
+
+// Engine is one H2O instance bound to a single relation. Execute is safe
+// for concurrent use: queries serialize on an internal mutex (the engine
+// mutates shared state — the monitoring window, the layout set, the
+// statistics — on every query).
+type Engine struct {
+	mu    sync.Mutex
+	rel   *storage.Relation
+	opts  Options
+	model *costmodel.Model
+	win   *affinity.Window
+	gen   *opgen.Generator
+
+	// pending holds adaptation proposals not yet materialized (lazy
+	// layouts).
+	pending []advisor.Proposal
+	// selEst tracks the observed selectivity per access pattern, feeding the
+	// cost model's estimates.
+	selEst map[string]float64
+	// lastUsed tracks group recency for MaxGroups eviction.
+	lastUsed map[*storage.ColumnGroup]int
+
+	stats Stats
+}
+
+// New builds an engine over rel. The relation's current groups are the
+// starting layout; the paper notes the initial layout only affects the first
+// few queries.
+func New(rel *storage.Relation, opts Options) *Engine {
+	if opts.MaxGroups <= 0 {
+		opts.MaxGroups = 2*rel.Schema.NumAttrs() + 16
+	}
+	e := &Engine{
+		rel:      rel,
+		opts:     opts,
+		model:    costmodel.New(opts.Cost),
+		win:      affinity.NewWindow(rel.Schema.NumAttrs(), opts.Window),
+		gen:      opgen.New(opts.OpGen),
+		selEst:   make(map[string]float64),
+		lastUsed: make(map[*storage.ColumnGroup]int),
+	}
+	return e
+}
+
+// Relation exposes the engine's relation for inspection by tools and tests.
+// The returned value is the live relation: do not mutate it, and do not read
+// it while queries are executing concurrently.
+func (e *Engine) Relation() *storage.Relation { return e.rel }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.OpCacheHits, s.OpCacheMisses = e.gen.Stats()
+	return s
+}
+
+// PendingProposals returns the adaptation proposals awaiting a triggering
+// query.
+func (e *Engine) PendingProposals() []advisor.Proposal {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]advisor.Proposal(nil), e.pending...)
+}
+
+// WindowSize returns the current monitoring window size.
+func (e *Engine) WindowSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.win.Size()
+}
+
+// ExecuteSQL parses and executes a SQL statement against the relation.
+func (e *Engine) ExecuteSQL(src string, parse func(string) (*query.Query, error)) (*exec.Result, ExecInfo, error) {
+	q, err := parse(src)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs one query: it monitors the access pattern, periodically runs
+// the adaptation mechanism, lazily materializes a proposed layout when this
+// query benefits, picks the cheapest (layout, strategy) combination, obtains
+// the specialized operator and executes it.
+func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	start := time.Now()
+	e.stats.Queries++
+	info := query.InfoOf(q)
+
+	var obs affinity.Observation
+	if e.opts.Mode == ModeAdaptive {
+		obs = e.win.Observe(info)
+		if obs.Due {
+			e.adapt()
+		}
+	}
+
+	// Lazy reorganization: if a pending proposal covers this query and the
+	// cost model says the new layout pays for itself within the horizon,
+	// create it as part of answering the query.
+	if e.opts.Mode == ModeAdaptive {
+		if res, execInfo, done, err := e.tryReorg(q, info, start); done {
+			return res, execInfo, err
+		}
+	}
+
+	strategy, estCost := e.chooseStrategy(q, info)
+
+	// Parallel fast path: fused row scans partition across goroutines.
+	if e.opts.Parallelism > 1 && strategy == exec.StrategyRow {
+		if g := exec.BestCoveringGroup(e.rel, q); g != nil {
+			if res, err := exec.ExecRowParallel(g, q, e.opts.Parallelism); err == nil {
+				e.recordSelectivity(info, q, res)
+				e.touchGroups(q)
+				applyLimit(q, res)
+				return res, ExecInfo{
+					Strategy:      strategy,
+					Layout:        e.rel.Kind(),
+					EstimatedCost: estCost,
+					WindowSize:    e.win.Size(),
+					Duration:      time.Since(start),
+				}, nil
+			}
+			// Unsupported shape: fall through to the operator path.
+		}
+	}
+
+	op, cached, err := e.gen.Operator(strategy, e.rel, q)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	res, _, err := op.Run(e.rel, q)
+	if err == exec.ErrUnsupported {
+		// Shape outside the template library: generic operator.
+		e.stats.GenericFallback++
+		strategy = exec.StrategyGeneric
+		op, cached, err = e.gen.Operator(strategy, e.rel, q)
+		if err != nil {
+			return nil, ExecInfo{}, err
+		}
+		res, _, err = op.Run(e.rel, q)
+	}
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+
+	e.recordSelectivity(info, q, res)
+	e.touchGroups(q)
+	applyLimit(q, res)
+
+	ei := ExecInfo{
+		Strategy:      strategy,
+		Layout:        e.rel.Kind(),
+		EstimatedCost: estCost,
+		WindowSize:    e.win.Size(),
+		Duration:      time.Since(start),
+	}
+	if !cached {
+		ei.CompileTime = op.CompileTime
+		ei.Duration += op.CompileTime
+	}
+	return res, ei, nil
+}
+
+// Insert appends tuples (full-width, schema attribute order) to the
+// relation. Every column group — including groups the adaptation mechanism
+// created — grows consistently. Appends invalidate nothing: cached
+// operators rebind the relation on each call and the cost model reads live
+// row counts.
+func (e *Engine) Insert(tuples [][]data.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rel.AppendBatch(tuples)
+}
+
+// Explanation is the engine's plan report for one query, without executing
+// it.
+type Explanation struct {
+	Strategy      exec.Strategy
+	EstimatedCost costmodel.Seconds
+	// Alternatives lists every executable strategy with its estimated cost,
+	// cheapest first.
+	Alternatives []StrategyCost
+	// CoveringGroups is the attribute signature of each group the plan
+	// would touch.
+	CoveringGroups []string
+	// PendingProposal is non-nil when a lazy layout proposal covers this
+	// query (the next execution may reorganize).
+	PendingProposal *advisor.Proposal
+}
+
+// StrategyCost pairs a strategy with its cost-model estimate.
+type StrategyCost struct {
+	Strategy exec.Strategy
+	Cost     costmodel.Seconds
+}
+
+// Explain reports how the engine would execute q right now: the chosen
+// strategy, the cost of every alternative, the groups the plan touches and
+// whether a pending proposal covers the query. It does not execute the
+// query and does not advance the monitoring window.
+func (e *Engine) Explain(q *query.Query) (Explanation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info := query.InfoOf(q)
+	est := e.estimateSelectivity(info, q)
+	var ex Explanation
+	for _, s := range []exec.Strategy{exec.StrategyRow, exec.StrategyHybrid, exec.StrategyColumn, exec.StrategyGeneric} {
+		plan := exec.AccessPlan(s, e.rel, q, est)
+		if plan == nil {
+			continue
+		}
+		ex.Alternatives = append(ex.Alternatives, StrategyCost{Strategy: s, Cost: e.model.QueryCost(plan)})
+	}
+	if len(ex.Alternatives) == 0 {
+		return ex, fmt.Errorf("core: no executable strategy for %s", q)
+	}
+	sort.Slice(ex.Alternatives, func(i, j int) bool { return ex.Alternatives[i].Cost < ex.Alternatives[j].Cost })
+	ex.Strategy = ex.Alternatives[0].Strategy
+	ex.EstimatedCost = ex.Alternatives[0].Cost
+	groups, _, err := e.rel.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return ex, err
+	}
+	for _, g := range groups {
+		ex.CoveringGroups = append(ex.CoveringGroups, fmt.Sprint(g.Attrs))
+	}
+	all := q.AllAttrs()
+	for i := range e.pending {
+		if data.ContainsAll(e.pending[i].Attrs, all) {
+			p := e.pending[i]
+			ex.PendingProposal = &p
+			break
+		}
+	}
+	return ex, nil
+}
+
+// adapt runs one adaptation phase: evaluate the window, compute proposals,
+// keep them pending (lazy creation).
+func (e *Engine) adapt() {
+	e.stats.Adaptations++
+	e.win.MarkAdapted()
+	proposals := advisor.Propose(e.rel, e.win.Recent(), e.model, e.opts.Advisor)
+	// Replace the pending pool: old un-triggered proposals reflect an older
+	// window ("the recent query history is used as a trigger").
+	e.pending = proposals
+}
+
+// tryReorg checks whether a pending proposal should be materialized by this
+// query. When it fires, the reorganizing operator answers the query and
+// registers the new group in one pass.
+func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, bool, error) {
+	all := q.AllAttrs()
+	horizon := e.opts.AmortizationHorizon
+	if horizon <= 0 {
+		horizon = e.win.Size()
+	}
+	for i, p := range e.pending {
+		if !data.ContainsAll(p.Attrs, all) {
+			continue
+		}
+		if _, exists := e.rel.ExactGroup(p.Attrs); exists {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			return nil, ExecInfo{}, false, nil
+		}
+		// Does the new layout beat the current best plan by enough to
+		// amortize the move within the horizon?
+		currStrat, currCost := e.chooseStrategy(q, info)
+		newCost := e.costOnGroup(len(p.Attrs), len(all), info)
+		gain := currCost - newCost
+		if gain <= 0 || float64(gain)*float64(horizon) < float64(e.model.TransformCost(p.TransformBytes)) {
+			continue
+		}
+		_ = currStrat
+
+		g, res, err := exec.ExecReorg(e.rel, q, p.Attrs)
+		if err != nil {
+			return nil, ExecInfo{}, true, err
+		}
+		applyLimit(q, res)
+		if err := e.rel.AddGroup(g); err != nil {
+			return nil, ExecInfo{}, true, err
+		}
+		e.stats.Reorgs++
+		e.stats.GroupsCreated++
+		e.pending = append(e.pending[:i], e.pending[i+1:]...)
+		e.touchGroups(q)
+		e.evictIfNeeded()
+		e.recordSelectivity(info, q, res)
+
+		ei := ExecInfo{
+			Strategy:    exec.StrategyReorg,
+			Layout:      storage.KindGroup,
+			Reorganized: true,
+			NewGroup:    g.Attrs,
+			WindowSize:  e.win.Size(),
+			Duration:    time.Since(start),
+		}
+		return res, ei, true, nil
+	}
+	return nil, ExecInfo{}, false, nil
+}
+
+// chooseStrategy evaluates the available (layout, strategy) combinations
+// with the cost model and returns the cheapest executable one.
+func (e *Engine) chooseStrategy(q *query.Query, info query.Info) (exec.Strategy, costmodel.Seconds) {
+	switch e.opts.Mode {
+	case ModeStaticRow:
+		return exec.StrategyRow, 0
+	case ModeStaticColumn:
+		return exec.StrategyColumn, 0
+	}
+	est := e.estimateSelectivity(info, q)
+	best := exec.StrategyGeneric
+	var bestCost costmodel.Seconds
+	first := true
+	for _, s := range []exec.Strategy{exec.StrategyRow, exec.StrategyHybrid, exec.StrategyColumn} {
+		plan := exec.AccessPlan(s, e.rel, q, est)
+		if plan == nil {
+			continue
+		}
+		c := e.model.QueryCost(plan)
+		if first || c < bestCost {
+			best, bestCost, first = s, c, false
+		}
+	}
+	return best, bestCost
+}
+
+// costOnGroup estimates the query cost if a dedicated group of the given
+// width existed.
+func (e *Engine) costOnGroup(groupWidth, used int, info query.Info) costmodel.Seconds {
+	sel := e.estimateSelectivity(info, nil)
+	if len(info.Where) == 0 {
+		sel = 1
+	}
+	_ = sel
+	return e.model.QueryCost([]costmodel.GroupAccess{{
+		Stride: groupWidth, Width: groupWidth, Used: used,
+		Rows: e.rel.Rows, Selectivity: 1,
+	}})
+}
+
+// estimateSelectivity returns the engine's selectivity estimate for the
+// query's pattern: the last observed selectivity if the pattern was seen
+// before, else the advisor's default.
+func (e *Engine) estimateSelectivity(info query.Info, q *query.Query) float64 {
+	if q != nil && q.Where == nil {
+		return 1
+	}
+	if s, ok := e.selEst[info.Pattern()]; ok {
+		return s
+	}
+	return e.opts.Advisor.EstSelectivity
+}
+
+// recordSelectivity updates the per-pattern selectivity estimate from the
+// observed result cardinality.
+func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Result) {
+	if q.Where == nil || q.HasAggregates() || e.rel.Rows == 0 {
+		return
+	}
+	e.selEst[info.Pattern()] = float64(res.Rows) / float64(e.rel.Rows)
+}
+
+// applyLimit truncates a materialized result to q.Limit rows. Aggregate
+// results (one row) are unaffected. The cut happens after the scan; the
+// engine has no early-exit path.
+func applyLimit(q *query.Query, res *exec.Result) {
+	if q.Limit <= 0 || res.Rows <= q.Limit {
+		return
+	}
+	res.Rows = q.Limit
+	res.Data = res.Data[:q.Limit*len(res.Cols)]
+}
+
+// touchGroups marks the groups serving q as recently used.
+func (e *Engine) touchGroups(q *query.Query) {
+	groups, _, err := e.rel.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return
+	}
+	for _, g := range groups {
+		e.lastUsed[g] = e.stats.Queries
+	}
+}
+
+// evictIfNeeded drops least-recently-used groups beyond the MaxGroups cap,
+// never breaking schema coverage. Undroppable groups (sole cover of some
+// attribute) are skipped in favor of the next-least-recently-used one.
+func (e *Engine) evictIfNeeded() {
+	for len(e.rel.Groups) > e.opts.MaxGroups {
+		candidates := append([]*storage.ColumnGroup(nil), e.rel.Groups...)
+		sort.Slice(candidates, func(i, j int) bool {
+			return e.lastUsed[candidates[i]] < e.lastUsed[candidates[j]]
+		})
+		dropped := false
+		for _, g := range candidates {
+			if e.rel.DropGroup(g) {
+				delete(e.lastUsed, g)
+				e.stats.GroupsDropped++
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return // every group is load-bearing; live over the cap
+		}
+	}
+}

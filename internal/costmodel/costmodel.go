@@ -1,0 +1,186 @@
+// Package costmodel implements H2O's query cost model (paper §3.5):
+//
+//	q(L) = Σ_i max(costIO_i, costCPU_i)                     (Eq. 2)
+//
+// For each data layout accessed by a query plan the model estimates an I/O
+// cost (bytes moved over disk or memory bandwidth, assumed to overlap with
+// computation) and a CPU cost derived from the number of data-cache misses
+// the access pattern incurs, following the HYRISE-style model the paper
+// cites: misses are a function of the layout width, the number of tuples and
+// the number of data words accessed, plus the cost of materializing and
+// re-reading intermediate results (selection vectors, intermediate columns).
+// It also prices layout transformations (the T term of Eq. 1), charged as a
+// bulk copy of the moved volume.
+package costmodel
+
+// Seconds is an estimated duration. The model only ranks alternatives, so
+// the unit matters less than consistency.
+type Seconds float64
+
+// Params are the hardware constants of the cost model.
+type Params struct {
+	CacheLineBytes int // typically 64
+	WordBytes      int // 8 for int64 attributes
+
+	MissLatency   Seconds // stall per last-level data cache miss
+	PerWordCPU    Seconds // pure compute per word processed (predicates, adds)
+	MemBandwidth  float64 // bytes/second for sequential in-memory reads
+	DiskBandwidth float64 // bytes/second for sequential disk reads
+	CopyBandwidth float64 // bytes/second for layout transformation copies
+
+	InMemory bool // when true, I/O cost uses memory bandwidth (hot runs)
+}
+
+// Default returns parameters resembling the paper's Sandy Bridge server
+// (§4: 2.2 GHz cores, 20 MB L3, RAID of SATA disks). Absolute values are not
+// calibrated — the model only has to rank layouts and strategies.
+func Default() Params {
+	return Params{
+		CacheLineBytes: 64,
+		WordBytes:      8,
+		MissLatency:    60e-9,  // ~60 ns to memory
+		PerWordCPU:     0.7e-9, // ~1.5 words/cycle at 2.2 GHz
+		MemBandwidth:   8e9,    // single-stream sequential read
+		DiskBandwidth:  500e6,  // RAID-0 of 7 SATA disks
+		CopyBandwidth:  4e9,    // read+write streams share the bus
+		InMemory:       true,
+	}
+}
+
+// Model evaluates plan costs under a fixed set of parameters.
+type Model struct {
+	P Params
+}
+
+// New returns a model with the given parameters.
+func New(p Params) *Model { return &Model{P: p} }
+
+// GroupAccess describes how a plan touches one column group (one term of
+// Eq. 2's sum).
+type GroupAccess struct {
+	Stride int // words per stored mini-tuple (incl. padding)
+	Width  int // attributes stored in the group
+	Used   int // attributes the plan actually reads
+	Rows   int // tuples in the group
+
+	// Selectivity is the fraction of tuples fetched from this group. 1 for a
+	// full scan (e.g. predicate evaluation); <1 when the group is probed
+	// through a selection vector produced elsewhere.
+	Selectivity float64
+
+	// IntermediateWords counts values the strategy materializes into
+	// intermediate results while processing this group (selection vectors,
+	// intermediate columns). Each is written once and read once.
+	IntermediateWords int
+}
+
+// linesPerTuple estimates the distinct cache lines touched per tuple when
+// reading used of width attributes from a group with the given stride.
+func (m *Model) linesPerTuple(stride, used int, sequential bool) float64 {
+	lineWords := float64(m.P.CacheLineBytes / m.P.WordBytes)
+	tupleWords := float64(stride)
+	if sequential {
+		// A sequential scan streams whole tuples: consecutive tuples share
+		// lines, so the amortized cost is tupleWords/lineWords lines per
+		// tuple regardless of how many attributes are used — this is exactly
+		// the bandwidth waste of wide layouts under narrow access.
+		return tupleWords / lineWords
+	}
+	// A positional probe touches only the lines containing the used words.
+	// Used words are adjacent within the mini-tuple, so they span
+	// ceil(used/lineWords) lines, plus potential misalignment.
+	lines := float64(used) / lineWords
+	if lines < 1 {
+		lines = 1
+	}
+	return lines
+}
+
+// AccessCPU estimates the CPU cost (cache-miss stalls plus per-word compute)
+// of one group access.
+func (m *Model) AccessCPU(a GroupAccess) Seconds {
+	rows := float64(a.Rows)
+	sel := a.Selectivity
+	if sel <= 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+
+	var misses float64
+	if sel >= 0.05 {
+		// High selectivity: the hardware prefetcher makes the probe pattern
+		// effectively sequential — whole group streamed through the cache.
+		misses = rows * m.linesPerTuple(a.Stride, a.Used, true)
+	} else {
+		// Sparse positional fetches: pay per qualifying tuple.
+		misses = rows * sel * m.linesPerTuple(a.Stride, a.Used, false)
+	}
+
+	// Intermediates are written once and read back once; both passes are
+	// sequential.
+	interBytes := float64(a.IntermediateWords * m.P.WordBytes)
+	misses += 2 * interBytes / float64(m.P.CacheLineBytes)
+
+	wordsProcessed := rows*sel*float64(a.Used) + float64(a.IntermediateWords)
+	if sel < 1 {
+		// Predicate columns are still inspected for every tuple.
+		wordsProcessed += rows
+	}
+	return Seconds(misses)*m.P.MissLatency + Seconds(wordsProcessed)*m.P.PerWordCPU
+}
+
+// AccessIO estimates the I/O cost of one group access: the bytes the scan
+// moves, at disk or memory bandwidth.
+func (m *Model) AccessIO(a GroupAccess) Seconds {
+	sel := a.Selectivity
+	if sel <= 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	bytes := float64(a.Rows) * float64(a.Stride*m.P.WordBytes)
+	if sel < 0.05 {
+		// Sparse probes skip most of the group; random reads still pull whole
+		// cache lines (or disk blocks) per qualifying tuple.
+		lineBytes := float64(m.P.CacheLineBytes)
+		need := float64(a.Used * m.P.WordBytes)
+		if need < lineBytes {
+			need = lineBytes
+		}
+		bytes = float64(a.Rows) * sel * need
+	}
+	bytes += float64(2 * a.IntermediateWords * m.P.WordBytes)
+	bw := m.P.MemBandwidth
+	if !m.P.InMemory {
+		bw = m.P.DiskBandwidth
+	}
+	return Seconds(bytes / bw)
+}
+
+// QueryCost evaluates Eq. 2 for a plan that touches the given groups:
+// Σ max(costIO, costCPU), assuming I/O and CPU overlap per layout.
+func (m *Model) QueryCost(accesses []GroupAccess) Seconds {
+	var total Seconds
+	for _, a := range accesses {
+		io, cpu := m.AccessIO(a), m.AccessCPU(a)
+		if io > cpu {
+			total += io
+		} else {
+			total += cpu
+		}
+	}
+	return total
+}
+
+// TransformCost prices a layout transformation that moves the given volume
+// (source bytes read plus destination bytes written) — the T(Ci-1, Ci) term
+// of Eq. 1.
+func (m *Model) TransformCost(bytes int64) Seconds {
+	if bytes <= 0 {
+		return 0
+	}
+	return Seconds(float64(bytes) / m.P.CopyBandwidth)
+}

@@ -1,0 +1,145 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func model() *Model { return New(Default()) }
+
+func TestNarrowAccessPrefersNarrowLayout(t *testing.T) {
+	m := model()
+	rows := 1_000_000
+	// Read 5 attributes out of 150: a 5-wide group must beat a 150-wide row
+	// layout and the row layout must cost ~30x more (bandwidth waste).
+	narrow := m.QueryCost([]GroupAccess{{Stride: 5, Width: 5, Used: 5, Rows: rows, Selectivity: 1}})
+	wide := m.QueryCost([]GroupAccess{{Stride: 150, Width: 150, Used: 5, Rows: rows, Selectivity: 1}})
+	if narrow >= wide {
+		t.Fatalf("narrow=%g wide=%g: narrow group should win", narrow, wide)
+	}
+	if ratio := float64(wide / narrow); ratio < 5 {
+		t.Fatalf("wide/narrow = %.1f, expected a large bandwidth-waste gap", ratio)
+	}
+}
+
+func TestFullWidthAccessRowBeatsColumns(t *testing.T) {
+	m := model()
+	rows := 1_000_000
+	attrs := 50
+	// Reading all attributes: one 50-wide group vs 50 separate columns, with
+	// the columnar plan paying intermediate materialization (tuple
+	// reconstruction), as in the paper's Figure 2 crossover.
+	row := m.QueryCost([]GroupAccess{{Stride: attrs, Width: attrs, Used: attrs, Rows: rows, Selectivity: 1}})
+	cols := make([]GroupAccess, attrs)
+	for i := range cols {
+		cols[i] = GroupAccess{Stride: 1, Width: 1, Used: 1, Rows: rows, Selectivity: 1, IntermediateWords: rows}
+	}
+	col := m.QueryCost(cols)
+	if row >= col {
+		t.Fatalf("row=%g col=%g: row layout should win at full width with materialization", row, col)
+	}
+}
+
+func TestSelectivityReducesProbeCost(t *testing.T) {
+	m := model()
+	base := GroupAccess{Stride: 20, Width: 20, Used: 20, Rows: 1_000_000}
+	sparse, dense := base, base
+	sparse.Selectivity = 0.001
+	dense.Selectivity = 1
+	if m.QueryCost([]GroupAccess{sparse}) >= m.QueryCost([]GroupAccess{dense}) {
+		t.Fatal("sparse probes should cost less than a full scan")
+	}
+}
+
+func TestIntermediatesCost(t *testing.T) {
+	m := model()
+	with := GroupAccess{Stride: 1, Width: 1, Used: 1, Rows: 1_000_000, Selectivity: 1, IntermediateWords: 1_000_000}
+	without := with
+	without.IntermediateWords = 0
+	if m.AccessCPU(with) <= m.AccessCPU(without) {
+		t.Fatal("intermediate materialization must add CPU cost")
+	}
+	if m.AccessIO(with) <= m.AccessIO(without) {
+		t.Fatal("intermediate materialization must add IO cost")
+	}
+}
+
+func TestQueryCostIsMaxOfIOAndCPU(t *testing.T) {
+	m := model()
+	a := GroupAccess{Stride: 10, Width: 10, Used: 10, Rows: 100_000, Selectivity: 1}
+	io, cpu := m.AccessIO(a), m.AccessCPU(a)
+	want := io
+	if cpu > want {
+		want = cpu
+	}
+	if got := m.QueryCost([]GroupAccess{a}); got != want {
+		t.Fatalf("QueryCost = %g, want max(io,cpu) = %g", got, want)
+	}
+}
+
+func TestDiskVsMemoryBandwidth(t *testing.T) {
+	p := Default()
+	p.InMemory = false
+	disk := New(p)
+	mem := model()
+	a := GroupAccess{Stride: 10, Width: 10, Used: 10, Rows: 1_000_000, Selectivity: 1}
+	if disk.AccessIO(a) <= mem.AccessIO(a) {
+		t.Fatal("disk IO must be slower than memory IO")
+	}
+}
+
+func TestTransformCost(t *testing.T) {
+	m := model()
+	if m.TransformCost(0) != 0 || m.TransformCost(-5) != 0 {
+		t.Fatal("non-positive volumes are free")
+	}
+	if m.TransformCost(1<<30) <= m.TransformCost(1<<20) {
+		t.Fatal("transform cost must grow with volume")
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	m := model()
+	a := GroupAccess{Stride: 4, Width: 4, Used: 4, Rows: 1000, Selectivity: 7}
+	b := a
+	b.Selectivity = 1
+	if m.QueryCost([]GroupAccess{a}) != m.QueryCost([]GroupAccess{b}) {
+		t.Fatal("selectivity above 1 should clamp to 1")
+	}
+	a.Selectivity = -3
+	if m.AccessCPU(a) < 0 || m.AccessIO(a) < 0 {
+		t.Fatal("negative selectivity must not produce negative cost")
+	}
+}
+
+// Properties: costs are non-negative and monotone in rows.
+func TestCostProperties(t *testing.T) {
+	m := model()
+	f := func(strideRaw, usedRaw uint8, rowsRaw uint16, selRaw uint8) bool {
+		stride := 1 + int(strideRaw)%64
+		used := 1 + int(usedRaw)%stride
+		rows := 1 + int(rowsRaw)
+		sel := float64(selRaw) / 255
+		a := GroupAccess{Stride: stride, Width: stride, Used: used, Rows: rows, Selectivity: sel}
+		c1 := m.QueryCost([]GroupAccess{a})
+		if c1 < 0 {
+			return false
+		}
+		a2 := a
+		a2.Rows = rows * 2
+		return m.QueryCost([]GroupAccess{a2}) >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAdditiveOverLayouts(t *testing.T) {
+	m := model()
+	a := GroupAccess{Stride: 3, Width: 3, Used: 3, Rows: 10_000, Selectivity: 1}
+	b := GroupAccess{Stride: 7, Width: 7, Used: 2, Rows: 10_000, Selectivity: 1}
+	sum := m.QueryCost([]GroupAccess{a}) + m.QueryCost([]GroupAccess{b})
+	if got := m.QueryCost([]GroupAccess{a, b}); got != sum {
+		t.Fatalf("Eq.2 must sum per-layout terms: %g vs %g", got, sum)
+	}
+}

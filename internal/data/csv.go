@@ -1,0 +1,70 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads a table from CSV: the first record is the header (attribute
+// names), every following record is one tuple of integer values. This is
+// the loading path for real datasets; the engine's attributes are fixed-
+// width int64, so non-integer cells are rejected.
+func ReadCSV(r io.Reader, tableName string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	attrs := make([]string, len(header))
+	for i, h := range header {
+		attrs[i] = strings.TrimSpace(h)
+	}
+	schema, err := NewSchema(tableName, attrs)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]Value, len(attrs))
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV row %d: %w", rows+2, err)
+		}
+		for i, cell := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d column %q: %q is not an integer", rows+2, attrs[i], cell)
+			}
+			cols[i] = append(cols[i], v)
+		}
+		rows++
+	}
+	return &Table{Schema: schema, Rows: rows, Cols: cols}, nil
+}
+
+// WriteCSV writes a table as CSV (header plus one record per tuple), the
+// inverse of ReadCSV.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Attrs); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema.NumAttrs())
+	for r := 0; r < t.Rows; r++ {
+		for a := range rec {
+			rec[a] = strconv.FormatInt(t.Cols[a][r], 10)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

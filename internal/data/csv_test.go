@@ -1,0 +1,61 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	src := "ts, bytes ,errors\n1,100,0\n2,250,1\n3,-50,0\n"
+	tb, err := ReadCSV(strings.NewReader(src), "flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Name != "flows" || tb.Schema.NumAttrs() != 3 || tb.Rows != 3 {
+		t.Fatalf("shape: %v rows=%d", tb.Schema.Attrs, tb.Rows)
+	}
+	if tb.Schema.Attrs[1] != "bytes" {
+		t.Fatalf("header not trimmed: %q", tb.Schema.Attrs[1])
+	}
+	if tb.Value(1, 1) != 250 || tb.Value(2, 1) != -50 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"dup header":     "a,a\n1,2\n",
+		"non-integer":    "a,b\n1,x\n",
+		"ragged row":     "a,b\n1\n",
+		"float rejected": "a\n1.5\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src), "t"); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate(SyntheticSchema("r", 4), 200, 9)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != orig.Rows {
+		t.Fatalf("rows = %d", back.Rows)
+	}
+	for a := 0; a < 4; a++ {
+		for r := 0; r < orig.Rows; r++ {
+			if back.Value(r, a) != orig.Value(r, a) {
+				t.Fatalf("round trip changed (%d,%d)", r, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package data
+
+import "math/rand"
+
+// ValueLo and ValueHi bound the synthetic attribute domain used in the
+// paper's micro-benchmarks: integers uniformly distributed in [-1e9, 1e9).
+const (
+	ValueLo Value = -1_000_000_000
+	ValueHi Value = 1_000_000_000
+)
+
+// Table is the generator's in-memory source of truth: column-major attribute
+// vectors from which any physical layout can be built. It is *not* a physical
+// layout itself; storage layouts copy from it.
+type Table struct {
+	Schema *Schema
+	Rows   int
+	Cols   [][]Value // Cols[a][r] = value of attribute a in row r
+}
+
+// Generate builds a synthetic table with rows tuples over schema, values
+// uniform in [ValueLo, ValueHi), deterministically from seed. This mirrors
+// the relation generators used in §2.2 and §4 of the paper.
+func Generate(schema *Schema, rows int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	n := schema.NumAttrs()
+	cols := make([][]Value, n)
+	span := ValueHi - ValueLo
+	for a := 0; a < n; a++ {
+		col := make([]Value, rows)
+		for r := range col {
+			col[r] = ValueLo + rng.Int63n(span)
+		}
+		cols[a] = col
+	}
+	return &Table{Schema: schema, Rows: rows, Cols: cols}
+}
+
+// GenerateSelective builds a table where attribute 0 is a monotonically
+// shuffled "selectivity dial": predicates of the form a0 < SelectivityCut(f)
+// qualify exactly fraction f of the tuples (up to rounding). The remaining
+// attributes are uniform as in Generate. Experiment harnesses use this to fix
+// selectivity precisely, as the paper does ("we generate the filter
+// conditions so as the selectivity remains the same for all queries").
+func GenerateSelective(schema *Schema, rows int, seed int64) *Table {
+	t := Generate(schema, rows, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	dial := t.Cols[0]
+	for r := range dial {
+		dial[r] = Value(r)
+	}
+	rng.Shuffle(rows, func(i, j int) { dial[i], dial[j] = dial[j], dial[i] })
+	return t
+}
+
+// SelectivityCut returns the predicate constant v such that "a0 < v" over a
+// GenerateSelective table with rows tuples qualifies fraction f of them.
+func SelectivityCut(rows int, f float64) Value {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return Value(f * float64(rows))
+}
+
+// GenerateTimeSeries builds a table whose attribute 0 is a monotonically
+// increasing "timestamp" (its value equals its row position) while the
+// remaining attributes are uniform as in Generate. Append-ordered data like
+// this is the regime where block-skipping summaries (zone maps) pay off:
+// range predicates on the ordered attribute touch only a contiguous run of
+// blocks.
+func GenerateTimeSeries(schema *Schema, rows int, seed int64) *Table {
+	t := Generate(schema, rows, seed)
+	for r := range t.Cols[0] {
+		t.Cols[0][r] = Value(r)
+	}
+	return t
+}
+
+// Value returns the value of attribute a in row r.
+func (t *Table) Value(r int, a AttrID) Value { return t.Cols[a][r] }

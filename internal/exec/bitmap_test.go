@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	bm := NewBitmap(130)
+	if bm.Len() != 130 || bm.Count() != 0 {
+		t.Fatal("fresh bitmap not empty")
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		bm.Set(i)
+	}
+	if bm.Count() != 4 {
+		t.Fatalf("count = %d", bm.Count())
+	}
+	if !bm.Get(64) || bm.Get(65) {
+		t.Fatal("Get wrong")
+	}
+	sel := bm.ToSel(nil)
+	want := []int32{0, 63, 64, 129}
+	if len(sel) != len(want) {
+		t.Fatalf("ToSel = %v", sel)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("ToSel = %v", sel)
+		}
+	}
+	other := NewBitmap(130)
+	other.Set(63)
+	other.Set(129)
+	bm.And(other)
+	if bm.Count() != 2 || !bm.Get(63) || !bm.Get(129) {
+		t.Fatal("And wrong")
+	}
+	bm.Reset()
+	if bm.Count() != 0 {
+		t.Fatal("Reset wrong")
+	}
+}
+
+// TestBitmapFilterMatchesSelVector: the two selection representations must
+// qualify exactly the same rows.
+func TestBitmapFilterMatchesSelVector(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 3), 5000, 17)
+	g := storage.BuildGroup(tb, []data.AttrID{0, 1, 2})
+	preds := []GroupPred{
+		{Off: 0, Op: expr.Lt, Val: 300_000_000},
+		{Off: 1, Op: expr.Gt, Val: -300_000_000},
+	}
+	sel := FilterGroup(g, preds, 0, g.Rows, nil)
+	bm := NewBitmap(g.Rows)
+	FilterGroupBitmap(g, preds, bm)
+	if bm.Count() != len(sel) {
+		t.Fatalf("bitmap %d vs sel %d", bm.Count(), len(sel))
+	}
+	fromBm := bm.ToSel(nil)
+	for i := range sel {
+		if sel[i] != fromBm[i] {
+			t.Fatalf("row id mismatch at %d: %d vs %d", i, sel[i], fromBm[i])
+		}
+	}
+}
+
+func TestRefineBitmapMatchesRefineSel(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 2), 4000, 23)
+	g0 := storage.BuildGroup(tb, []data.AttrID{0})
+	g1 := storage.BuildGroup(tb, []data.AttrID{1})
+	p0 := []GroupPred{{Off: 0, Op: expr.Lt, Val: 0}}
+	p1 := []GroupPred{{Off: 0, Op: expr.Gt, Val: -500_000_000}}
+
+	sel := FilterGroup(g0, p0, 0, g0.Rows, nil)
+	sel = RefineSel(g1, p1, sel)
+
+	bm := NewBitmap(g0.Rows)
+	FilterGroupBitmap(g0, p0, bm)
+	RefineBitmap(g1, p1, bm)
+
+	if bm.Count() != len(sel) {
+		t.Fatalf("bitmap %d vs sel %d", bm.Count(), len(sel))
+	}
+}
+
+func TestExecHybridBitmapAgrees(t *testing.T) {
+	tb, col, row, grp := fixture(t)
+	_ = tb
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 5, 9},
+		query.ConjLtGt(0, 400_000_000, 7, -400_000_000))
+	want, err := ExecHybrid(col, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []*storage.Relation{col, row, grp} {
+		got, err := ExecHybridBitmap(rel, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("bitmap strategy disagrees on %v", rel.Kind())
+		}
+	}
+	// No-predicate aggregation path.
+	q2 := query.Aggregation("R", expr.AggMin, []data.AttrID{2}, nil)
+	want2, _ := ExecHybrid(col, q2, nil)
+	got2, err := ExecHybridBitmap(col, q2, nil)
+	if err != nil || !got2.Equal(want2) {
+		t.Fatalf("no-predicate bitmap path wrong: %v", err)
+	}
+	// Non-aggregate shapes are unsupported.
+	q3 := query.Projection("R", []data.AttrID{1}, nil)
+	if _, err := ExecHybridBitmap(col, q3, nil); err != ErrUnsupported {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: for random bit patterns, ToSel/Count/Get agree.
+func TestBitmapProperty(t *testing.T) {
+	f := func(rowsRaw uint8, picks []uint16) bool {
+		n := 1 + int(rowsRaw)
+		bm := NewBitmap(n)
+		set := map[int]bool{}
+		for _, p := range picks {
+			i := int(p) % n
+			bm.Set(i)
+			set[i] = true
+		}
+		if bm.Count() != len(set) {
+			return false
+		}
+		for _, id := range bm.ToSel(nil) {
+			if !set[int(id)] {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if bm.Get(i) != set[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFilterBitmap(b *testing.B) {
+	tb := data.Generate(data.SyntheticSchema("R", 1), benchRows, 42)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	preds := []GroupPred{{Off: 0, Op: expr.Lt, Val: 0}}
+	bm := NewBitmap(g.Rows)
+	b.SetBytes(benchRows * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Reset()
+		FilterGroupBitmap(g, preds, bm)
+	}
+}

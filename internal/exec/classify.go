@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+)
+
+// OutKind classifies a query's select clause into the shapes for which the
+// operator generator has specialized templates (paper §3.4: "the available
+// query templates in H2O support select-project-join queries and can be
+// extended"). Anything else runs on the generic interpreted operator.
+type OutKind int
+
+const (
+	// OutProjection: select a, b, c ... (template i).
+	OutProjection OutKind = iota
+	// OutAggregates: select max(a), max(b), ... one aggregate per column
+	// (template ii).
+	OutAggregates
+	// OutExpression: select a + b + c (template iii).
+	OutExpression
+	// OutAggExpression: select sum(a + b + c) — the §4.1 mix.
+	OutAggExpression
+	// OutOther: any other select-clause shape; only the generic operator
+	// covers it.
+	OutOther
+)
+
+// String names the shape.
+func (k OutKind) String() string {
+	switch k {
+	case OutProjection:
+		return "projection"
+	case OutAggregates:
+		return "aggregates"
+	case OutExpression:
+		return "expression"
+	case OutAggExpression:
+		return "agg-expression"
+	default:
+		return "other"
+	}
+}
+
+// Outputs is the classified select clause of a query.
+type Outputs struct {
+	Kind   OutKind
+	Labels []string
+
+	ProjAttrs []data.AttrID // OutProjection: projected attributes in order
+
+	AggOps   []expr.AggOp  // OutAggregates: per-item aggregate ops
+	AggAttrs []data.AttrID // OutAggregates: per-item argument columns
+
+	ExprAttrs []data.AttrID // OutExpression/OutAggExpression: summed columns
+	ExprAgg   expr.AggOp    // OutAggExpression: outer aggregate
+}
+
+// SumLeaves flattens e if it is a pure sum of column references (the paper's
+// arithmetic-expression template) and reports whether it had that shape.
+// Attribute order follows the expression's left-to-right order; duplicates
+// are preserved (a+a is a legal expression).
+func SumLeaves(e expr.Expr) ([]data.AttrID, bool) {
+	switch t := e.(type) {
+	case *expr.Col:
+		return []data.AttrID{t.ID}, true
+	case *expr.Arith:
+		if t.Op != expr.Add {
+			return nil, false
+		}
+		l, okL := SumLeaves(t.L)
+		if !okL {
+			return nil, false
+		}
+		r, okR := SumLeaves(t.R)
+		if !okR {
+			return nil, false
+		}
+		return append(l, r...), true
+	default:
+		return nil, false
+	}
+}
+
+// Classify inspects the select clause and labels the outputs.
+func Classify(q *query.Query) Outputs {
+	out := Outputs{Labels: make([]string, len(q.Items))}
+	for i, it := range q.Items {
+		out.Labels[i] = it.String()
+	}
+	if len(q.Items) == 0 {
+		out.Kind = OutOther
+		return out
+	}
+
+	allPlainCols := true
+	allAggCols := true
+	for _, it := range q.Items {
+		if it.Agg != nil {
+			allPlainCols = false
+			if _, ok := it.Agg.Arg.(*expr.Col); !ok {
+				allAggCols = false
+			}
+		} else {
+			allAggCols = false
+			if _, ok := it.Expr.(*expr.Col); !ok {
+				allPlainCols = false
+			}
+		}
+	}
+
+	switch {
+	case allPlainCols:
+		out.Kind = OutProjection
+		out.ProjAttrs = make([]data.AttrID, len(q.Items))
+		for i, it := range q.Items {
+			out.ProjAttrs[i] = it.Expr.(*expr.Col).ID
+		}
+	case allAggCols:
+		out.Kind = OutAggregates
+		out.AggOps = make([]expr.AggOp, len(q.Items))
+		out.AggAttrs = make([]data.AttrID, len(q.Items))
+		for i, it := range q.Items {
+			out.AggOps[i] = it.Agg.Op
+			out.AggAttrs[i] = it.Agg.Arg.(*expr.Col).ID
+		}
+	case len(q.Items) == 1 && q.Items[0].Agg == nil:
+		if attrs, ok := SumLeaves(q.Items[0].Expr); ok {
+			out.Kind = OutExpression
+			out.ExprAttrs = attrs
+		} else {
+			out.Kind = OutOther
+		}
+	case len(q.Items) == 1 && q.Items[0].Agg != nil:
+		if attrs, ok := SumLeaves(q.Items[0].Agg.Arg); ok {
+			out.Kind = OutAggExpression
+			out.ExprAttrs = attrs
+			out.ExprAgg = q.Items[0].Agg.Op
+		} else {
+			out.Kind = OutOther
+		}
+	default:
+		out.Kind = OutOther
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"h2o/internal/costmodel"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// Strategy identifies one of H2O's execution strategies.
+type Strategy int
+
+const (
+	// StrategyRow is the volcano-style fused single-group scan.
+	StrategyRow Strategy = iota
+	// StrategyColumn is column-at-a-time late materialization.
+	StrategyColumn
+	// StrategyHybrid is the multi-group selection-vector strategy.
+	StrategyHybrid
+	// StrategyGeneric is the interpreted fallback operator.
+	StrategyGeneric
+	// StrategyReorg fuses layout creation with query answering.
+	StrategyReorg
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRow:
+		return "row-fused"
+	case StrategyColumn:
+		return "column-late"
+	case StrategyHybrid:
+		return "hybrid-groups"
+	case StrategyGeneric:
+		return "generic"
+	case StrategyReorg:
+		return "online-reorg"
+	default:
+		return "unknown"
+	}
+}
+
+// AccessPlan builds the cost-model descriptors (one costmodel.GroupAccess
+// per layout the plan touches, the terms of Eq. 2) for executing q on rel
+// with the given strategy. estSel is the engine's selectivity estimate for
+// the query's predicates; it only matters for ranking.
+//
+// The returned slice is nil when the strategy cannot run the query on the
+// relation's current groups (e.g. StrategyRow without a covering group).
+func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	all := q.AllAttrs()
+	if q.Where == nil {
+		estSel = 1
+	}
+	switch s {
+	case StrategyRow:
+		g := bestCoveringGroup(rel, q)
+		if g == nil {
+			return nil
+		}
+		// One fused pass over the single group; no intermediates.
+		return []costmodel.GroupAccess{{
+			Stride: g.Stride, Width: g.Width, Used: len(all), Rows: g.Rows,
+			Selectivity: 1, // predicate push-down scans every tuple
+		}}
+
+	case StrategyColumn:
+		// One access per distinct attribute's column, plus intermediate
+		// columns for gathered outputs and refined predicates.
+		var accesses []costmodel.GroupAccess
+		where := q.WhereAttrs()
+		sel := q.SelectAttrs()
+		for i, a := range where {
+			g, err := rel.GroupFor(a)
+			if err != nil {
+				return nil
+			}
+			scanSel := 1.0
+			inter := 0
+			if i > 0 {
+				scanSel = estSel // later predicates probe through the vector
+				inter = int(float64(rel.Rows) * estSel)
+			} else {
+				inter = int(float64(rel.Rows) * estSel / 2) // selection vector (int32)
+			}
+			accesses = append(accesses, costmodel.GroupAccess{
+				Stride: g.Stride, Width: g.Width, Used: 1, Rows: g.Rows,
+				Selectivity: scanSel, IntermediateWords: inter,
+			})
+		}
+		out := Classify(q)
+		outSel := estSel
+		if len(where) == 0 {
+			outSel = 1
+		}
+		for _, a := range sel {
+			g, err := rel.GroupFor(a)
+			if err != nil {
+				return nil
+			}
+			inter := 0
+			if out.Kind != OutAggregates {
+				// Projections and expressions materialize a full
+				// intermediate column per attribute.
+				inter = int(float64(rel.Rows) * outSel)
+			}
+			accesses = append(accesses, costmodel.GroupAccess{
+				Stride: g.Stride, Width: g.Width, Used: 1, Rows: g.Rows,
+				Selectivity: outSel, IntermediateWords: inter,
+			})
+		}
+		return accesses
+
+	case StrategyHybrid:
+		groups, assign, err := rel.CoveringGroups(all)
+		if err != nil {
+			return nil
+		}
+		where := q.WhereAttrs()
+		out := Classify(q)
+		outSel := estSel
+		if len(where) == 0 {
+			outSel = 1
+		}
+		firstPredGroup := -1
+		if len(where) > 0 {
+			for i, g := range groups {
+				if g == assign[where[0]] {
+					firstPredGroup = i
+					break
+				}
+			}
+		}
+		var accesses []costmodel.GroupAccess
+		for i, g := range groups {
+			used := 0
+			for _, a := range all {
+				if assign[a] == g {
+					used++
+				}
+			}
+			scanSel := estSel
+			inter := 0
+			if len(where) == 0 {
+				scanSel = 1
+			} else if i == firstPredGroup {
+				scanSel = 1 // the filtering group is fully scanned
+				inter = int(float64(rel.Rows) * estSel / 2)
+			}
+			// Expression outputs accumulate per-group partial sums through a
+			// temporary vector: two extra full-length passes per contributing
+			// group. A single fused group (StrategyRow) avoids this — that is
+			// the gap that makes merged groups worth creating.
+			if out.Kind == OutExpression || out.Kind == OutAggExpression {
+				inter += 2 * int(float64(rel.Rows)*outSel)
+			}
+			accesses = append(accesses, costmodel.GroupAccess{
+				Stride: g.Stride, Width: g.Width, Used: used, Rows: g.Rows,
+				Selectivity: scanSel, IntermediateWords: inter,
+			})
+		}
+		return accesses
+
+	case StrategyGeneric:
+		// Same data traffic as hybrid, plus an interpretation overhead that
+		// the model charges as extra per-word compute (about 6x, matching
+		// the measured gap between interpreted and compiled operators).
+		accesses := AccessPlan(StrategyHybrid, rel, q, estSel)
+		for i := range accesses {
+			accesses[i].IntermediateWords += accesses[i].Rows * accesses[i].Used / 2
+		}
+		return accesses
+
+	default:
+		return nil
+	}
+}
+
+// bestCoveringGroup returns the narrowest single group covering every
+// attribute of q, or nil.
+func bestCoveringGroup(rel *storage.Relation, q *query.Query) *storage.ColumnGroup {
+	all := q.AllAttrs()
+	var best *storage.ColumnGroup
+	for _, g := range rel.Groups {
+		if g.HasAll(all) && (best == nil || g.Width < best.Width) {
+			best = g
+		}
+	}
+	return best
+}
+
+// BestCoveringGroup exposes bestCoveringGroup to the engine.
+func BestCoveringGroup(rel *storage.Relation, q *query.Query) *storage.ColumnGroup {
+	return bestCoveringGroup(rel, q)
+}

@@ -1,0 +1,554 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+const (
+	testAttrs = 12
+	testRows  = 2000
+)
+
+func fixture(t *testing.T) (*data.Table, *storage.Relation, *storage.Relation, *storage.Relation) {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", testAttrs), testRows, 77)
+	col := storage.BuildColumnMajor(tb)
+	row := storage.BuildRowMajor(tb, false)
+	grp, err := storage.BuildPartitioned(tb, [][]data.AttrID{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9, 10, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, col, row, grp
+}
+
+// queriesUnderTest returns a representative set of query shapes covering all
+// four specialized templates, with and without predicates.
+func queriesUnderTest() []*query.Query {
+	someAttrs := []data.AttrID{1, 4, 8}
+	wide := []data.AttrID{0, 2, 3, 5, 7, 9, 11}
+	pred2 := query.ConjLtGt(6, 500_000_000, 10, -500_000_000)
+	pred1 := query.PredLt(0, 0)
+	pred3 := &expr.And{Terms: []expr.Pred{
+		query.PredLt(0, 600_000_000).(*expr.Cmp),
+		query.PredGt(1, -600_000_000).(*expr.Cmp),
+		query.PredLt(2, 400_000_000).(*expr.Cmp),
+	}}
+	return []*query.Query{
+		query.Projection("R", someAttrs, nil),
+		query.Projection("R", someAttrs, pred1),
+		query.Projection("R", wide, pred2),
+		query.Aggregation("R", expr.AggMax, someAttrs, nil),
+		query.Aggregation("R", expr.AggSum, wide, pred2),
+		query.Aggregation("R", expr.AggMin, someAttrs, pred3),
+		query.Aggregation("R", expr.AggCount, []data.AttrID{3}, pred1),
+		query.Aggregation("R", expr.AggAvg, someAttrs, pred2),
+		query.ArithExpression("R", someAttrs, nil),
+		query.ArithExpression("R", wide, pred2),
+		query.AggExpression("R", someAttrs, pred1),
+		query.AggExpression("R", wide, nil),
+		// avg over an expression: catches double-division bugs in strategies
+		// that fold kernel results into aggregate states.
+		{Table: "R", Items: []query.SelectItem{
+			{Agg: &expr.Agg{Op: expr.AggAvg, Arg: expr.SumCols(someAttrs)}},
+		}, Where: pred2},
+		{Table: "R", Items: []query.SelectItem{
+			{Agg: &expr.Agg{Op: expr.AggMax, Arg: expr.SumCols(someAttrs)}},
+		}, Where: nil},
+	}
+}
+
+// referenceExecute computes the expected result straight from the generator
+// table with naive Go loops — an oracle independent of all kernels.
+func referenceExecute(tb *data.Table, q *query.Query) *Result {
+	get := func(r int) expr.Accessor {
+		return func(a data.AttrID) data.Value { return tb.Cols[a][r] }
+	}
+	labels := make([]string, len(q.Items))
+	states := make([]*expr.AggState, len(q.Items))
+	hasAgg := q.HasAggregates()
+	for i, it := range q.Items {
+		labels[i] = it.String()
+		if it.Agg != nil {
+			states[i] = expr.NewAggState(it.Agg.Op)
+		}
+	}
+	res := &Result{Cols: labels}
+	for r := 0; r < tb.Rows; r++ {
+		acc := get(r)
+		if q.Where != nil && !q.Where.EvalBool(acc) {
+			continue
+		}
+		if hasAgg {
+			for i, it := range q.Items {
+				states[i].Add(it.Agg.Arg.Eval(acc))
+			}
+		} else {
+			for _, it := range q.Items {
+				res.Data = append(res.Data, it.Expr.Eval(acc))
+			}
+			res.Rows++
+		}
+	}
+	if hasAgg {
+		res.Rows = 1
+		res.Data = make([]data.Value, len(states))
+		for i, s := range states {
+			res.Data[i] = s.Result()
+		}
+	}
+	return res
+}
+
+// TestAllStrategiesAgree is the core engine invariant: every execution
+// strategy over every layout returns exactly the oracle's answer.
+func TestAllStrategiesAgree(t *testing.T) {
+	tb, col, row, grp := fixture(t)
+	for qi, q := range queriesUnderTest() {
+		want := referenceExecute(tb, q)
+
+		type run struct {
+			name string
+			res  *Result
+			err  error
+		}
+		rowRes, rowErr := ExecRow(row.Groups[0], q)
+		var runs []run
+		runs = append(runs, run{"row-fused", rowRes, rowErr})
+		for _, rel := range []*storage.Relation{col, row, grp} {
+			r1, e1 := ExecColumn(rel, q, nil)
+			runs = append(runs, run{"column-late/" + rel.Kind().String(), r1, e1})
+			r2, e2 := ExecHybrid(rel, q, nil)
+			runs = append(runs, run{"hybrid/" + rel.Kind().String(), r2, e2})
+			r3, e3 := ExecGeneric(rel, q)
+			runs = append(runs, run{"generic/" + rel.Kind().String(), r3, e3})
+		}
+		for _, r := range runs {
+			if r.err != nil {
+				t.Fatalf("query %d (%s) strategy %s: %v", qi, q, r.name, r.err)
+			}
+			if !r.res.Equal(want) {
+				t.Fatalf("query %d (%s) strategy %s: result mismatch (got %v rows, want %v rows)",
+					qi, q, r.name, r.res.Rows, want.Rows)
+			}
+		}
+	}
+}
+
+func TestExecRowRequiresCoveringGroup(t *testing.T) {
+	_, col, _, _ := fixture(t)
+	q := query.Projection("R", []data.AttrID{0, 1}, nil)
+	if _, err := ExecRow(col.Groups[0], q); err == nil {
+		t.Fatal("ExecRow must reject a non-covering group")
+	}
+}
+
+func TestUnsupportedShapesFallThrough(t *testing.T) {
+	_, col, row, _ := fixture(t)
+	// Disjunctive predicate: specialized strategies must refuse; generic must
+	// answer.
+	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
+	if _, err := ExecRow(row.Groups[0], q); err != ErrUnsupported {
+		t.Fatalf("ExecRow err = %v, want ErrUnsupported", err)
+	}
+	if _, err := ExecColumn(col, q, nil); err != ErrUnsupported {
+		t.Fatalf("ExecColumn err = %v, want ErrUnsupported", err)
+	}
+	if _, err := ExecHybrid(col, q, nil); err != ErrUnsupported {
+		t.Fatalf("ExecHybrid err = %v, want ErrUnsupported", err)
+	}
+	res, err := ExecGeneric(col, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1 {
+		t.Fatalf("generic result rows = %d", res.Rows)
+	}
+}
+
+func TestExpressionPredicateViaGeneric(t *testing.T) {
+	tb, col, _, _ := fixture(t)
+	// (a1 + a2) > 0 — an expression predicate (paper §3.4 mentions this
+	// class explicitly).
+	p := &expr.Cmp{Op: expr.Gt, L: expr.SumCols([]data.AttrID{1, 2}), R: &expr.Const{V: 0}}
+	q := query.Aggregation("R", expr.AggCount, []data.AttrID{0}, p)
+	res, err := ExecGeneric(col, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for r := 0; r < tb.Rows; r++ {
+		if tb.Cols[1][r]+tb.Cols[2][r] > 0 {
+			want++
+		}
+	}
+	if res.Data[0] != data.Value(want) {
+		t.Fatalf("count = %d, want %d", res.Data[0], want)
+	}
+}
+
+func TestSplitConjunction(t *testing.T) {
+	p := query.ConjLtGt(3, 10, 4, 20)
+	preds, ok := SplitConjunction(p)
+	if !ok || len(preds) != 2 {
+		t.Fatalf("SplitConjunction = %v, %v", preds, ok)
+	}
+	if preds[0] != (ColPred{Attr: 3, Op: expr.Lt, Val: 10}) {
+		t.Fatalf("pred[0] = %+v", preds[0])
+	}
+	// Mirrored constant-first comparison.
+	m := &expr.Cmp{Op: expr.Lt, L: &expr.Const{V: 5}, R: &expr.Col{ID: 2}} // 5 < a2 ≡ a2 > 5
+	preds, ok = SplitConjunction(m)
+	if !ok || preds[0].Op != expr.Gt || preds[0].Val != 5 {
+		t.Fatalf("mirrored pred = %+v, %v", preds, ok)
+	}
+	// Nil predicate splits to empty.
+	preds, ok = SplitConjunction(nil)
+	if !ok || len(preds) != 0 {
+		t.Fatal("nil predicate should split trivially")
+	}
+	// Non-splittable shapes.
+	if _, ok := SplitConjunction(&expr.Or{L: m, R: m}); ok {
+		t.Fatal("Or must not split")
+	}
+	exprCmp := &expr.Cmp{Op: expr.Gt, L: expr.SumCols([]data.AttrID{0, 1}), R: &expr.Const{V: 0}}
+	if _, ok := SplitConjunction(exprCmp); ok {
+		t.Fatal("expression comparison must not split")
+	}
+	if _, ok := SplitConjunction(&expr.And{Terms: []expr.Pred{exprCmp}}); ok {
+		t.Fatal("And containing non-splittable term must not split")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		q    *query.Query
+		kind OutKind
+	}{
+		{query.Projection("R", []data.AttrID{1, 2}, nil), OutProjection},
+		{query.Aggregation("R", expr.AggMax, []data.AttrID{1}, nil), OutAggregates},
+		{query.ArithExpression("R", []data.AttrID{1, 2}, nil), OutExpression},
+		{query.AggExpression("R", []data.AttrID{1, 2}, nil), OutAggExpression},
+		{&query.Query{Table: "R"}, OutOther},
+		{&query.Query{Table: "R", Items: []query.SelectItem{
+			{Expr: &expr.Arith{Op: expr.Mul, L: &expr.Col{ID: 0}, R: &expr.Col{ID: 1}}},
+		}}, OutOther}, // products are not the sum template
+		{&query.Query{Table: "R", Items: []query.SelectItem{
+			{Expr: &expr.Col{ID: 0}},
+			{Agg: &expr.Agg{Op: expr.AggSum, Arg: &expr.Col{ID: 1}}},
+		}}, OutOther}, // mixed select
+	}
+	for i, c := range cases {
+		if got := Classify(c.q); got.Kind != c.kind {
+			t.Errorf("case %d: kind = %v, want %v", i, got.Kind, c.kind)
+		}
+	}
+	// A single column is a projection, not an expression.
+	if got := Classify(query.Projection("R", []data.AttrID{5}, nil)); got.Kind != OutProjection {
+		t.Errorf("single column = %v", got.Kind)
+	}
+	for _, k := range []OutKind{OutProjection, OutAggregates, OutExpression, OutAggExpression, OutOther} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestSumLeaves(t *testing.T) {
+	attrs, ok := SumLeaves(expr.SumCols([]data.AttrID{3, 1, 3}))
+	if !ok || !reflect.DeepEqual(attrs, []data.AttrID{3, 1, 3}) {
+		t.Fatalf("SumLeaves = %v, %v (duplicates must survive)", attrs, ok)
+	}
+	if _, ok := SumLeaves(&expr.Const{V: 1}); ok {
+		t.Fatal("constants are not sum leaves")
+	}
+	if _, ok := SumLeaves(&expr.Arith{Op: expr.Sub, L: &expr.Col{ID: 0}, R: &expr.Col{ID: 1}}); ok {
+		t.Fatal("subtraction is not the sum template")
+	}
+}
+
+func TestFilterKernelsAllOps(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 2), 500, 3)
+	g := storage.BuildGroup(tb, []data.AttrID{0, 1})
+	for _, op := range []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Eq, expr.Ne} {
+		val := tb.Cols[0][123] // guarantees at least one Eq match
+		sel := FilterGroup(g, []GroupPred{{Off: 0, Op: op, Val: val}}, 0, g.Rows, nil)
+		want := 0
+		for r := 0; r < g.Rows; r++ {
+			if expr.Compare(op, tb.Cols[0][r], val) {
+				want++
+			}
+		}
+		if len(sel) != want {
+			t.Fatalf("op %v: |sel| = %d, want %d", op, len(sel), want)
+		}
+		for _, r := range sel {
+			if !expr.Compare(op, tb.Cols[0][r], val) {
+				t.Fatalf("op %v: row %d should not qualify", op, r)
+			}
+		}
+	}
+}
+
+func TestFilterGroupRange(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 1), 100, 5)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	// No predicates: the range itself is the selection.
+	sel := FilterGroup(g, nil, 10, 20, nil)
+	if len(sel) != 20 || sel[0] != 10 || sel[19] != 29 {
+		t.Fatalf("range selection wrong: %v", sel)
+	}
+}
+
+func TestRefineSel(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 2), 1000, 9)
+	g := storage.BuildGroup(tb, []data.AttrID{0, 1})
+	all := FilterGroup(g, nil, 0, g.Rows, nil)
+	refined := RefineSel(g, []GroupPred{{Off: 1, Op: expr.Gt, Val: 0}}, all)
+	want := 0
+	for r := 0; r < g.Rows; r++ {
+		if tb.Cols[1][r] > 0 {
+			want++
+		}
+	}
+	if len(refined) != want {
+		t.Fatalf("|refined| = %d, want %d", len(refined), want)
+	}
+}
+
+func TestAggKernelsMatchStates(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 1), 777, 11)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	sel := []int32{0, 5, 100, 700}
+	for _, op := range []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg} {
+		s := expr.NewAggState(op)
+		for r := 0; r < g.Rows; r++ {
+			s.Add(tb.Cols[0][r])
+		}
+		if got := AggColumnAll(g, 0, op); got != s.Result() {
+			t.Fatalf("AggColumnAll(%v) = %d, want %d", op, got, s.Result())
+		}
+		s2 := expr.NewAggState(op)
+		for _, r := range sel {
+			s2.Add(tb.Cols[0][r])
+		}
+		if got := AggColumnSel(g, 0, op, sel); got != s2.Result() {
+			t.Fatalf("AggColumnSel(%v) = %d, want %d", op, got, s2.Result())
+		}
+		vals := []data.Value{3, -1, 7, 7}
+		s3 := expr.NewAggState(op)
+		for _, v := range vals {
+			s3.Add(v)
+		}
+		if got := AggVector(vals, op); got != s3.Result() {
+			t.Fatalf("AggVector(%v) = %d, want %d", op, got, s3.Result())
+		}
+	}
+	if AggColumnSel(g, 0, expr.AggSum, nil) != 0 {
+		t.Fatal("empty selection should aggregate to 0")
+	}
+	if AggVector(nil, expr.AggMax) != 0 {
+		t.Fatal("empty vector should aggregate to 0")
+	}
+}
+
+func TestSumOffsetsKernels(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 6), 300, 13)
+	g := storage.BuildGroup(tb, []data.AttrID{0, 1, 2, 3, 4, 5})
+	for _, k := range []int{1, 2, 3, 5} {
+		offs := make([]int, k)
+		for i := range offs {
+			offs[i] = i
+		}
+		out := make([]data.Value, g.Rows)
+		SumOffsetsAll(g, offs, out)
+		for r := 0; r < g.Rows; r++ {
+			var want data.Value
+			for a := 0; a < k; a++ {
+				want += tb.Cols[a][r]
+			}
+			if out[r] != want {
+				t.Fatalf("k=%d SumOffsetsAll row %d: %d != %d", k, r, out[r], want)
+			}
+		}
+		sel := []int32{3, 50, 299}
+		outSel := make([]data.Value, len(sel))
+		SumOffsetsSel(g, offs, sel, outSel)
+		for i, r := range sel {
+			var want data.Value
+			for a := 0; a < k; a++ {
+				want += tb.Cols[a][int(r)]
+			}
+			if outSel[i] != want {
+				t.Fatalf("k=%d SumOffsetsSel idx %d wrong", k, i)
+			}
+		}
+	}
+}
+
+func TestAddVectorsMaterialized(t *testing.T) {
+	a := []data.Value{1, 2, 3}
+	b := []data.Value{10, 20, 30}
+	c := []data.Value{100, 200, 300}
+	got := AddVectorsMaterialized([][]data.Value{a, b, c})
+	if !reflect.DeepEqual(got, []data.Value{111, 222, 333}) {
+		t.Fatalf("sum = %v", got)
+	}
+	// Single input must copy, not alias.
+	single := AddVectorsMaterialized([][]data.Value{a})
+	single[0] = 99
+	if a[0] == 99 {
+		t.Fatal("single-column result aliases input")
+	}
+	if AddVectorsMaterialized(nil) != nil {
+		t.Fatal("empty input should be nil")
+	}
+}
+
+func TestExecReorgAnswersAndBuilds(t *testing.T) {
+	tb, col, row, grp := fixture(t)
+	q := query.AggExpression("R", []data.AttrID{2, 5, 9}, query.ConjLtGt(1, 400_000_000, 7, -400_000_000))
+	want := referenceExecute(tb, q)
+	for _, rel := range []*storage.Relation{col, row, grp} {
+		attrs := q.AllAttrs()
+		g, res, err := ExecReorg(rel, q, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(want) {
+			t.Fatalf("reorg result mismatch on %v", rel.Kind())
+		}
+		if !reflect.DeepEqual(g.Attrs, attrs) {
+			t.Fatalf("new group attrs = %v, want %v", g.Attrs, attrs)
+		}
+		// The new group must hold exactly the source data.
+		for r := 0; r < 50; r++ {
+			for _, a := range attrs {
+				if g.Value(r, a) != tb.Value(r, a) {
+					t.Fatalf("reorg corrupted data at (%d,%d)", r, a)
+				}
+			}
+		}
+	}
+}
+
+func TestExecReorgWiderThanQuery(t *testing.T) {
+	tb, col, _, _ := fixture(t)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
+	attrs := []data.AttrID{1, 2, 3, 4} // build a wider group than the query needs
+	g, res, err := ExecReorg(col, q, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(referenceExecute(tb, q)) {
+		t.Fatal("result wrong when group is wider than query")
+	}
+	if g.Width != 4 {
+		t.Fatalf("group width = %d", g.Width)
+	}
+}
+
+func TestExecReorgGenericFallback(t *testing.T) {
+	tb, col, _, _ := fixture(t)
+	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
+	g, res, err := ExecReorg(col, q, q.AllAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(referenceExecute(tb, q)) {
+		t.Fatal("fallback reorg result wrong")
+	}
+	if g == nil || !g.HasAll(q.AllAttrs()) {
+		t.Fatal("fallback must still build the group")
+	}
+}
+
+func TestAccessPlans(t *testing.T) {
+	_, col, row, grp := fixture(t)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 5, 9}, query.PredLt(0, 0))
+	// Row plan requires a covering group.
+	if AccessPlan(StrategyRow, col, q, 0.5) != nil {
+		t.Fatal("row plan should be unavailable on a column layout")
+	}
+	if plan := AccessPlan(StrategyRow, row, q, 0.5); len(plan) != 1 || plan[0].Stride != testAttrs {
+		t.Fatalf("row plan wrong: %+v", plan)
+	}
+	// Column plan touches one access per attribute (pred + selects).
+	if plan := AccessPlan(StrategyColumn, col, q, 0.5); len(plan) != 4 {
+		t.Fatalf("column plan has %d accesses, want 4", len(plan))
+	}
+	// Hybrid plan on the 3-group layout touches the covering groups.
+	plan := AccessPlan(StrategyHybrid, grp, q, 0.5)
+	if len(plan) == 0 || len(plan) > 3 {
+		t.Fatalf("hybrid plan has %d accesses", len(plan))
+	}
+	// Generic must be costed above hybrid (interpretation overhead).
+	if len(AccessPlan(StrategyGeneric, grp, q, 0.5)) == 0 {
+		t.Fatal("generic plan missing")
+	}
+	for _, s := range []Strategy{StrategyRow, StrategyColumn, StrategyHybrid, StrategyGeneric, StrategyReorg, Strategy(99)} {
+		if s.String() == "" {
+			t.Fatal("empty strategy name")
+		}
+	}
+}
+
+// Property: for random single-predicate aggregation queries, row, column,
+// hybrid and generic strategies agree with each other.
+func TestStrategiesAgreeProperty(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 8), 512, 21)
+	col := storage.BuildColumnMajor(tb)
+	row := storage.BuildRowMajor(tb, false)
+	rng := rand.New(rand.NewSource(5))
+	f := func(predAttrRaw, k uint8, cut int64, gtFlag bool) bool {
+		predAttr := int(predAttrRaw) % 8
+		attrs := query.RandomAttrs(8, 1+int(k)%4, rng.Intn)
+		var p expr.Pred
+		if gtFlag {
+			p = query.PredGt(predAttr, cut%data.ValueHi)
+		} else {
+			p = query.PredLt(predAttr, cut%data.ValueHi)
+		}
+		q := query.Aggregation("R", expr.AggSum, attrs, p)
+		a, err1 := ExecRow(row.Groups[0], q)
+		b, err2 := ExecColumn(col, q, nil)
+		c, err3 := ExecHybrid(col, q, nil)
+		d, err4 := ExecGeneric(row, q)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return a.Equal(b) && b.Equal(c) && c.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := &Result{Cols: []string{"x", "y"}, Rows: 2, Data: []data.Value{1, 2, 3, 4}}
+	if r.Width() != 2 || r.At(1, 0) != 3 {
+		t.Fatal("accessors wrong")
+	}
+	if !reflect.DeepEqual(r.Row(1), []data.Value{3, 4}) {
+		t.Fatal("Row wrong")
+	}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+	o := &Result{Cols: []string{"x", "y"}, Rows: 2, Data: []data.Value{1, 2, 3, 5}}
+	if r.Equal(o) {
+		t.Fatal("Equal missed a differing value")
+	}
+	if r.Equal(&Result{Cols: []string{"x"}, Rows: 2, Data: []data.Value{1, 2}}) {
+		t.Fatal("Equal missed shape difference")
+	}
+}

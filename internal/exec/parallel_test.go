@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// TestParallelMatchesSerial: the partitioned scan must be bit-identical to
+// the serial one for every template, predicate shape and worker count,
+// including worker counts that do not divide the row count.
+func TestParallelMatchesSerial(t *testing.T) {
+	tb, _, row, _ := fixture(t)
+	_ = tb
+	g := row.Groups[0]
+	for qi, q := range queriesUnderTest() {
+		want, err := ExecRow(g, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 7, 16, testRows + 5} {
+			got, err := ExecRowParallel(g, q, workers)
+			if err != nil {
+				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("query %d (%s) workers=%d: parallel result differs", qi, q, workers)
+			}
+		}
+	}
+}
+
+func TestParallelDefaultsToNumCPU(t *testing.T) {
+	_, _, row, _ := fixture(t)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
+	got, err := ExecRowParallel(row.Groups[0], q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ExecRow(row.Groups[0], q)
+	if !got.Equal(want) {
+		t.Fatal("workers=0 (NumCPU) result differs")
+	}
+}
+
+func TestParallelUnsupportedShape(t *testing.T) {
+	_, _, row, _ := fixture(t)
+	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
+	if _, err := ExecRowParallel(row.Groups[0], q, 4); err != ErrUnsupported {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestParallelCoverageError(t *testing.T) {
+	tb, col, _, _ := fixture(t)
+	_ = tb
+	q := query.Projection("R", []data.AttrID{0, 1}, nil)
+	if _, err := ExecRowParallel(col.Groups[0], q, 4); err == nil {
+		t.Fatal("non-covering group accepted")
+	}
+}
+
+func TestAggStateMerge(t *testing.T) {
+	vals := []data.Value{4, -9, 7, 0, 12, -3}
+	for _, op := range []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg} {
+		serial := expr.NewAggState(op)
+		for _, v := range vals {
+			serial.Add(v)
+		}
+		left, right := expr.NewAggState(op), expr.NewAggState(op)
+		for _, v := range vals[:3] {
+			left.Add(v)
+		}
+		for _, v := range vals[3:] {
+			right.Add(v)
+		}
+		left.Merge(right)
+		if left.Result() != serial.Result() {
+			t.Fatalf("%v: merged %d != serial %d", op, left.Result(), serial.Result())
+		}
+		// Merging an empty state is a no-op.
+		empty := expr.NewAggState(op)
+		before := left.Result()
+		left.Merge(empty)
+		if left.Result() != before {
+			t.Fatalf("%v: merging empty state changed the result", op)
+		}
+	}
+}
+
+func TestAggStateMergeRejectsMixedOps(t *testing.T) {
+	a, b := expr.NewAggState(expr.AggSum), expr.NewAggState(expr.AggMax)
+	b.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mixed-operator merge")
+		}
+	}()
+	a.Merge(b)
+}
+
+func BenchmarkParallelRowScan(b *testing.B) {
+	tb := data.Generate(data.SyntheticSchema("R", 50), benchRows, 42)
+	row := storage.BuildRowMajor(tb, false)
+	q := strategyQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecRowParallel(row.Groups[0], q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// ExecReorg answers q while materializing a new column group over attrs in
+// the same pass — the paper's online data reorganization (§3.2): "blocks
+// from R1 and R2 are read and stitched together ... then, for each new
+// tuple, the predicates in the where clause are evaluated and if the tuple
+// qualifies the arithmetic expression in the select is computed. The early
+// materialization strategy allows H2O to generate the data layout and
+// compute the query result without scanning the relation twice."
+//
+// attrs must cover every attribute the query touches. The new group is
+// returned alongside the result; the caller (the Data Layout Manager)
+// registers it.
+func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID) (*storage.ColumnGroup, *Result, error) {
+	norm := data.SortedUnique(attrs)
+	_, assign, err := rel.CoveringGroups(norm)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := Classify(q)
+	preds, splittable := SplitConjunction(q.Where)
+	if out.Kind == OutOther || !splittable || !data.ContainsAll(norm, q.AllAttrs()) {
+		// Shape outside the reorganizing template: build the layout with the
+		// plain stitch and answer via the generic operator (two passes).
+		g, err := storage.Stitch(rel, norm)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := ExecGeneric(rel, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, res, nil
+	}
+
+	dst := storage.NewGroup(norm, rel.Rows)
+
+	// Source copy plan: for each destination offset, the source buffer,
+	// stride and offset to read from.
+	type srcRef struct {
+		d      []data.Value
+		stride int
+		off    int
+	}
+	srcs := make([]srcRef, dst.Width)
+	for i, a := range dst.Attrs {
+		g := assign[a]
+		off, _ := g.Offset(a)
+		srcs[i] = srcRef{d: g.Data, stride: g.Stride, off: off}
+	}
+
+	bound, _ := BindPreds(dst, preds)
+
+	// Output plan against the destination group.
+	var projOffs, exprOffs, aggOffs []int
+	switch out.Kind {
+	case OutProjection:
+		projOffs = mustOffsets(dst, out.ProjAttrs)
+	case OutAggregates:
+		aggOffs = mustOffsets(dst, out.AggAttrs)
+	case OutExpression, OutAggExpression:
+		exprOffs = mustOffsets(dst, out.ExprAttrs)
+	}
+	states := newStates(out)
+
+	res := &Result{Cols: out.Labels}
+	dd, dStride := dst.Data, dst.Stride
+	base := 0
+	for r := 0; r < rel.Rows; r++ {
+		// Stitch: materialize the new mini-tuple.
+		for i := range srcs {
+			s := &srcs[i]
+			dd[base+i] = s.d[r*s.stride+s.off]
+		}
+		// Answer: evaluate the query against the freshly built tuple.
+		if passes(dd, base, bound) {
+			switch out.Kind {
+			case OutProjection:
+				for _, o := range projOffs {
+					res.Data = append(res.Data, dd[base+o])
+				}
+				res.Rows++
+			case OutAggregates:
+				for i, o := range aggOffs {
+					states[i].Add(dd[base+o])
+				}
+			case OutExpression:
+				var acc data.Value
+				for _, o := range exprOffs {
+					acc += dd[base+o]
+				}
+				res.Data = append(res.Data, acc)
+				res.Rows++
+			case OutAggExpression:
+				var acc data.Value
+				for _, o := range exprOffs {
+					acc += dd[base+o]
+				}
+				states[0].Add(acc)
+			}
+		}
+		base += dStride
+	}
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return dst, aggResult(out.Labels, states), nil
+	}
+	return dst, res, nil
+}
+
+func newStates(out Outputs) []*expr.AggState {
+	switch out.Kind {
+	case OutAggregates:
+		states := make([]*expr.AggState, len(out.AggOps))
+		for i, op := range out.AggOps {
+			states[i] = expr.NewAggState(op)
+		}
+		return states
+	case OutAggExpression:
+		return []*expr.AggState{expr.NewAggState(out.ExprAgg)}
+	default:
+		return nil
+	}
+}

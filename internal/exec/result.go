@@ -1,0 +1,62 @@
+// Package exec implements H2O's execution strategies (paper §3.3): a
+// volcano-style row scan with predicate push-down, a column-at-a-time
+// strategy with selection vectors and materialized intermediates, a hybrid
+// group-of-columns strategy that fuses work within groups and stitches across
+// them, the online-reorganization executor that creates a new layout while
+// answering the query (§3.2, Fig. 13), and a tuple-at-a-time generic
+// interpreter used as the baseline for dynamically generated operators
+// (§3.4, Fig. 14).
+//
+// All strategies materialize their output row-major in a contiguous block,
+// as the paper requires ("all execution strategies materialize the output
+// results in memory using contiguous memory blocks in a row-major layout").
+package exec
+
+import (
+	"fmt"
+
+	"h2o/internal/data"
+)
+
+// Result is a query result materialized row-major.
+type Result struct {
+	Cols []string     // output column labels
+	Rows int          // number of result rows
+	Data []data.Value // len = Rows * len(Cols), row-major
+}
+
+// Width returns the number of output columns.
+func (r *Result) Width() int { return len(r.Cols) }
+
+// At returns the value at result row i, column j.
+func (r *Result) At(i, j int) data.Value { return r.Data[i*len(r.Cols)+j] }
+
+// Row returns result row i as a slice view.
+func (r *Result) Row(i int) []data.Value {
+	w := len(r.Cols)
+	return r.Data[i*w : (i+1)*w]
+}
+
+// String summarizes the result shape.
+func (r *Result) String() string {
+	return fmt.Sprintf("result %d rows × %d cols", r.Rows, len(r.Cols))
+}
+
+// Equal reports whether two results hold identical data. Experiment and test
+// code uses it to check that every strategy computes the same answer.
+func (r *Result) Equal(o *Result) bool {
+	if r.Rows != o.Rows || len(r.Cols) != len(o.Cols) || len(r.Data) != len(o.Data) {
+		return false
+	}
+	for i, v := range r.Data {
+		if o.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// VectorSize is the number of values processed per vector; vectors of this
+// size stay L1-resident ("vectors fit in the L1 cache for better cache
+// locality", §3.3).
+const VectorSize = 1024

@@ -1,0 +1,484 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// ErrUnsupported is returned by a specialized strategy that cannot execute
+// the query's shape (e.g. disjunctive predicates); the engine falls back to
+// the generic interpreted operator, exactly as a real system falls back from
+// generated code to its interpreter.
+var ErrUnsupported = errors.New("exec: query shape not supported by this strategy")
+
+// ExecRow executes q with the volcano-style row strategy over a single group
+// g that must store every attribute the query touches: one fused
+// tuple-at-a-time loop with predicate push-down (paper Figure 5).
+func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
+	if !g.HasAll(q.AllAttrs()) {
+		return nil, fmt.Errorf("exec: group %v does not cover query attributes %v", g.Attrs, q.AllAttrs())
+	}
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+	bound, ok := BindPreds(g, preds)
+	if !ok {
+		return nil, fmt.Errorf("exec: predicate attributes missing from group %v", g.Attrs)
+	}
+
+	d, stride, rows := g.Data, g.Stride, g.Rows
+	switch out.Kind {
+	case OutProjection:
+		offs := mustOffsets(g, out.ProjAttrs)
+		w := len(offs)
+		res := &Result{Cols: out.Labels}
+		base := 0
+		for r := 0; r < rows; r++ {
+			if passes(d, base, bound) {
+				for _, o := range offs {
+					res.Data = append(res.Data, d[base+o])
+				}
+				res.Rows++
+			}
+			base += stride
+		}
+		_ = w
+		return res, nil
+
+	case OutAggregates:
+		offs := mustOffsets(g, out.AggAttrs)
+		states := make([]*expr.AggState, len(offs))
+		for i, op := range out.AggOps {
+			states[i] = expr.NewAggState(op)
+		}
+		base := 0
+		for r := 0; r < rows; r++ {
+			if passes(d, base, bound) {
+				for i, o := range offs {
+					states[i].Add(d[base+o])
+				}
+			}
+			base += stride
+		}
+		return aggResult(out.Labels, states), nil
+
+	case OutExpression:
+		offs := mustOffsets(g, out.ExprAttrs)
+		res := &Result{Cols: out.Labels}
+		base := 0
+		for r := 0; r < rows; r++ {
+			if passes(d, base, bound) {
+				var acc data.Value
+				for _, o := range offs {
+					acc += d[base+o]
+				}
+				res.Data = append(res.Data, acc)
+				res.Rows++
+			}
+			base += stride
+		}
+		return res, nil
+
+	case OutAggExpression:
+		offs := mustOffsets(g, out.ExprAttrs)
+		state := expr.NewAggState(out.ExprAgg)
+		base := 0
+		for r := 0; r < rows; r++ {
+			if passes(d, base, bound) {
+				var acc data.Value
+				for _, o := range offs {
+					acc += d[base+o]
+				}
+				state.Add(acc)
+			}
+			base += stride
+		}
+		return aggResult(out.Labels, []*expr.AggState{state}), nil
+	}
+	return nil, ErrUnsupported
+}
+
+// ExecColumn executes q with the column-at-a-time, late-materialization
+// strategy (paper §2.1): predicates produce selection vectors one column at
+// a time, qualifying values are materialized into intermediate columns, and
+// multi-column outputs pay tuple reconstruction.
+//
+// Stats, when non-nil, receives the volume of intermediate results the
+// strategy materialized.
+func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+
+	// Phase 1: predicate evaluation, one column at a time.
+	var sel []int32
+	haveSel := false
+	for i, p := range preds {
+		g, err := rel.GroupFor(p.Attr)
+		if err != nil {
+			return nil, err
+		}
+		off, _ := g.Offset(p.Attr)
+		gp := []GroupPred{{Off: off, Op: p.Op, Val: p.Val}}
+		if !haveSel {
+			sel = FilterGroup(g, gp, 0, g.Rows, make([]int32, 0, g.Rows/4+16))
+			haveSel = true
+			continue
+		}
+		// Materialize the qualifying values of the next predicate column
+		// into an intermediate column, then evaluate the predicate over it —
+		// the late-materialization pipeline of §2.1.
+		inter := make([]data.Value, len(sel))
+		GatherColumn(g, off, sel, inter)
+		if stats != nil {
+			stats.IntermediateWords += len(inter)
+		}
+		w := 0
+		for j, v := range inter {
+			if expr.Compare(p.Op, v, p.Val) {
+				sel[w] = sel[j]
+				w++
+			}
+		}
+		sel = sel[:w]
+		_ = i
+	}
+
+	// Phase 2: compute outputs.
+	switch out.Kind {
+	case OutAggregates:
+		vals := make([]data.Value, len(out.AggAttrs))
+		for i, a := range out.AggAttrs {
+			g, err := rel.GroupFor(a)
+			if err != nil {
+				return nil, err
+			}
+			off, _ := g.Offset(a)
+			if haveSel {
+				vals[i] = AggColumnSel(g, off, out.AggOps[i], sel)
+			} else {
+				vals[i] = AggColumnAll(g, off, out.AggOps[i])
+			}
+		}
+		return &Result{Cols: out.Labels, Rows: 1, Data: vals}, nil
+
+	case OutProjection:
+		cols, n, err := gatherOutputColumns(rel, out.ProjAttrs, sel, haveSel, stats)
+		if err != nil {
+			return nil, err
+		}
+		// Tuple reconstruction: stitch the intermediate columns row-major.
+		res := &Result{Cols: out.Labels, Rows: n, Data: make([]data.Value, n*len(cols))}
+		w := len(cols)
+		for j, col := range cols {
+			for i, v := range col {
+				res.Data[i*w+j] = v
+			}
+		}
+		return res, nil
+
+	case OutExpression, OutAggExpression:
+		cols, n, err := gatherOutputColumns(rel, out.ExprAttrs, sel, haveSel, stats)
+		if err != nil {
+			return nil, err
+		}
+		// Pairwise materialization (§3.3): a+b+c produces an intermediate
+		// column per addition. A single arena backs all intermediates — the
+		// strategy's cost is the materialization *traffic*, not allocator
+		// churn.
+		var final []data.Value
+		if len(cols) == 1 {
+			final = make([]data.Value, n)
+			copy(final, cols[0])
+		} else {
+			arena := make([]data.Value, (len(cols)-1)*n)
+			acc := cols[0]
+			for step, next := range cols[1:] {
+				inter := arena[step*n : (step+1)*n]
+				for i := range inter {
+					inter[i] = acc[i] + next[i]
+				}
+				acc = inter
+			}
+			final = acc
+			if stats != nil {
+				stats.IntermediateWords += (len(cols) - 1) * n
+			}
+		}
+		if out.Kind == OutExpression {
+			return &Result{Cols: out.Labels, Rows: n, Data: final}, nil
+		}
+		return &Result{Cols: out.Labels, Rows: 1, Data: []data.Value{AggVector(final, out.ExprAgg)}}, nil
+	}
+	return nil, ErrUnsupported
+}
+
+// gatherOutputColumns materializes one intermediate column per needed
+// attribute, filtered through sel when haveSel is true. All columns share a
+// single arena allocation.
+func gatherOutputColumns(rel *storage.Relation, attrs []data.AttrID, sel []int32, haveSel bool, stats *StrategyStats) ([][]data.Value, int, error) {
+	n := rel.Rows
+	if haveSel {
+		n = len(sel)
+	}
+	arena := make([]data.Value, len(attrs)*n)
+	cols := make([][]data.Value, len(attrs))
+	for i, a := range attrs {
+		g, err := rel.GroupFor(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		off, _ := g.Offset(a)
+		col := arena[i*n : (i+1)*n]
+		if haveSel {
+			GatherColumn(g, off, sel, col)
+		} else {
+			d, stride := g.Data, g.Stride
+			idx := off
+			for r := 0; r < n; r++ {
+				col[r] = d[idx]
+				idx += stride
+			}
+		}
+		if stats != nil {
+			stats.IntermediateWords += n
+		}
+		cols[i] = col
+	}
+	return cols, n, nil
+}
+
+// ExecHybrid executes q over whatever column groups currently cover its
+// attributes: predicates are evaluated fused within each group (Figure 6's
+// q1_sel_vector generalized), producing one selection vector shared across
+// groups, and outputs are written straight into the row-major result with no
+// intermediate columns.
+func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return nil, err
+	}
+
+	// Group predicates by the group that will evaluate them, preserving
+	// first-seen group order so the most selective-first heuristics of the
+	// caller are honored.
+	type predGroup struct {
+		g     *storage.ColumnGroup
+		preds []GroupPred
+	}
+	var pgs []predGroup
+	byGroup := map[*storage.ColumnGroup]int{}
+	for _, p := range preds {
+		g := assign[p.Attr]
+		off, _ := g.Offset(p.Attr)
+		i, seen := byGroup[g]
+		if !seen {
+			i = len(pgs)
+			byGroup[g] = i
+			pgs = append(pgs, predGroup{g: g})
+		}
+		pgs[i].preds = append(pgs[i].preds, GroupPred{Off: off, Op: p.Op, Val: p.Val})
+	}
+
+	var sel []int32
+	haveSel := len(pgs) > 0
+	for i, pg := range pgs {
+		if i == 0 {
+			sel = FilterGroup(pg.g, pg.preds, 0, pg.g.Rows, make([]int32, 0, pg.g.Rows/4+16))
+			if stats != nil {
+				stats.IntermediateWords += len(sel) / 2 // int32 ids, in words
+			}
+			continue
+		}
+		sel = RefineSel(pg.g, pg.preds, sel)
+	}
+
+	switch out.Kind {
+	case OutAggregates:
+		vals := make([]data.Value, len(out.AggAttrs))
+		for i, a := range out.AggAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			if haveSel {
+				vals[i] = AggColumnSel(g, off, out.AggOps[i], sel)
+			} else {
+				vals[i] = AggColumnAll(g, off, out.AggOps[i])
+			}
+		}
+		return &Result{Cols: out.Labels, Rows: 1, Data: vals}, nil
+
+	case OutProjection:
+		n := rel.Rows
+		if haveSel {
+			n = len(sel)
+		}
+		w := len(out.ProjAttrs)
+		res := &Result{Cols: out.Labels, Rows: n, Data: make([]data.Value, n*w)}
+		for j, a := range out.ProjAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			d, stride := g.Data, g.Stride
+			if haveSel {
+				for i, r := range sel {
+					res.Data[i*w+j] = d[int(r)*stride+off]
+				}
+			} else {
+				for r := 0; r < n; r++ {
+					res.Data[r*w+j] = d[r*stride+off]
+				}
+			}
+		}
+		return res, nil
+
+	case OutExpression, OutAggExpression:
+		n := rel.Rows
+		if haveSel {
+			n = len(sel)
+		}
+		acc := make([]data.Value, n)
+		// Partial sums per group: each group contributes its share of the
+		// expression in one fused pass — no per-pair intermediates.
+		perGroup := map[*storage.ColumnGroup][]int{}
+		var order []*storage.ColumnGroup
+		for _, a := range out.ExprAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			if _, seen := perGroup[g]; !seen {
+				order = append(order, g)
+			}
+			perGroup[g] = append(perGroup[g], off)
+		}
+		tmp := make([]data.Value, n)
+		for _, g := range order {
+			offs := perGroup[g]
+			if haveSel {
+				SumOffsetsSel(g, offs, sel, tmp)
+			} else {
+				SumOffsetsAll(g, offs, tmp)
+			}
+			for i := range acc {
+				acc[i] += tmp[i]
+			}
+		}
+		if out.Kind == OutExpression {
+			return &Result{Cols: out.Labels, Rows: n, Data: acc}, nil
+		}
+		return &Result{Cols: out.Labels, Rows: 1, Data: []data.Value{AggVector(acc, out.ExprAgg)}}, nil
+	}
+	return nil, ErrUnsupported
+}
+
+// ExecGeneric is the generic interpreted operator (paper §3.4): a
+// tuple-at-a-time loop that evaluates the predicate tree and the select
+// expressions through per-attribute accessor indirection. It handles every
+// query shape, at the interpretation overhead Figure 14 quantifies.
+func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
+	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return nil, err
+	}
+	type binding struct {
+		d      []data.Value
+		stride int
+		off    int
+	}
+	binds := map[data.AttrID]binding{}
+	for a, g := range assign {
+		off, _ := g.Offset(a)
+		binds[a] = binding{d: g.Data, stride: g.Stride, off: off}
+	}
+	row := 0
+	get := func(a data.AttrID) data.Value {
+		b := binds[a]
+		return b.d[row*b.stride+b.off]
+	}
+
+	hasAgg := q.HasAggregates()
+	labels := make([]string, len(q.Items))
+	states := make([]*expr.AggState, len(q.Items))
+	for i, it := range q.Items {
+		labels[i] = it.String()
+		if it.Agg != nil {
+			states[i] = expr.NewAggState(it.Agg.Op)
+		}
+	}
+	res := &Result{Cols: labels}
+	for row = 0; row < rel.Rows; row++ {
+		if q.Where != nil && !q.Where.EvalBool(get) {
+			continue
+		}
+		if hasAgg {
+			for i, it := range q.Items {
+				if it.Agg != nil {
+					states[i].Add(it.Agg.Arg.Eval(get))
+				}
+			}
+		} else {
+			for _, it := range q.Items {
+				res.Data = append(res.Data, it.Expr.Eval(get))
+			}
+			res.Rows++
+		}
+	}
+	if hasAgg {
+		// Mixed agg/non-agg selects collapse to one row using the first
+		// qualifying tuple for scalar items — the engine only plans pure
+		// shapes, this is a safety net.
+		vals := make([]data.Value, len(q.Items))
+		for i := range q.Items {
+			if states[i] != nil {
+				vals[i] = states[i].Result()
+			}
+		}
+		return &Result{Cols: labels, Rows: 1, Data: vals}, nil
+	}
+	return res, nil
+}
+
+// StrategyStats accumulates observability counters for one execution.
+type StrategyStats struct {
+	IntermediateWords int // values materialized into intermediates
+}
+
+func aggResult(labels []string, states []*expr.AggState) *Result {
+	res := &Result{Cols: labels, Rows: 1, Data: make([]data.Value, len(states))}
+	for i, s := range states {
+		res.Data[i] = s.Result()
+	}
+	return res
+}
+
+func mustOffsets(g *storage.ColumnGroup, attrs []data.AttrID) []int {
+	offs := make([]int, len(attrs))
+	for i, a := range attrs {
+		off, ok := g.Offset(a)
+		if !ok {
+			panic(fmt.Sprintf("exec: attribute %d not in group %v", a, g.Attrs))
+		}
+		offs[i] = off
+	}
+	return offs
+}

@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// ExecVectorized executes q with the paper's §3.3 vectorized processing
+// model: the scan proceeds in chunks of vectorSize tuples, and all
+// intermediates — the selection vector and the expression vectors — stay
+// L1-resident instead of being materialized at full column length. It is
+// the chunked counterpart of ExecHybrid: fused predicate evaluation within
+// each group, one selection vector shared across groups, per-group partial
+// sums for expressions.
+//
+// vectorSize <= 0 selects the default (VectorSize = 1024 values, L1-sized).
+// The ablation-vector experiment sweeps this parameter.
+func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats *StrategyStats) (*Result, error) {
+	if vectorSize <= 0 {
+		vectorSize = VectorSize
+	}
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return nil, err
+	}
+
+	// Bind predicates per group, preserving group order of first use.
+	type predGroup struct {
+		g     *storage.ColumnGroup
+		preds []GroupPred
+	}
+	var pgs []predGroup
+	byGroup := map[*storage.ColumnGroup]int{}
+	for _, p := range preds {
+		g := assign[p.Attr]
+		off, _ := g.Offset(p.Attr)
+		i, seen := byGroup[g]
+		if !seen {
+			i = len(pgs)
+			byGroup[g] = i
+			pgs = append(pgs, predGroup{g: g})
+		}
+		pgs[i].preds = append(pgs[i].preds, GroupPred{Off: off, Op: p.Op, Val: p.Val})
+	}
+	haveSel := len(pgs) > 0
+
+	// Output plan.
+	type colRef struct {
+		g   *storage.ColumnGroup
+		off int
+	}
+	var projRefs []colRef
+	var aggRefs []colRef
+	var exprGroups []*storage.ColumnGroup
+	exprOffs := map[*storage.ColumnGroup][]int{}
+	switch out.Kind {
+	case OutProjection:
+		for _, a := range out.ProjAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			projRefs = append(projRefs, colRef{g, off})
+		}
+	case OutAggregates:
+		for _, a := range out.AggAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			aggRefs = append(aggRefs, colRef{g, off})
+		}
+	case OutExpression, OutAggExpression:
+		for _, a := range out.ExprAttrs {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			if _, seen := exprOffs[g]; !seen {
+				exprGroups = append(exprGroups, g)
+			}
+			exprOffs[g] = append(exprOffs[g], off)
+		}
+	}
+
+	// L1-resident scratch, reused across chunks.
+	sel := make([]int32, 0, vectorSize)
+	acc := make([]data.Value, vectorSize)
+	tmp := make([]data.Value, vectorSize)
+
+	aggStates := newStates(out)
+	res := &Result{Cols: out.Labels}
+	w := len(out.Labels)
+
+	for start := 0; start < rel.Rows; start += vectorSize {
+		n := vectorSize
+		if start+n > rel.Rows {
+			n = rel.Rows - start
+		}
+		// Predicate phase for this chunk.
+		sel = sel[:0]
+		if haveSel {
+			for i, pg := range pgs {
+				if i == 0 {
+					sel = FilterGroup(pg.g, pg.preds, start, n, sel)
+				} else {
+					sel = RefineSel(pg.g, pg.preds, sel)
+				}
+			}
+			if stats != nil {
+				stats.IntermediateWords += len(sel) / 2
+			}
+			if len(sel) == 0 {
+				continue
+			}
+		}
+
+		switch out.Kind {
+		case OutAggregates:
+			for i, ref := range aggRefs {
+				if haveSel {
+					foldSel(aggStates[i], ref.g, ref.off, sel)
+				} else {
+					foldRange(aggStates[i], ref.g, ref.off, start, n)
+				}
+			}
+		case OutProjection:
+			if haveSel {
+				for _, r := range sel {
+					for _, ref := range projRefs {
+						res.Data = append(res.Data, ref.g.Data[int(r)*ref.g.Stride+ref.off])
+					}
+				}
+				res.Rows += len(sel)
+			} else {
+				for r := start; r < start+n; r++ {
+					for _, ref := range projRefs {
+						res.Data = append(res.Data, ref.g.Data[r*ref.g.Stride+ref.off])
+					}
+				}
+				res.Rows += n
+			}
+			_ = w
+		case OutExpression, OutAggExpression:
+			cnt := n
+			if haveSel {
+				cnt = len(sel)
+			}
+			av := acc[:cnt]
+			for i := range av {
+				av[i] = 0
+			}
+			for _, g := range exprGroups {
+				offs := exprOffs[g]
+				tv := tmp[:cnt]
+				if haveSel {
+					SumOffsetsSel(g, offs, sel, tv)
+				} else {
+					sumOffsetsRange(g, offs, start, n, tv)
+				}
+				for i := range av {
+					av[i] += tv[i]
+				}
+			}
+			if out.Kind == OutExpression {
+				res.Data = append(res.Data, av...)
+				res.Rows += cnt
+			} else {
+				for _, v := range av {
+					aggStates[0].Add(v)
+				}
+			}
+		}
+	}
+
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return aggResult(out.Labels, aggStates), nil
+	}
+	return res, nil
+}
+
+// foldRange folds rows [start, start+n) of the attribute at off into st.
+func foldRange(st *expr.AggState, g *storage.ColumnGroup, off, start, n int) {
+	d, stride := g.Data, g.Stride
+	idx := start*stride + off
+	for i := 0; i < n; i++ {
+		st.Add(d[idx])
+		idx += stride
+	}
+}
+
+// foldSel folds the selected rows of the attribute at off into st.
+func foldSel(st *expr.AggState, g *storage.ColumnGroup, off int, sel []int32) {
+	d, stride := g.Data, g.Stride
+	for _, r := range sel {
+		st.Add(d[int(r)*stride+off])
+	}
+}
+
+// sumOffsetsRange computes the offset-sum expression for rows
+// [start, start+n) into out.
+func sumOffsetsRange(g *storage.ColumnGroup, offs []int, start, n int, out []data.Value) {
+	d, stride := g.Data, g.Stride
+	base := start * stride
+	for i := 0; i < n; i++ {
+		var acc data.Value
+		for _, o := range offs {
+			acc += d[base+o]
+		}
+		out[i] = acc
+		base += stride
+	}
+}

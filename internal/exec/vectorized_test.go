@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// TestVectorizedAgreesWithHybrid checks the chunked executor against the
+// full-column strategies on every template, across vector sizes including
+// ones that do not divide the row count.
+func TestVectorizedAgreesWithHybrid(t *testing.T) {
+	tb, col, row, grp := fixture(t)
+	_ = tb
+	for qi, q := range queriesUnderTest() {
+		want, err := ExecHybrid(col, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rel := range []*storage.Relation{col, row, grp} {
+			for _, vs := range []int{0, 64, 1000, 1024, testRows, testRows * 2} {
+				got, err := ExecVectorized(rel, q, vs, nil)
+				if err != nil {
+					t.Fatalf("query %d vs=%d on %v: %v", qi, vs, rel.Kind(), err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("query %d (%s) vs=%d on %v: mismatch", qi, q, vs, rel.Kind())
+				}
+			}
+		}
+	}
+}
+
+func TestVectorizedUnsupportedShapes(t *testing.T) {
+	_, col, _, _ := fixture(t)
+	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
+	if _, err := ExecVectorized(col, q, 0, nil); err != ErrUnsupported {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestVectorizedStatsCountSelVectors(t *testing.T) {
+	_, col, _, _ := fixture(t)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1}, query.PredLt(0, 0))
+	var st StrategyStats
+	if _, err := ExecVectorized(col, q, 256, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.IntermediateWords <= 0 {
+		t.Fatal("filtered vectorized run must report selection-vector volume")
+	}
+	// The chunked intermediates must not exceed the full-length strategy's.
+	var full StrategyStats
+	if _, err := ExecColumn(col, q, &full); err != nil {
+		t.Fatal(err)
+	}
+	if st.IntermediateWords > full.IntermediateWords+col.Rows {
+		t.Fatalf("vectorized intermediates (%d) should not dwarf column-late (%d)",
+			st.IntermediateWords, full.IntermediateWords)
+	}
+}
+
+func TestVectorizedEmptyChunks(t *testing.T) {
+	// A predicate that qualifies nothing: every chunk short-circuits.
+	tb, col, _, _ := fixture(t)
+	_ = tb
+	q := query.Projection("R", []data.AttrID{1, 2}, query.PredLt(0, data.ValueLo-1))
+	res, err := ExecVectorized(col, q, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 0 || len(res.Data) != 0 {
+		t.Fatalf("expected empty result, got %d rows", res.Rows)
+	}
+}
+
+func BenchmarkVectorizedExpression(b *testing.B) {
+	tb := data.Generate(data.SyntheticSchema("R", 30), 100_000, 4)
+	col := storage.BuildColumnMajor(tb)
+	attrs := []data.AttrID{1, 4, 9, 14, 19, 24}
+	q := query.AggExpression("R", attrs, query.PredLt(0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecVectorized(col, q, VectorSize, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridExpressionForComparison(b *testing.B) {
+	tb := data.Generate(data.SyntheticSchema("R", 30), 100_000, 4)
+	col := storage.BuildColumnMajor(tb)
+	attrs := []data.AttrID{1, 4, 9, 14, 19, 24}
+	q := query.AggExpression("R", attrs, query.PredLt(0, 0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecHybrid(col, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/storage"
+)
+
+func TestZoneScanMatchesPlainFilter(t *testing.T) {
+	// Both clustered (time-series) and uniform data: results must be
+	// identical to the plain filter either way.
+	for _, mk := range []func() *data.Table{
+		func() *data.Table { return data.GenerateTimeSeries(data.SyntheticSchema("R", 3), 10_000, 3) },
+		func() *data.Table { return data.Generate(data.SyntheticSchema("R", 3), 10_000, 3) },
+	} {
+		tb := mk()
+		g := storage.BuildGroup(tb, []data.AttrID{0, 1, 2})
+		zm := storage.BuildZoneMap(g, 512)
+		for _, preds := range [][]GroupPred{
+			{{Off: 0, Op: expr.Lt, Val: 1000}},
+			{{Off: 0, Op: expr.Ge, Val: 9000}},
+			{{Off: 0, Op: expr.Eq, Val: 4242}},
+			{{Off: 0, Op: expr.Lt, Val: 2000}, {Off: 1, Op: expr.Gt, Val: 0}},
+			{{Off: 1, Op: expr.Ne, Val: 7}},
+		} {
+			want := FilterGroup(g, preds, 0, g.Rows, nil)
+			got := FilterGroupWithZones(g, zm, preds, nil, nil)
+			if len(got) != len(want) {
+				t.Fatalf("preds %v: %d vs %d rows", preds, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("preds %v: row id mismatch at %d", preds, i)
+				}
+			}
+		}
+	}
+}
+
+func TestZoneScanSkipsClusteredBlocks(t *testing.T) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 2), 100_000, 5)
+	g := storage.BuildGroup(tb, []data.AttrID{0, 1})
+	zm := storage.BuildZoneMap(g, 0) // default block
+	// a0 < 1000 touches only the first block(s) of the ordered column.
+	var st ZoneScanStats
+	sel := FilterGroupWithZones(g, zm, []GroupPred{{Off: 0, Op: expr.Lt, Val: 1000}}, nil, &st)
+	if len(sel) != 1000 {
+		t.Fatalf("|sel| = %d", len(sel))
+	}
+	if st.Zones == 0 || st.Skipped == 0 {
+		t.Fatalf("no skipping on clustered data: %+v", st)
+	}
+	if st.Skipped < st.Zones*9/10 {
+		t.Fatalf("expected ~99%% of zones skipped, got %d/%d", st.Skipped, st.Zones)
+	}
+	// On uniform data nothing is skippable.
+	tbU := data.Generate(data.SyntheticSchema("R", 2), 100_000, 5)
+	gU := storage.BuildGroup(tbU, []data.AttrID{0, 1})
+	zmU := storage.BuildZoneMap(gU, 0)
+	var stU ZoneScanStats
+	FilterGroupWithZones(gU, zmU, []GroupPred{{Off: 0, Op: expr.Lt, Val: 0}}, nil, &stU)
+	if stU.Skipped != 0 {
+		t.Fatalf("uniform data skipped %d zones", stU.Skipped)
+	}
+}
+
+func TestZoneScanNilMapFallsBack(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 1), 1000, 1)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	preds := []GroupPred{{Off: 0, Op: expr.Gt, Val: 0}}
+	want := FilterGroup(g, preds, 0, g.Rows, nil)
+	got := FilterGroupWithZones(g, nil, preds, nil, nil)
+	if len(got) != len(want) {
+		t.Fatal("nil zone map fallback differs")
+	}
+}
+
+func TestZoneMapMayMatch(t *testing.T) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 1), 2048, 1)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	zm := storage.BuildZoneMap(g, 1024)
+	if zm.Zones() != 2 {
+		t.Fatalf("zones = %d", zm.Zones())
+	}
+	// Zone 0 holds values [0,1023], zone 1 [1024,2047].
+	cases := []struct {
+		zi   int
+		op   expr.CmpOp
+		v    data.Value
+		want bool
+	}{
+		{0, expr.Lt, 0, false},
+		{0, expr.Lt, 1, true},
+		{0, expr.Le, 0, true},
+		{1, expr.Lt, 1024, false},
+		{1, expr.Gt, 2046, true},
+		{1, expr.Gt, 2047, false},
+		{1, expr.Ge, 2047, true},
+		{0, expr.Eq, 500, true},
+		{0, expr.Eq, 1500, false},
+		{0, expr.Ne, 5, true},
+	}
+	for _, c := range cases {
+		if got := zm.MayMatch(c.zi, 0, c.op, c.v); got != c.want {
+			t.Errorf("MayMatch(zone %d, %v %d) = %v, want %v", c.zi, c.op, c.v, got, c.want)
+		}
+	}
+	// A constant block: Ne can exclude it.
+	gc := storage.NewGroup([]data.AttrID{0}, 100)
+	for r := 0; r < 100; r++ {
+		gc.Set(r, 0, 7)
+	}
+	zc := storage.BuildZoneMap(gc, 100)
+	if zc.MayMatch(0, 0, expr.Ne, 7) {
+		t.Error("Ne over a constant block should be excludable")
+	}
+	lo, hi := zc.ZoneRange(0, 100)
+	if lo != 0 || hi != 100 {
+		t.Errorf("ZoneRange = [%d,%d)", lo, hi)
+	}
+}
+
+func BenchmarkZoneScanClustered(b *testing.B) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 1), benchRows, 1)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	zm := storage.BuildZoneMap(g, 0)
+	preds := []GroupPred{{Off: 0, Op: expr.Lt, Val: data.Value(benchRows / 100)}}
+	sel := make([]int32, 0, benchRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = FilterGroupWithZones(g, zm, preds, sel[:0], nil)
+	}
+}
+
+func BenchmarkPlainScanClustered(b *testing.B) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 1), benchRows, 1)
+	g := storage.BuildGroup(tb, []data.AttrID{0})
+	preds := []GroupPred{{Off: 0, Op: expr.Lt, Val: data.Value(benchRows / 100)}}
+	sel := make([]int32, 0, benchRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel = FilterGroup(g, preds, 0, g.Rows, sel[:0])
+	}
+}

@@ -1,0 +1,382 @@
+// Package expr defines the expression language of H2O's query classes —
+// column references, integer constants, arithmetic, comparisons and
+// conjunctions/disjunctions — together with a tuple-at-a-time interpreted
+// evaluator. The interpreter is deliberately generic (per-tuple dynamic
+// dispatch through an accessor function): it is the "generic operator" whose
+// interpretation overhead the paper's dynamically generated operators remove
+// (§3.4, Fig. 14).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"h2o/internal/data"
+)
+
+// Accessor fetches the value of a base-schema attribute for the current
+// tuple. The generic operator pays one indirect call per attribute access per
+// tuple — exactly the interpretation overhead compiled kernels avoid.
+type Accessor func(a data.AttrID) data.Value
+
+// Expr is an arithmetic expression over int64 attribute values.
+type Expr interface {
+	// Eval computes the expression for the tuple exposed by get.
+	Eval(get Accessor) data.Value
+	// Attrs appends the base attributes referenced by the expression.
+	Attrs(dst []data.AttrID) []data.AttrID
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Col references a base attribute by position.
+type Col struct {
+	ID   data.AttrID
+	Name string // optional, for display
+}
+
+// Eval implements Expr.
+func (c *Col) Eval(get Accessor) data.Value { return get(c.ID) }
+
+// Attrs implements Expr.
+func (c *Col) Attrs(dst []data.AttrID) []data.AttrID { return append(dst, c.ID) }
+
+// String implements Expr.
+func (c *Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("a%d", c.ID)
+}
+
+// Const is an integer literal.
+type Const struct{ V data.Value }
+
+// Eval implements Expr.
+func (k *Const) Eval(Accessor) data.Value { return k.V }
+
+// Attrs implements Expr.
+func (k *Const) Attrs(dst []data.AttrID) []data.AttrID { return dst }
+
+// String implements Expr.
+func (k *Const) String() string { return fmt.Sprint(k.V) }
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", int(op))
+	}
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr. Division by zero yields zero (the engine has no NULL
+// or error channel for scalar math; analytics workloads in the paper never
+// divide).
+func (b *Arith) Eval(get Accessor) data.Value {
+	l, r := b.L.Eval(get), b.R.Eval(get)
+	switch b.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	case Div:
+		if r == 0 {
+			return 0
+		}
+		return l / r
+	default:
+		panic("expr: unknown arithmetic operator")
+	}
+}
+
+// Attrs implements Expr.
+func (b *Arith) Attrs(dst []data.AttrID) []data.AttrID {
+	return b.R.Attrs(b.L.Attrs(dst))
+}
+
+// String implements Expr.
+func (b *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// SumCols builds the paper's canonical arithmetic expression a+b+c+... over
+// the given attributes (query template iii, §4.2.1).
+func SumCols(attrs []data.AttrID) Expr {
+	if len(attrs) == 0 {
+		return &Const{V: 0}
+	}
+	var e Expr = &Col{ID: attrs[0]}
+	for _, a := range attrs[1:] {
+		e = &Arith{Op: Add, L: e, R: &Col{ID: a}}
+	}
+	return e
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Compare applies op to a pair of values.
+func Compare(op CmpOp, l, r data.Value) bool {
+	switch op {
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	default:
+		panic("expr: unknown comparison operator")
+	}
+}
+
+// Pred is a boolean predicate over a tuple.
+type Pred interface {
+	EvalBool(get Accessor) bool
+	Attrs(dst []data.AttrID) []data.AttrID
+	String() string
+}
+
+// Cmp compares two arithmetic expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// EvalBool implements Pred.
+func (c *Cmp) EvalBool(get Accessor) bool {
+	return Compare(c.Op, c.L.Eval(get), c.R.Eval(get))
+}
+
+// Attrs implements Pred.
+func (c *Cmp) Attrs(dst []data.AttrID) []data.AttrID {
+	return c.R.Attrs(c.L.Attrs(dst))
+}
+
+// String implements Pred.
+func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// And is an n-ary conjunction. The paper's where clauses are conjunctions of
+// single-column comparisons; And is kept n-ary so kernels can evaluate all
+// terms in one pass ("evaluate both predicates in one step", Fig. 5).
+type And struct{ Terms []Pred }
+
+// EvalBool implements Pred.
+func (a *And) EvalBool(get Accessor) bool {
+	for _, t := range a.Terms {
+		if !t.EvalBool(get) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attrs implements Pred.
+func (a *And) Attrs(dst []data.AttrID) []data.AttrID {
+	for _, t := range a.Terms {
+		dst = t.Attrs(dst)
+	}
+	return dst
+}
+
+// String implements Pred.
+func (a *And) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Or is a binary disjunction.
+type Or struct{ L, R Pred }
+
+// EvalBool implements Pred.
+func (o *Or) EvalBool(get Accessor) bool {
+	return o.L.EvalBool(get) || o.R.EvalBool(get)
+}
+
+// Attrs implements Pred.
+func (o *Or) Attrs(dst []data.AttrID) []data.AttrID {
+	return o.R.Attrs(o.L.Attrs(dst))
+}
+
+// String implements Pred.
+func (o *Or) String() string { return fmt.Sprintf("(%s or %s)", o.L, o.R) }
+
+// AggOp enumerates aggregate functions.
+type AggOp int
+
+// Aggregate functions.
+const (
+	AggSum AggOp = iota
+	AggMax
+	AggMin
+	AggCount
+	AggAvg
+)
+
+// String returns the SQL spelling of the aggregate.
+func (op AggOp) String() string {
+	switch op {
+	case AggSum:
+		return "sum"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(op))
+	}
+}
+
+// Agg is an aggregate over an arithmetic expression.
+type Agg struct {
+	Op  AggOp
+	Arg Expr
+}
+
+// Attrs returns the base attributes referenced by the aggregate argument.
+func (a *Agg) Attrs(dst []data.AttrID) []data.AttrID { return a.Arg.Attrs(dst) }
+
+// String implements fmt.Stringer.
+func (a *Agg) String() string { return fmt.Sprintf("%s(%s)", a.Op, a.Arg) }
+
+// AggState accumulates one aggregate.
+type AggState struct {
+	Op    AggOp
+	Acc   data.Value
+	Count int64
+	init  bool
+}
+
+// NewAggState returns a fresh accumulator for op.
+func NewAggState(op AggOp) *AggState { return &AggState{Op: op} }
+
+// Add folds one value into the accumulator.
+func (s *AggState) Add(v data.Value) {
+	s.Count++
+	switch s.Op {
+	case AggSum, AggAvg:
+		s.Acc += v
+	case AggMax:
+		if !s.init || v > s.Acc {
+			s.Acc = v
+		}
+	case AggMin:
+		if !s.init || v < s.Acc {
+			s.Acc = v
+		}
+	case AggCount:
+		// count only tracks Count
+	}
+	s.init = true
+}
+
+// Merge folds another accumulator of the same operator into s; parallel
+// scans merge per-partition states this way.
+func (s *AggState) Merge(o *AggState) {
+	if o.Op != s.Op {
+		panic("expr: merging aggregate states of different operators")
+	}
+	if !o.init {
+		return
+	}
+	s.Count += o.Count
+	switch s.Op {
+	case AggSum, AggAvg:
+		s.Acc += o.Acc
+	case AggMax:
+		if !s.init || o.Acc > s.Acc {
+			s.Acc = o.Acc
+		}
+	case AggMin:
+		if !s.init || o.Acc < s.Acc {
+			s.Acc = o.Acc
+		}
+	case AggCount:
+		// Count only tracks Count.
+	}
+	s.init = true
+}
+
+// Result returns the final aggregate value. Avg over zero rows is zero.
+func (s *AggState) Result() data.Value {
+	switch s.Op {
+	case AggCount:
+		return s.Count
+	case AggAvg:
+		if s.Count == 0 {
+			return 0
+		}
+		return s.Acc / s.Count
+	default:
+		return s.Acc
+	}
+}

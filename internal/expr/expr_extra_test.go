@@ -1,0 +1,87 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"h2o/internal/data"
+)
+
+func TestColStringFallsBackToID(t *testing.T) {
+	c := &Col{ID: 7}
+	if c.String() != "a7" {
+		t.Fatalf("String = %q", c.String())
+	}
+	named := &Col{ID: 7, Name: "price"}
+	if named.String() != "price" {
+		t.Fatalf("String = %q", named.String())
+	}
+}
+
+func TestArithString(t *testing.T) {
+	e := &Arith{Op: Mul, L: &Col{ID: 0}, R: &Arith{Op: Sub, L: &Col{ID: 1}, R: &Const{V: 2}}}
+	if got := e.String(); got != "(a0 * (a1 - 2))" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestOrAttrs(t *testing.T) {
+	o := &Or{
+		L: &Cmp{Op: Lt, L: &Col{ID: 3}, R: &Const{V: 1}},
+		R: &Cmp{Op: Gt, L: &Col{ID: 5}, R: &Const{V: 2}},
+	}
+	attrs := data.SortedUnique(o.Attrs(nil))
+	if len(attrs) != 2 || attrs[0] != 3 || attrs[1] != 5 {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+	if !strings.Contains(o.String(), "or") {
+		t.Fatalf("String = %q", o.String())
+	}
+}
+
+func TestAggString(t *testing.T) {
+	a := &Agg{Op: AggAvg, Arg: &Col{ID: 2}}
+	if a.String() != "avg(a2)" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if attrs := a.Attrs(nil); len(attrs) != 1 || attrs[0] != 2 {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+}
+
+func TestUnknownOpsPanic(t *testing.T) {
+	mustPanic(t, func() {
+		(&Arith{Op: ArithOp(99), L: &Const{V: 1}, R: &Const{V: 2}}).Eval(nil)
+	})
+	mustPanic(t, func() { Compare(CmpOp(99), 1, 2) })
+}
+
+func TestOpStringFallbacks(t *testing.T) {
+	if ArithOp(99).String() == "" || CmpOp(99).String() == "" || AggOp(99).String() == "" {
+		t.Fatal("unknown ops must still render")
+	}
+}
+
+func TestMergeEmptyIntoEmpty(t *testing.T) {
+	a, b := NewAggState(AggMax), NewAggState(AggMax)
+	a.Merge(b)
+	if a.Result() != 0 || a.Count != 0 {
+		t.Fatal("empty-into-empty merge must stay empty")
+	}
+	// Merging into an empty state adopts the other's value.
+	b.Add(-5)
+	a.Merge(b)
+	if a.Result() != -5 {
+		t.Fatalf("merge into empty = %d", a.Result())
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"h2o/internal/data"
+)
+
+// tuple builds an Accessor over a fixed value slice indexed by attribute id.
+func tuple(vals ...data.Value) Accessor {
+	return func(a data.AttrID) data.Value { return vals[a] }
+}
+
+func TestArithEval(t *testing.T) {
+	get := tuple(6, 3, 2)
+	cases := []struct {
+		e    Expr
+		want data.Value
+	}{
+		{&Arith{Op: Add, L: &Col{ID: 0}, R: &Col{ID: 1}}, 9},
+		{&Arith{Op: Sub, L: &Col{ID: 0}, R: &Col{ID: 1}}, 3},
+		{&Arith{Op: Mul, L: &Col{ID: 1}, R: &Col{ID: 2}}, 6},
+		{&Arith{Op: Div, L: &Col{ID: 0}, R: &Col{ID: 2}}, 3},
+		{&Arith{Op: Div, L: &Col{ID: 0}, R: &Const{V: 0}}, 0}, // div-by-zero yields 0
+		{&Const{V: -5}, -5},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(get); got != c.want {
+			t.Errorf("%s = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestSumCols(t *testing.T) {
+	e := SumCols([]data.AttrID{0, 1, 2})
+	if got := e.Eval(tuple(1, 2, 3)); got != 6 {
+		t.Fatalf("SumCols eval = %d, want 6", got)
+	}
+	if s := e.String(); s != "((a0 + a1) + a2)" {
+		t.Fatalf("String = %q", s)
+	}
+	if got := SumCols(nil).Eval(tuple()); got != 0 {
+		t.Fatalf("empty SumCols = %d", got)
+	}
+	attrs := e.Attrs(nil)
+	if !reflect.DeepEqual(data.SortedUnique(attrs), []data.AttrID{0, 1, 2}) {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+}
+
+func TestCompareAllOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r data.Value
+		want bool
+	}{
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+		{Eq, 5, 5, true}, {Eq, 5, 6, false},
+		{Ne, 5, 6, true}, {Ne, 5, 5, false},
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.l, c.r); got != c.want {
+			t.Errorf("Compare(%v, %d, %d) = %v", c.op, c.l, c.r, got)
+		}
+	}
+}
+
+func TestPredEval(t *testing.T) {
+	// d < 5 and e > 2 over tuple (d=a0, e=a1)
+	p := &And{Terms: []Pred{
+		&Cmp{Op: Lt, L: &Col{ID: 0}, R: &Const{V: 5}},
+		&Cmp{Op: Gt, L: &Col{ID: 1}, R: &Const{V: 2}},
+	}}
+	if !p.EvalBool(tuple(4, 3)) {
+		t.Fatal("conjunction should hold")
+	}
+	if p.EvalBool(tuple(5, 3)) || p.EvalBool(tuple(4, 2)) {
+		t.Fatal("conjunction should fail")
+	}
+	o := &Or{L: &Cmp{Op: Eq, L: &Col{ID: 0}, R: &Const{V: 9}}, R: &Cmp{Op: Eq, L: &Col{ID: 1}, R: &Const{V: 3}}}
+	if !o.EvalBool(tuple(0, 3)) || o.EvalBool(tuple(0, 0)) {
+		t.Fatal("disjunction wrong")
+	}
+	attrs := data.SortedUnique(p.Attrs(nil))
+	if !reflect.DeepEqual(attrs, []data.AttrID{0, 1}) {
+		t.Fatalf("And.Attrs = %v", attrs)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := &And{Terms: []Pred{
+		&Cmp{Op: Lt, L: &Col{ID: 3, Name: "d"}, R: &Const{V: 10}},
+		&Cmp{Op: Gt, L: &Col{ID: 4, Name: "e"}, R: &Const{V: 20}},
+	}}
+	if got := p.String(); got != "d < 10 and e > 20" {
+		t.Fatalf("And.String = %q", got)
+	}
+	o := &Or{L: p.Terms[0], R: p.Terms[1]}
+	if got := o.String(); got != "(d < 10 or e > 20)" {
+		t.Fatalf("Or.String = %q", got)
+	}
+	for _, op := range []ArithOp{Add, Sub, Mul, Div} {
+		if op.String() == "" {
+			t.Fatal("empty arith op name")
+		}
+	}
+	for _, op := range []CmpOp{Lt, Le, Gt, Ge, Eq, Ne} {
+		if op.String() == "" {
+			t.Fatal("empty cmp op name")
+		}
+	}
+	for _, op := range []AggOp{AggSum, AggMax, AggMin, AggCount, AggAvg} {
+		if op.String() == "" {
+			t.Fatal("empty agg op name")
+		}
+	}
+}
+
+func TestAggStates(t *testing.T) {
+	vals := []data.Value{5, -2, 9, 0, 9}
+	want := map[AggOp]data.Value{
+		AggSum:   21,
+		AggMax:   9,
+		AggMin:   -2,
+		AggCount: 5,
+		AggAvg:   4, // 21/5 integer division
+	}
+	for op, expect := range want {
+		s := NewAggState(op)
+		for _, v := range vals {
+			s.Add(v)
+		}
+		if got := s.Result(); got != expect {
+			t.Errorf("%v = %d, want %d", op, got, expect)
+		}
+	}
+}
+
+func TestAggEmpty(t *testing.T) {
+	for _, op := range []AggOp{AggSum, AggMax, AggMin, AggCount, AggAvg} {
+		s := NewAggState(op)
+		if got := s.Result(); got != 0 {
+			t.Errorf("empty %v = %d, want 0", op, got)
+		}
+	}
+}
+
+func TestAggNegativeOnly(t *testing.T) {
+	// Max over all-negative values must not return the zero value.
+	s := NewAggState(AggMax)
+	s.Add(-7)
+	s.Add(-3)
+	if got := s.Result(); got != -3 {
+		t.Fatalf("max of negatives = %d, want -3", got)
+	}
+	s = NewAggState(AggMin)
+	s.Add(7)
+	s.Add(3)
+	if got := s.Result(); got != 3 {
+		t.Fatalf("min of positives = %d, want 3", got)
+	}
+}
+
+// Property: interpreted SumCols equals a direct Go sum for random tuples.
+func TestSumColsProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		attrs := make([]data.AttrID, len(vals))
+		for i := range attrs {
+			attrs[i] = i
+		}
+		e := SumCols(attrs)
+		var want data.Value
+		for _, v := range vals {
+			want += v
+		}
+		return e.Eval(func(a data.AttrID) data.Value { return vals[a] }) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And is order-insensitive for side-effect-free comparisons.
+func TestAndCommutativeProperty(t *testing.T) {
+	f := func(a, b, x, y int64) bool {
+		p1 := &And{Terms: []Pred{
+			&Cmp{Op: Lt, L: &Col{ID: 0}, R: &Const{V: a}},
+			&Cmp{Op: Gt, L: &Col{ID: 1}, R: &Const{V: b}},
+		}}
+		p2 := &And{Terms: []Pred{p1.Terms[1], p1.Terms[0]}}
+		get := tuple(x, y)
+		return p1.EvalBool(get) == p2.EvalBool(get)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"h2o/internal/advisor"
+	"h2o/internal/affinity"
+	"h2o/internal/core"
+	"h2o/internal/costmodel"
+	"h2o/internal/data"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+	"h2o/internal/workload"
+)
+
+// fig7Sequence builds the §4.1 workload and relation.
+func fig7Sequence(cfg Config) (*data.Table, []*query.Query) {
+	const nAttrs = 150
+	tb := data.Generate(data.SyntheticSchema("R", nAttrs), cfg.Rows150, cfg.Seed)
+	n := 100
+	if cfg.Quick {
+		n = 40
+	}
+	qs := workload.AdaptiveSequence("R", nAttrs, tb.Rows, n, 10, 30, cfg.Seed)
+	return tb, qs
+}
+
+// RunFig7 regenerates Figure 7: per-query response time of the 100-query
+// evolving workload on the static row store, the static column store, H2O
+// and the optimal oracle.
+func RunFig7(cfg Config) (*Table, error) {
+	tb, qs := fig7Sequence(cfg)
+
+	rowEng := core.NewRowStore(tb, false) // §4.1 engines share the code base: no page padding
+	colEng := core.NewColumnStore(tb)
+	h2oOpts := core.DefaultOptions()
+	h2oOpts.Window.InitialSize = 20 // paper: "set initially at a window size of 20 queries"
+	h2o := core.NewH2O(tb, h2oOpts)
+	oracle := core.NewOracle(tb)
+
+	t := &Table{
+		Title:   "fig7: query response time over the evolving workload",
+		Columns: []string{"query", "row_ms", "column_ms", "h2o_ms", "optimal_ms", "h2o_event"},
+	}
+	var reorgs []int
+	for i, q := range qs {
+		_, rowInfo, err := rowEng.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		_, colInfo, err := colEng.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		resH, hInfo, err := h2o.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		resO, optD, err := oracle.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		if !resH.Equal(resO) {
+			return nil, fmt.Errorf("fig7: H2O and oracle disagree on query %d", i)
+		}
+		event := ""
+		if hInfo.Reorganized {
+			event = fmt.Sprintf("reorg->group(%d attrs)", len(hInfo.NewGroup))
+			reorgs = append(reorgs, i+1)
+		}
+		t.AddRow(itoa(i+1), ms(rowInfo.Duration), ms(colInfo.Duration), ms(hInfo.Duration), ms(optD), event)
+	}
+	st := h2o.Stats()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("H2O ran %d adaptation phases, %d online reorganizations (at queries %v), created %d groups",
+			st.Adaptations, st.Reorgs, reorgs, st.GroupsCreated))
+	return t, nil
+}
+
+// RunTable1 regenerates Table 1: cumulative execution time of the Figure 7
+// sequence. The paper reports 538.2s (row) / 283.7s (column) / 204.7s (H2O):
+// H2O beats the column store by ~38% and the row store by ~1.6x.
+func RunTable1(cfg Config) (*Table, error) {
+	tb, qs := fig7Sequence(cfg)
+
+	names := []string{"Row-store", "Column-store", "H2O"}
+	// Noise control on shared machines: the engines interleave query by
+	// query (a noise burst hits all three, not one), the whole sequence
+	// repeats cfg.Repeats times with fresh engines (adaptation restarts),
+	// and each engine's total is the minimum across repetitions.
+	totals := make([]time.Duration, len(names))
+	for i := range totals {
+		totals[i] = 1<<62 - 1
+	}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		h2oOpts := core.DefaultOptions()
+		h2oOpts.Window.InitialSize = 20
+		runs := []func(*query.Query) (time.Duration, error){
+			engineRunner(core.NewRowStore(tb, false)),
+			engineRunner(core.NewColumnStore(tb)),
+			engineRunner(core.NewH2O(tb, h2oOpts)),
+		}
+		sums := make([]time.Duration, len(runs))
+		for _, q := range qs {
+			for i, run := range runs {
+				d, err := run(q)
+				if err != nil {
+					return nil, err
+				}
+				sums[i] += d
+			}
+		}
+		for i, s := range sums {
+			if s < totals[i] {
+				totals[i] = s
+			}
+		}
+	}
+	t := &Table{
+		Title:   "table1: cumulative execution time of the Fig. 7 workload",
+		Columns: []string{"engine", "total_ms", "vs_h2o"},
+	}
+	h2oTotal := totals[2]
+	for i, name := range names {
+		t.AddRow(name, ms(totals[i]), ratio(totals[i], h2oTotal))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: row 538.2s / column 283.7s / H2O 204.7s (row/H2O=2.6x, column/H2O=1.39x); measured row/H2O=%s column/H2O=%s",
+			ratio(totals[0], h2oTotal), ratio(totals[1], h2oTotal)))
+	return t, nil
+}
+
+func engineRunner(e *core.Engine) func(*query.Query) (time.Duration, error) {
+	return func(q *query.Query) (time.Duration, error) {
+		_, info, err := e.Execute(q)
+		return info.Duration, err
+	}
+}
+
+// RunFig8 regenerates Figure 8: H2O vs an AutoPart-style offline advisor on
+// the simulated SkyServer workload, splitting total time into query
+// execution and layout creation.
+func RunFig8(cfg Config) (*Table, error) {
+	schema := workload.SkyServerSchema()
+	tb := data.Generate(schema, cfg.RowsSky, cfg.Seed)
+	trace := workload.SkyServerTrace(tb.Rows, cfg.Seed)
+	if cfg.Quick {
+		trace = trace[:60]
+	}
+
+	// --- AutoPart: whole trace known up front, one static partitioning. ---
+	infos := make([]query.Info, len(trace))
+	for i, q := range trace {
+		infos[i] = query.InfoOf(q)
+	}
+	m := costmodel.New(costmodel.Default())
+	creationStart := time.Now()
+	parts := advisor.AutoPart(schema.NumAttrs(), tb.Rows, infos, m)
+	rel, err := storage.BuildPartitioned(tb, parts)
+	if err != nil {
+		return nil, err
+	}
+	apCreation := time.Since(creationStart)
+
+	apOpts := core.DefaultOptions()
+	apOpts.Mode = core.ModeFrozen // static layout, cost-based strategy choice
+	apEng := core.New(rel, apOpts)
+	var apExec time.Duration
+	for _, q := range trace {
+		_, info, err := apEng.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		apExec += info.Duration
+	}
+
+	// --- H2O: no workload knowledge, adapts per query. Reorganization time
+	// is inside the query durations; we also report it separately. ---
+	h2o := core.NewH2O(tb, core.DefaultOptions())
+	var h2oExec, h2oCreation time.Duration
+	for _, q := range trace {
+		_, info, err := h2o.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		if info.Reorganized {
+			// Attribute the query's time above the post-reorg steady state
+			// to layout creation; a precise split needs the offline baseline
+			// of Fig. 13, so the whole reorganizing query is counted.
+			h2oCreation += info.Duration
+		} else {
+			h2oExec += info.Duration
+		}
+	}
+
+	t := &Table{
+		Title:   "fig8: H2O vs AutoPart on the simulated SkyServer (PhotoObjAll) workload",
+		Columns: []string{"system", "query_execution_ms", "layout_creation_ms", "total_ms"},
+	}
+	t.AddRow("AutoPart", ms(apExec), ms(apCreation), ms(apExec+apCreation))
+	t.AddRow("H2O", ms(h2oExec), ms(h2oCreation), ms(h2oExec+h2oCreation))
+	st := h2o.Stats()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("AutoPart produced %d static partitions; H2O adapted %d times, created %d groups", len(parts), st.Adaptations, st.GroupsCreated),
+		"paper: H2O outperforms the offline tool by adapting to individual queries")
+	return t, nil
+}
+
+// RunFig9 regenerates Figure 9: a 60-query workload whose access pattern
+// shifts after query 15, executed with a static and a dynamic adaptation
+// window of initial size 30.
+func RunFig9(cfg Config) (*Table, error) {
+	const nAttrs = 150
+	tb := data.Generate(data.SyntheticSchema("R", nAttrs), cfg.Rows150, cfg.Seed)
+	n, phase1 := 60, 15
+	if cfg.Quick {
+		n = 40
+	}
+	qs := workload.ShiftSequence("R", nAttrs, n, phase1, cfg.Seed)
+
+	mk := func(dynamic bool) *core.Engine {
+		opts := core.DefaultOptions()
+		opts.Window = affinity.Config{
+			InitialSize: 30, MinSize: 4, MaxSize: 90,
+			NoveltyOverlap: 0.5, Dynamic: dynamic,
+		}
+		// Fig. 9's relation starts row-major.
+		return core.New(storage.BuildRowMajor(tb, false), opts)
+	}
+	static, dynamic := mk(false), mk(true)
+
+	t := &Table{
+		Title:   "fig9: static vs dynamic adaptation window (workload shifts after query 15)",
+		Columns: []string{"query", "static_ms", "dynamic_ms", "static_event", "dynamic_event"},
+	}
+	firstStatic, firstDynamic := 0, 0
+	for i, q := range qs {
+		_, sInfo, err := static.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		_, dInfo, err := dynamic.Execute(q)
+		if err != nil {
+			return nil, err
+		}
+		se, de := "", ""
+		if sInfo.Reorganized {
+			se = "reorg"
+			if firstStatic == 0 && i >= phase1 {
+				firstStatic = i + 1
+			}
+		}
+		if dInfo.Reorganized {
+			de = "reorg"
+			if firstDynamic == 0 && i >= phase1 {
+				firstDynamic = i + 1
+			}
+		}
+		t.AddRow(itoa(i+1), ms(sInfo.Duration), ms(dInfo.Duration), se, de)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"first post-shift reorganization: dynamic at query %d, static at query %d (paper: ~25 vs ~30+)",
+		firstDynamic, firstStatic))
+	return t, nil
+}

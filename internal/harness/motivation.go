@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"time"
+
+	"h2o/internal/core"
+	"h2o/internal/data"
+	"h2o/internal/workload"
+)
+
+// sweepCounts returns the projectivity x-axis for a 250-attribute relation:
+// the paper sweeps 2% to 100% of attributes.
+func sweepCounts(nAttrs int, quick bool) []int {
+	fractions := []float64{0.02, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00}
+	if quick {
+		fractions = []float64{0.02, 0.20, 0.60, 1.00}
+	}
+	out := make([]int, len(fractions))
+	for i, f := range fractions {
+		k := int(f * float64(nAttrs))
+		if k < 2 {
+			k = 2
+		}
+		out[i] = k
+	}
+	return out
+}
+
+// RunFig1 regenerates Figure 1: the motivating row-store vs column-store
+// crossover on select-project-aggregate queries at ~40% selectivity over the
+// 250-attribute relation. DBMS-R's NSM page overhead is modeled with padded
+// tuples (the paper measures a 13% larger footprint for the row store).
+func RunFig1(cfg Config) (*Table, error) {
+	return rowVsColumnSweep(cfg, 0.4, "fig1: DBMS-C vs DBMS-R, select-project-aggregate, selectivity 40%")
+}
+
+// RunFig2 regenerates Figure 2(a-c): the projectivity sweep at the given
+// selectivity (negative = no where clause).
+func RunFig2(cfg Config, sel float64) (*Table, error) {
+	title := "fig2a: projectivity sweep, selectivity 100% (no where clause)"
+	switch {
+	case sel >= 0.05:
+		title = "fig2b: projectivity sweep, selectivity 40%"
+	case sel >= 0:
+		title = "fig2c: projectivity sweep, selectivity 1%"
+	}
+	return rowVsColumnSweep(cfg, sel, title)
+}
+
+func rowVsColumnSweep(cfg Config, sel float64, title string) (*Table, error) {
+	const nAttrs = 250
+	schema := data.SyntheticSchema("R", nAttrs)
+	var tb *data.Table
+	if sel >= 0 {
+		tb = data.GenerateSelective(schema, cfg.Rows250, cfg.Seed)
+	} else {
+		tb = data.Generate(schema, cfg.Rows250, cfg.Seed)
+	}
+
+	rowEng := core.NewRowStore(tb, true) // padded: commercial NSM overhead
+	colEng := core.NewColumnStore(tb)
+
+	points := workload.ProjectivitySweep("R", nAttrs, tb.Rows, sweepCounts(nAttrs, cfg.Quick), workload.ClassAggregation, sel, cfg.Seed)
+
+	t := &Table{
+		Title:   title,
+		Columns: []string{"attrs_accessed", "pct", "dbms_c_ms(column)", "dbms_r_ms(row)", "winner"},
+	}
+	var crossover string
+	for _, p := range points {
+		var colD, rowD time.Duration
+		colD = measure(cfg.Repeats, func() {
+			if _, _, err := colEng.Execute(p.Query); err != nil {
+				panic(err)
+			}
+		})
+		rowD = measure(cfg.Repeats, func() {
+			if _, _, err := rowEng.Execute(p.Query); err != nil {
+				panic(err)
+			}
+		})
+		winner := "column"
+		if rowD < colD {
+			winner = "row"
+			if crossover == "" {
+				crossover = p.Label
+			}
+		}
+		pct := fmtPct(atoiSafe(p.Label), nAttrs)
+		t.AddRow(p.Label, pct, ms(colD), ms(rowD), winner)
+	}
+	if sel >= 0 && crossover != "" {
+		t.Notes = append(t.Notes, "crossover: the row store overtakes the column store at "+crossover+" attributes accessed")
+	} else if sel < 0 {
+		t.Notes = append(t.Notes, "no where clause: the column store should win across the sweep (paper Fig. 2a)")
+	}
+	return t, nil
+}
+
+func fmtPct(k, n int) string {
+	return itoa(k*100/n) + "%"
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return n
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,183 @@
+package opgen
+
+import (
+	"testing"
+	"time"
+
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+func fixture(t *testing.T) (*data.Table, *storage.Relation) {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", 8), 1000, 99)
+	return tb, storage.BuildColumnMajor(tb)
+}
+
+func TestOperatorCacheHitsOnSameShape(t *testing.T) {
+	_, rel := fixture(t)
+	g := New(DefaultConfig())
+	q1 := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredLt(0, 100))
+	q2 := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredLt(0, -999)) // different constant
+
+	op1, cached1, err := g.Operator(exec.StrategyColumn, rel, q1)
+	if err != nil || cached1 {
+		t.Fatalf("first request: cached=%v err=%v", cached1, err)
+	}
+	op2, cached2, err := g.Operator(exec.StrategyColumn, rel, q2)
+	if err != nil || !cached2 {
+		t.Fatalf("same shape, different constant must hit the cache (cached=%v err=%v)", cached2, err)
+	}
+	if op1 != op2 {
+		t.Fatal("cache returned a different operator")
+	}
+	hits, misses := g.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+	if g.CacheSize() != 1 {
+		t.Fatalf("cache size = %d", g.CacheSize())
+	}
+}
+
+func TestOperatorCacheMissesOnDifferentShape(t *testing.T) {
+	_, rel := fixture(t)
+	g := New(DefaultConfig())
+	q1 := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredLt(0, 100))
+	q2 := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 3}, query.PredLt(0, 100)) // different attrs
+	q3 := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredGt(0, 100)) // different operator
+
+	if _, cached, _ := g.Operator(exec.StrategyColumn, rel, q1); cached {
+		t.Fatal("first request cached")
+	}
+	if _, cached, _ := g.Operator(exec.StrategyColumn, rel, q2); cached {
+		t.Fatal("different attribute set must not hit")
+	}
+	if _, cached, _ := g.Operator(exec.StrategyColumn, rel, q3); cached {
+		t.Fatal("different predicate operator must not hit")
+	}
+	if _, cached, _ := g.Operator(exec.StrategyHybrid, rel, q1); cached {
+		t.Fatal("different strategy must not hit")
+	}
+}
+
+func TestOperatorsExecuteCorrectly(t *testing.T) {
+	tb, rel := fixture(t)
+	row := storage.BuildRowMajor(tb, false)
+	g := New(DefaultConfig())
+	q := query.Aggregation("R", expr.AggMax, []data.AttrID{2, 5}, query.PredGt(1, 0))
+
+	var results []*exec.Result
+	for _, s := range []exec.Strategy{exec.StrategyColumn, exec.StrategyHybrid, exec.StrategyGeneric} {
+		op, _, err := g.Operator(s, rel, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := op.Run(rel, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	op, _, err := g.Operator(exec.StrategyRow, row, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := op.Run(row, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results = append(results, res)
+	for i := 1; i < len(results); i++ {
+		if !results[0].Equal(results[i]) {
+			t.Fatalf("operator %d disagrees", i)
+		}
+	}
+}
+
+func TestRowOperatorNeedsCoveringGroup(t *testing.T) {
+	_, rel := fixture(t) // column-major: no covering group
+	g := New(DefaultConfig())
+	q := query.Projection("R", []data.AttrID{0, 1}, nil)
+	op, _, err := g.Operator(exec.StrategyRow, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := op.Run(rel, q); err == nil {
+		t.Fatal("row operator must fail without a covering group")
+	}
+}
+
+func TestCompileLatencySimulation(t *testing.T) {
+	_, rel := fixture(t)
+	cfg := DefaultConfig()
+	cfg.SimulateCompileLatency = true
+	g := New(cfg)
+
+	small := query.Aggregation("R", expr.AggSum, []data.AttrID{0}, nil)
+	big := query.Aggregation("R", expr.AggSum, []data.AttrID{0, 1, 2, 3, 4, 5, 6, 7}, nil)
+	opSmall, _, _ := g.Operator(exec.StrategyColumn, rel, small)
+	opBig, _, _ := g.Operator(exec.StrategyColumn, rel, big)
+	if opSmall.CompileTime < 10*time.Millisecond || opSmall.CompileTime > 150*time.Millisecond {
+		t.Fatalf("compile time %v outside the paper's 10-150ms band", opSmall.CompileTime)
+	}
+	if opBig.CompileTime <= opSmall.CompileTime {
+		t.Fatal("compile time must grow with query complexity")
+	}
+	// The generic operator is never compiled.
+	opGen, _, _ := g.Operator(exec.StrategyGeneric, rel, small)
+	if opGen.CompileTime != 0 {
+		t.Fatal("generic operator must have zero compile time")
+	}
+	// Disabled simulation reports zero.
+	g2 := New(DefaultConfig())
+	op2, _, _ := g2.Operator(exec.StrategyColumn, rel, big)
+	if op2.CompileTime != 0 {
+		t.Fatal("disabled simulation must report zero compile time")
+	}
+}
+
+func TestSignatureLayoutSensitivity(t *testing.T) {
+	tb, col := fixture(t)
+	grp, err := storage.BuildPartitioned(tb, [][]data.AttrID{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
+	s1, err := Signature(exec.StrategyHybrid, col, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Signature(exec.StrategyHybrid, grp, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("operators are layout-specific: different layouts must produce different signatures")
+	}
+}
+
+func TestGenericPredicateSignature(t *testing.T) {
+	_, rel := fixture(t)
+	or := &expr.Or{L: query.PredLt(0, 1).(*expr.Cmp), R: query.PredGt(1, 2).(*expr.Cmp)}
+	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
+	sig, err := Signature(exec.StrategyGeneric, rel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig == "" {
+		t.Fatal("empty signature")
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	_, rel := fixture(t)
+	g := New(DefaultConfig())
+	q := query.Projection("R", []data.AttrID{0}, nil)
+	if _, _, err := g.Operator(exec.StrategyReorg, rel, q); err == nil {
+		t.Fatal("reorg operators are built by the engine, not the cache")
+	}
+}

@@ -1,0 +1,309 @@
+// Package persist serializes relations — schema, rows and the full set of
+// column groups, i.e. the layout the engine has evolved — to a compact
+// binary snapshot and restores them. A restored relation resumes with the
+// adapted physical design instead of re-learning it, which is how a
+// deployment survives restarts without losing the benefit of past
+// adaptation.
+//
+// Format (all integers little-endian):
+//
+//	magic   "H2OSNAP1"
+//	schema  name, attribute names        (uvarint-length-prefixed strings)
+//	rows    uint64
+//	groups  uint32 count, then per group:
+//	          attrs  uint32 count + uint32 ids
+//	          stride uint32
+//	          data   rows*stride int64 values
+//	digest  uint64 order-independent content checksum (storage.Checksum)
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"h2o/internal/data"
+	"h2o/internal/storage"
+)
+
+var magic = [8]byte{'H', '2', 'O', 'S', 'N', 'A', 'P', '1'}
+
+// Save writes a snapshot of rel to w.
+func Save(w io.Writer, rel *storage.Relation) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := writeString(bw, rel.Schema.Name); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(rel.Schema.NumAttrs())); err != nil {
+		return err
+	}
+	for _, a := range rel.Schema.Attrs {
+		if err := writeString(bw, a); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(bw, uint64(rel.Rows)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(rel.Groups))); err != nil {
+		return err
+	}
+	for _, g := range rel.Groups {
+		if err := writeU32(bw, uint32(len(g.Attrs))); err != nil {
+			return err
+		}
+		for _, a := range g.Attrs {
+			if err := writeU32(bw, uint32(a)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(bw, uint32(g.Stride)); err != nil {
+			return err
+		}
+		if err := writeValues(bw, g.Data); err != nil {
+			return err
+		}
+	}
+	digest, err := storage.Checksum(rel, allAttrs(rel.Schema.NumAttrs()))
+	if err != nil {
+		return fmt.Errorf("persist: digest: %w", err)
+	}
+	if err := writeU64(bw, digest); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot and reconstructs the relation, verifying the
+// content digest.
+func Load(r io.Reader) (*storage.Relation, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("persist: not an H2O snapshot (magic %q)", got[:])
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	nAttrs, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nAttrs == 0 || nAttrs > 1<<20 {
+		return nil, fmt.Errorf("persist: implausible attribute count %d", nAttrs)
+	}
+	attrs := make([]string, nAttrs)
+	for i := range attrs {
+		if attrs[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	schema, err := data.NewSchema(name, attrs)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	rows, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	nGroups, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]*storage.ColumnGroup, 0, nGroups)
+	for gi := uint32(0); gi < nGroups; gi++ {
+		nga, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nga == 0 || uint64(nga) > nAttrs {
+			return nil, fmt.Errorf("persist: group %d has implausible width %d", gi, nga)
+		}
+		ids := make([]data.AttrID, nga)
+		for i := range ids {
+			v, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = data.AttrID(v)
+		}
+		stride, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(stride) < len(ids) {
+			return nil, fmt.Errorf("persist: group %d stride %d below width %d", gi, stride, len(ids))
+		}
+		g := storage.NewGroupPadded(ids, int(rows), int(stride)-len(ids))
+		if err := readValues(br, g.Data); err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	}
+	rel, err := storage.NewRelation(schema, int(rows), groups)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	wantDigest, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	gotDigest, err := storage.Checksum(rel, allAttrs(rel.Schema.NumAttrs()))
+	if err != nil {
+		return nil, err
+	}
+	if gotDigest != wantDigest {
+		return nil, fmt.Errorf("persist: content digest mismatch (snapshot corrupt)")
+	}
+	return rel, nil
+}
+
+// SaveFile snapshots rel to path, atomically (write + rename).
+func SaveFile(path string, rel *storage.Relation) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, rel); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a relation from path.
+func LoadFile(path string) (*storage.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// ---- wire helpers ----
+
+const chunkValues = 8192
+
+func writeValues(w *bufio.Writer, vals []data.Value) error {
+	var buf [chunkValues * 8]byte
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunkValues {
+			n = chunkValues
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(vals[i]))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func readValues(r *bufio.Reader, dst []data.Value) error {
+	var buf [chunkValues * 8]byte
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > chunkValues {
+			n = chunkValues
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return fmt.Errorf("persist: truncated data section: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = data.Value(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("persist: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("persist: truncated string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("persist: truncated u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeU64(w *bufio.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("persist: truncated u64: %w", err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func allAttrs(n int) []data.AttrID {
+	out := make([]data.AttrID, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

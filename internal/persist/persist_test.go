@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/storage"
+)
+
+func sampleRelation(t *testing.T) (*data.Table, *storage.Relation) {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", 8), 500, 31)
+	rel, err := storage.BuildPartitioned(tb, [][]data.AttrID{{0, 1, 2}, {3, 4}, {5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An overlapping extra group and a padded group, to exercise the full
+	// layout space.
+	extra, err := storage.Stitch(rel, []data.AttrID{1, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AddGroup(extra); err != nil {
+		t.Fatal(err)
+	}
+	padded := storage.BuildGroupPadded(tb, []data.AttrID{2, 5}, 3)
+	if err := rel.AddGroup(padded); err != nil {
+		t.Fatal(err)
+	}
+	return tb, rel
+}
+
+func TestRoundTrip(t *testing.T) {
+	tb, rel := sampleRelation(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.Name != "R" || got.Schema.NumAttrs() != 8 || got.Rows != 500 {
+		t.Fatalf("metadata wrong: %v rows=%d", got.Schema, got.Rows)
+	}
+	if len(got.Groups) != len(rel.Groups) {
+		t.Fatalf("groups = %d, want %d", len(got.Groups), len(rel.Groups))
+	}
+	if got.LayoutSignature() != rel.LayoutSignature() {
+		t.Fatalf("layout changed: %s vs %s", got.LayoutSignature(), rel.LayoutSignature())
+	}
+	// Padding survives.
+	pg, ok := got.ExactGroup([]data.AttrID{2, 5})
+	if !ok || pg.Stride != 5 {
+		t.Fatalf("padded group lost its stride: %+v", pg)
+	}
+	// Every value is intact.
+	for r := 0; r < got.Rows; r++ {
+		for a := 0; a < 8; a++ {
+			g, err := got.GroupFor(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Value(r, a) != tb.Value(r, a) {
+				t.Fatalf("value mismatch at (%d,%d)", r, a)
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	_, rel := sampleRelation(t)
+	path := filepath.Join(t.TempDir(), "rel.h2o")
+	if err := SaveFile(path, rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LayoutSignature() != rel.LayoutSignature() {
+		t.Fatal("file round trip changed layout")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.h2o")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("H2O"),
+		"wrong magic": []byte("NOTASNAP________________"),
+	}
+	for name, b := range cases {
+		if _, err := Load(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	_, rel := sampleRelation(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, rel); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one data byte in the middle: the digest must catch it.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit flip went undetected")
+	} else if !strings.Contains(err.Error(), "persist:") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Truncation must fail cleanly.
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-9])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if _, err := Load(bytes.NewReader(raw[:40])); err == nil {
+		t.Fatal("header-only snapshot accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	_, rel := sampleRelation(t)
+	var a, b bytes.Buffer
+	if err := Save(&a, rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshots of the same relation differ")
+	}
+}

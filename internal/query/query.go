@@ -1,0 +1,215 @@
+// Package query defines the logical query representation shared by the
+// parser, the monitoring/adaptation machinery and the execution layer:
+// select-project-aggregate queries over one relation, the exact query class
+// the paper evaluates (joins are out of scope per §4: "we focus on scan based
+// queries and we do not consider joins").
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+// SelectItem is one output of a query: either a plain expression (projection
+// or arithmetic expression) or an aggregate.
+type SelectItem struct {
+	Agg  *expr.Agg // non-nil for aggregates
+	Expr expr.Expr // non-nil for plain expressions
+}
+
+// String renders the item in SQL-ish syntax.
+func (it SelectItem) String() string {
+	if it.Agg != nil {
+		return it.Agg.String()
+	}
+	return it.Expr.String()
+}
+
+// Attrs appends the base attributes the item references.
+func (it SelectItem) Attrs(dst []data.AttrID) []data.AttrID {
+	if it.Agg != nil {
+		return it.Agg.Attrs(dst)
+	}
+	return it.Expr.Attrs(dst)
+}
+
+// Query is a select-project-aggregate query over a single relation.
+type Query struct {
+	Table string
+	Items []SelectItem
+	Where expr.Pred // nil when the query has no where clause
+	// Limit truncates the materialized result to the first N rows; 0 means
+	// no limit. The engine applies it after the scan (no early exit) — the
+	// paper's workloads bound result cardinality with aggregates instead.
+	Limit int
+}
+
+// String renders the query in SQL-ish syntax.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Items))
+	for i, it := range q.Items {
+		parts[i] = it.String()
+	}
+	s := fmt.Sprintf("select %s from %s", strings.Join(parts, ", "), q.Table)
+	if q.Where != nil {
+		s += " where " + q.Where.String()
+	}
+	if q.Limit > 0 {
+		s += fmt.Sprintf(" limit %d", q.Limit)
+	}
+	return s
+}
+
+// SelectAttrs returns the sorted set of attributes referenced in the select
+// clause.
+func (q *Query) SelectAttrs() []data.AttrID {
+	var out []data.AttrID
+	for _, it := range q.Items {
+		out = it.Attrs(out)
+	}
+	return data.SortedUnique(out)
+}
+
+// WhereAttrs returns the sorted set of attributes referenced in the where
+// clause, or nil when there is none.
+func (q *Query) WhereAttrs() []data.AttrID {
+	if q.Where == nil {
+		return nil
+	}
+	return data.SortedUnique(q.Where.Attrs(nil))
+}
+
+// AllAttrs returns the sorted set of all attributes the query touches.
+func (q *Query) AllAttrs() []data.AttrID {
+	return data.Union(q.SelectAttrs(), q.WhereAttrs())
+}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (q *Query) HasAggregates() bool {
+	for _, it := range q.Items {
+		if it.Agg != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Info is the access-pattern summary of a query that the monitoring window
+// stores: which attributes appear in the select and where clauses. The paper
+// keeps the two clauses apart ("differentiating between attributes in the
+// select and the where clause allows H2O to consider appropriate data
+// layouts").
+type Info struct {
+	Select []data.AttrID // sorted
+	Where  []data.AttrID // sorted
+}
+
+// InfoOf summarizes a query.
+func InfoOf(q *Query) Info {
+	return Info{Select: q.SelectAttrs(), Where: q.WhereAttrs()}
+}
+
+// All returns the union of the select- and where-clause attribute sets.
+func (in Info) All() []data.AttrID { return data.Union(in.Select, in.Where) }
+
+// Pattern returns a canonical string key for the query's access pattern,
+// used for workload-shift detection and the operator cache.
+func (in Info) Pattern() string {
+	var b strings.Builder
+	b.WriteString("s:")
+	writeAttrs(&b, in.Select)
+	b.WriteString(";w:")
+	writeAttrs(&b, in.Where)
+	return b.String()
+}
+
+func writeAttrs(b *strings.Builder, attrs []data.AttrID) {
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d", a)
+	}
+}
+
+// ---- Builders for the paper's query templates (§4.2.1) ----
+
+// Projection builds template (i): select a, b, ... from R [where pred].
+func Projection(table string, attrs []data.AttrID, where expr.Pred) *Query {
+	items := make([]SelectItem, len(attrs))
+	for i, a := range attrs {
+		items[i] = SelectItem{Expr: &expr.Col{ID: a}}
+	}
+	return &Query{Table: table, Items: items, Where: where}
+}
+
+// Aggregation builds template (ii): select max(a), max(b), ... from R
+// [where pred], one aggregate per attribute.
+func Aggregation(table string, op expr.AggOp, attrs []data.AttrID, where expr.Pred) *Query {
+	items := make([]SelectItem, len(attrs))
+	for i, a := range attrs {
+		items[i] = SelectItem{Agg: &expr.Agg{Op: op, Arg: &expr.Col{ID: a}}}
+	}
+	return &Query{Table: table, Items: items, Where: where}
+}
+
+// ArithExpression builds template (iii): select a + b + ... from R
+// [where pred].
+func ArithExpression(table string, attrs []data.AttrID, where expr.Pred) *Query {
+	return &Query{
+		Table: table,
+		Items: []SelectItem{{Expr: expr.SumCols(attrs)}},
+		Where: where,
+	}
+}
+
+// AggExpression builds the select-project-aggregate shape of §4.1:
+// select sum(a + b + ...) from R [where pred]. Aggregating the expression
+// keeps result cardinality at one row, as the paper does "to minimize the
+// number of tuples returned".
+func AggExpression(table string, attrs []data.AttrID, where expr.Pred) *Query {
+	return &Query{
+		Table: table,
+		Items: []SelectItem{{Agg: &expr.Agg{Op: expr.AggSum, Arg: expr.SumCols(attrs)}}},
+		Where: where,
+	}
+}
+
+// PredLt builds the single-column predicate "attr < v".
+func PredLt(attr data.AttrID, v data.Value) expr.Pred {
+	return &expr.Cmp{Op: expr.Lt, L: &expr.Col{ID: attr}, R: &expr.Const{V: v}}
+}
+
+// PredGt builds the single-column predicate "attr > v".
+func PredGt(attr data.AttrID, v data.Value) expr.Pred {
+	return &expr.Cmp{Op: expr.Gt, L: &expr.Col{ID: attr}, R: &expr.Const{V: v}}
+}
+
+// ConjLtGt builds the two-predicate conjunction of the paper's running
+// example Q1: "d < v1 and e > v2".
+func ConjLtGt(dAttr data.AttrID, v1 data.Value, eAttr data.AttrID, v2 data.Value) expr.Pred {
+	return &expr.And{Terms: []expr.Pred{PredLt(dAttr, v1), PredGt(eAttr, v2)}}
+}
+
+// RandomAttrs returns k distinct attribute ids drawn from [0, n) using the
+// caller-supplied next function (e.g. rand.Intn). Results are sorted.
+func RandomAttrs(n, k int, next func(int) int) []data.AttrID {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]data.AttrID, 0, k)
+	for len(out) < k {
+		a := next(n)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,113 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+func TestTemplates(t *testing.T) {
+	proj := Projection("R", []data.AttrID{2, 0}, nil)
+	if len(proj.Items) != 2 || proj.HasAggregates() {
+		t.Fatal("Projection shape wrong")
+	}
+	if !reflect.DeepEqual(proj.SelectAttrs(), []data.AttrID{0, 2}) {
+		t.Fatalf("SelectAttrs = %v", proj.SelectAttrs())
+	}
+	if proj.WhereAttrs() != nil {
+		t.Fatal("no where clause expected")
+	}
+
+	agg := Aggregation("R", expr.AggMax, []data.AttrID{1, 3}, PredLt(5, 10))
+	if !agg.HasAggregates() || len(agg.Items) != 2 {
+		t.Fatal("Aggregation shape wrong")
+	}
+	if !reflect.DeepEqual(agg.WhereAttrs(), []data.AttrID{5}) {
+		t.Fatalf("WhereAttrs = %v", agg.WhereAttrs())
+	}
+	if !reflect.DeepEqual(agg.AllAttrs(), []data.AttrID{1, 3, 5}) {
+		t.Fatalf("AllAttrs = %v", agg.AllAttrs())
+	}
+
+	ae := ArithExpression("R", []data.AttrID{0, 1, 2}, nil)
+	if len(ae.Items) != 1 || ae.HasAggregates() {
+		t.Fatal("ArithExpression shape wrong")
+	}
+	if !reflect.DeepEqual(ae.SelectAttrs(), []data.AttrID{0, 1, 2}) {
+		t.Fatalf("SelectAttrs = %v", ae.SelectAttrs())
+	}
+
+	sae := AggExpression("R", []data.AttrID{0, 1}, nil)
+	if !sae.HasAggregates() || len(sae.Items) != 1 {
+		t.Fatal("AggExpression shape wrong")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Aggregation("R", expr.AggMax, []data.AttrID{0}, ConjLtGt(3, 10, 4, 20))
+	s := q.String()
+	for _, want := range []string{"select", "max(a0)", "from R", "where", "a3 < 10", "a4 > 20"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestInfoPattern(t *testing.T) {
+	q1 := Projection("R", []data.AttrID{1, 2}, PredGt(0, 5))
+	q2 := Projection("R", []data.AttrID{2, 1}, PredGt(0, 99)) // same attrs, different constant
+	i1, i2 := InfoOf(q1), InfoOf(q2)
+	if i1.Pattern() != i2.Pattern() {
+		t.Fatal("pattern should depend only on the attribute sets")
+	}
+	q3 := Projection("R", []data.AttrID{1, 2, 3}, PredGt(0, 5))
+	if InfoOf(q3).Pattern() == i1.Pattern() {
+		t.Fatal("different attribute sets must have different patterns")
+	}
+	// Select vs where must be distinguished (paper keeps two matrices).
+	qa := Projection("R", []data.AttrID{1}, PredGt(2, 5))
+	qb := Projection("R", []data.AttrID{2}, PredGt(1, 5))
+	if InfoOf(qa).Pattern() == InfoOf(qb).Pattern() {
+		t.Fatal("select/where roles must affect the pattern")
+	}
+	if !reflect.DeepEqual(i1.All(), []data.AttrID{0, 1, 2}) {
+		t.Fatalf("All = %v", i1.All())
+	}
+}
+
+func TestConjLtGt(t *testing.T) {
+	p := ConjLtGt(0, 10, 1, 20)
+	and, ok := p.(*expr.And)
+	if !ok || len(and.Terms) != 2 {
+		t.Fatal("ConjLtGt should build a 2-term conjunction")
+	}
+	get := func(a data.AttrID) data.Value { return []data.Value{5, 25}[a] }
+	if !p.EvalBool(get) {
+		t.Fatal("5<10 and 25>20 should hold")
+	}
+}
+
+func TestRandomAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := RandomAttrs(10, 4, rng.Intn)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	prev := -1
+	for _, a := range got {
+		if a < 0 || a >= 10 || seen[a] || a <= prev {
+			t.Fatalf("RandomAttrs not sorted/distinct/in-range: %v", got)
+		}
+		seen[a] = true
+		prev = a
+	}
+	// k > n clamps to n.
+	if got := RandomAttrs(3, 99, rng.Intn); len(got) != 3 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package sql implements a small hand-written lexer and recursive-descent
+// parser for H2O's query class: single-table select-project-aggregate
+// statements with conjunctive/disjunctive comparison predicates, e.g.
+//
+//	select a + b + c from R where d < 10 and e > 20
+//	select max(a), sum(b) from R where c >= 0
+//
+// The parser resolves column names against a relation schema and produces
+// the logical query.Query representation.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokLParen
+	tokRParen
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokEq
+	tokNe
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, l.pos, l.pos)
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, start, l.pos)
+		case c >= '0' && c <= '9':
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.emit(tokNumber, start, l.pos)
+		default:
+			l.pos++
+			switch c {
+			case ',':
+				l.emit(tokComma, start, l.pos)
+			case '(':
+				l.emit(tokLParen, start, l.pos)
+			case ')':
+				l.emit(tokRParen, start, l.pos)
+			case '+':
+				l.emit(tokPlus, start, l.pos)
+			case '-':
+				l.emit(tokMinus, start, l.pos)
+			case '*':
+				l.emit(tokStar, start, l.pos)
+			case '/':
+				l.emit(tokSlash, start, l.pos)
+			case '=':
+				l.emit(tokEq, start, l.pos)
+			case '<':
+				switch {
+				case l.peekByte() == '=':
+					l.pos++
+					l.emit(tokLe, start, l.pos)
+				case l.peekByte() == '>':
+					l.pos++
+					l.emit(tokNe, start, l.pos)
+				default:
+					l.emit(tokLt, start, l.pos)
+				}
+			case '>':
+				if l.peekByte() == '=' {
+					l.pos++
+					l.emit(tokGe, start, l.pos)
+				} else {
+					l.emit(tokGt, start, l.pos)
+				}
+			case '!':
+				if l.peekByte() == '=' {
+					l.pos++
+					l.emit(tokNe, start, l.pos)
+				} else {
+					return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, start)
+				}
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at position %d", c, start)
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, start, end int) {
+	l.tokens = append(l.tokens, token{kind: k, text: l.src[start:end], pos: start})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

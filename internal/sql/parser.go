@@ -1,0 +1,421 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+)
+
+// Resolver maps a table name to its schema. The engine's catalog implements
+// this; tests can use a map.
+type Resolver interface {
+	SchemaOf(table string) (*data.Schema, error)
+}
+
+// SchemaMap is a Resolver backed by a map.
+type SchemaMap map[string]*data.Schema
+
+// SchemaOf implements Resolver.
+func (m SchemaMap) SchemaOf(table string) (*data.Schema, error) {
+	s, ok := m[table]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", table)
+	}
+	return s, nil
+}
+
+// Parse parses a select statement and resolves column references against the
+// table's schema obtained from r.
+func Parse(src string, r Resolver) (*query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, resolver: r}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %s", p.cur())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	idx      int
+	resolver Resolver
+	schema   *data.Schema
+}
+
+func (p *parser) cur() token  { return p.toks[p.idx] }
+func (p *parser) next() token { t := p.toks[p.idx]; p.idx++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at position %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf("expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !isKeyword(p.cur(), kw) {
+		return p.errf("expected %q, found %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+// parseSelect parses: SELECT items FROM table [WHERE pred].
+//
+// The grammar requires the table name before column resolution, so the
+// parser first scans ahead for FROM, resolves the schema, then parses the
+// item list. A simpler approach — parse items unresolved then bind — would
+// need a second tree pass; scanning ahead keeps the tree immutable.
+func (p *parser) parseSelect() (*query.Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	// Find FROM at paren depth 0 to locate the table name.
+	depth := 0
+	fromIdx := -1
+	for i := p.idx; i < len(p.toks); i++ {
+		switch p.toks[i].kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+		case tokIdent:
+			if depth == 0 && strings.EqualFold(p.toks[i].text, "from") {
+				fromIdx = i
+			}
+		}
+		if fromIdx >= 0 {
+			break
+		}
+	}
+	if fromIdx < 0 {
+		return nil, fmt.Errorf("sql: missing FROM clause")
+	}
+	if fromIdx+1 >= len(p.toks) || p.toks[fromIdx+1].kind != tokIdent {
+		return nil, fmt.Errorf("sql: missing table name after FROM")
+	}
+	table := p.toks[fromIdx+1].text
+	schema, err := p.resolver.SchemaOf(table)
+	if err != nil {
+		return nil, err
+	}
+	p.schema = schema
+
+	var items []query.SelectItem
+	if p.cur().kind == tokStar {
+		// select * from R: expand to every schema attribute.
+		p.next()
+		for id, name := range schema.Attrs {
+			items = append(items, query.SelectItem{Expr: &expr.Col{ID: id, Name: name}})
+		}
+	} else {
+		for {
+			it, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "table name"); err != nil {
+		return nil, err
+	}
+
+	q := &query.Query{Table: table, Items: items}
+	if isKeyword(p.cur(), "where") {
+		p.next()
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	if isKeyword(p.cur(), "limit") {
+		p.next()
+		t, err := p.expect(tokNumber, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid limit %q", t.text)
+		}
+		q.Limit = int(n)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (query.SelectItem, error) {
+	if op, ok := aggOf(p.cur()); ok && p.idx+1 < len(p.toks) && p.toks[p.idx+1].kind == tokLParen {
+		p.next() // aggregate name
+		p.next() // '('
+		arg, err := p.parseExpr()
+		if err != nil {
+			return query.SelectItem{}, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return query.SelectItem{}, err
+		}
+		return query.SelectItem{Agg: &expr.Agg{Op: op, Arg: arg}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return query.SelectItem{}, err
+	}
+	return query.SelectItem{Expr: e}, nil
+}
+
+func aggOf(t token) (expr.AggOp, bool) {
+	if t.kind != tokIdent {
+		return 0, false
+	}
+	switch strings.ToLower(t.text) {
+	case "sum":
+		return expr.AggSum, true
+	case "max":
+		return expr.AggMax, true
+	case "min":
+		return expr.AggMin, true
+	case "count":
+		return expr.AggCount, true
+	case "avg":
+		return expr.AggAvg, true
+	default:
+		return 0, false
+	}
+}
+
+// parseOr: parseAnd (OR parseAnd)*
+func (p *parser) parseOr() (expr.Pred, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for isKeyword(p.cur(), "or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseAnd: parsePredAtom (AND parsePredAtom)*; conjunctions flatten into a
+// single n-ary And so kernels can evaluate all terms in one pass.
+func (p *parser) parseAnd() (expr.Pred, error) {
+	first, err := p.parsePredAtom()
+	if err != nil {
+		return nil, err
+	}
+	var terms []expr.Pred
+	if inner, ok := first.(*expr.And); ok {
+		terms = append(terms, inner.Terms...)
+	} else {
+		terms = append(terms, first)
+	}
+	for isKeyword(p.cur(), "and") {
+		p.next()
+		t, err := p.parsePredAtom()
+		if err != nil {
+			return nil, err
+		}
+		if inner, ok := t.(*expr.And); ok {
+			terms = append(terms, inner.Terms...)
+		} else {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &expr.And{Terms: terms}, nil
+}
+
+// parsePredAtom: '(' parseOr ')' | expr cmpop expr. A leading '(' is
+// ambiguous (parenthesized predicate vs. parenthesized arithmetic); the
+// parser tries the predicate reading first and backtracks.
+func (p *parser) parsePredAtom() (expr.Pred, error) {
+	if p.cur().kind == tokLParen {
+		save := p.idx
+		p.next()
+		if pred, err := p.parseOr(); err == nil && p.cur().kind == tokRParen {
+			p.next()
+			return pred, nil
+		}
+		p.idx = save
+	}
+	l, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if isKeyword(p.cur(), "between") {
+		// x BETWEEN lo AND hi ≡ x >= lo and x <= hi; BETWEEN's internal AND
+		// binds tighter than the conjunction separator.
+		p.next()
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.And{Terms: []expr.Pred{
+			&expr.Cmp{Op: expr.Ge, L: l, R: lo},
+			&expr.Cmp{Op: expr.Le, L: l, R: hi},
+		}}, nil
+	}
+	var op expr.CmpOp
+	switch p.cur().kind {
+	case tokLt:
+		op = expr.Lt
+	case tokLe:
+		op = expr.Le
+	case tokGt:
+		op = expr.Gt
+	case tokGe:
+		op = expr.Ge
+	case tokEq:
+		op = expr.Eq
+	case tokNe:
+		op = expr.Ne
+	default:
+		return nil, p.errf("expected comparison operator, found %s", p.cur())
+	}
+	p.next()
+	r, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &expr.Cmp{Op: op, L: l, R: r}, nil
+}
+
+// parseExpr: term (('+'|'-') term)*
+func (p *parser) parseExpr() (expr.Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokPlus:
+			p.next()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Arith{Op: expr.Add, L: l, R: r}
+		case tokMinus:
+			p.next()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Arith{Op: expr.Sub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// parseTerm: factor (('*'|'/') factor)*
+func (p *parser) parseTerm() (expr.Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokStar:
+			p.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Arith{Op: expr.Mul, L: l, R: r}
+		case tokSlash:
+			p.next()
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = &expr.Arith{Op: expr.Div, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// parseFactor: ident | number | '-' factor | '(' expr ')'
+func (p *parser) parseFactor() (expr.Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokIdent:
+		if isKeyword(t, "from") || isKeyword(t, "where") || isKeyword(t, "and") ||
+			isKeyword(t, "or") || isKeyword(t, "between") || isKeyword(t, "limit") {
+			return nil, p.errf("expected expression, found keyword %s", t)
+		}
+		p.next()
+		id, err := p.schema.AttrIndex(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		return &expr.Col{ID: id, Name: t.text}, nil
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid integer literal %s", t)
+		}
+		return &expr.Const{V: v}, nil
+	case tokMinus:
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if k, ok := inner.(*expr.Const); ok {
+			return &expr.Const{V: -k.V}, nil
+		}
+		return &expr.Arith{Op: expr.Sub, L: &expr.Const{V: 0}, R: inner}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}

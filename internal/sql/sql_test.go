@@ -1,0 +1,312 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+func resolver() Resolver {
+	return SchemaMap{"R": data.SyntheticSchema("R", 10)}
+}
+
+func eval(t *testing.T, e expr.Expr, vals ...data.Value) data.Value {
+	t.Helper()
+	return e.Eval(func(a data.AttrID) data.Value { return vals[a] })
+}
+
+func TestParseProjection(t *testing.T) {
+	q, err := Parse("select a1, a2, a3 from R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "R" || len(q.Items) != 3 || q.Where != nil {
+		t.Fatalf("unexpected query: %v", q)
+	}
+	if !reflect.DeepEqual(q.SelectAttrs(), []data.AttrID{1, 2, 3}) {
+		t.Fatalf("SelectAttrs = %v", q.SelectAttrs())
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("SELECT max(a0), SUM(a1), min(a2), count(a3), avg(a4) FROM R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []expr.AggOp{expr.AggMax, expr.AggSum, expr.AggMin, expr.AggCount, expr.AggAvg}
+	for i, it := range q.Items {
+		if it.Agg == nil || it.Agg.Op != ops[i] {
+			t.Fatalf("item %d: want agg %v, got %v", i, ops[i], it)
+		}
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	q, err := Parse("select a0 + a1 * a2 - 4 / 2 from R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precedence: a0 + (a1*a2) - (4/2)  with vals 1,2,3 → 1+6-2 = 5
+	if got := eval(t, q.Items[0].Expr, 1, 2, 3); got != 5 {
+		t.Fatalf("precedence eval = %d, want 5", got)
+	}
+}
+
+func TestParseParensAndUnaryMinus(t *testing.T) {
+	q, err := Parse("select (a0 + a1) * -2 from R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval(t, q.Items[0].Expr, 3, 4); got != -14 {
+		t.Fatalf("eval = %d, want -14", got)
+	}
+	q, err = Parse("select -a0 from R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval(t, q.Items[0].Expr, 9); got != -9 {
+		t.Fatalf("unary minus on column = %d, want -9", got)
+	}
+}
+
+func TestParseWhereConjunction(t *testing.T) {
+	q, err := Parse("select a0 from R where a3 < 10 and a4 > 20 and a5 = 7", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(*expr.And)
+	if !ok || len(and.Terms) != 3 {
+		t.Fatalf("where should be 3-term conjunction, got %v", q.Where)
+	}
+	if !reflect.DeepEqual(q.WhereAttrs(), []data.AttrID{3, 4, 5}) {
+		t.Fatalf("WhereAttrs = %v", q.WhereAttrs())
+	}
+}
+
+func TestParseWhereOrAndParens(t *testing.T) {
+	q, err := Parse("select a0 from R where (a1 < 5 or a2 > 9) and a3 <> 0", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(*expr.And)
+	if !ok || len(and.Terms) != 2 {
+		t.Fatalf("top level should be 2-term And, got %v", q.Where)
+	}
+	if _, ok := and.Terms[0].(*expr.Or); !ok {
+		t.Fatalf("first term should be Or, got %v", and.Terms[0])
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	for src, op := range map[string]expr.CmpOp{
+		"a0 < 1": expr.Lt, "a0 <= 1": expr.Le, "a0 > 1": expr.Gt,
+		"a0 >= 1": expr.Ge, "a0 = 1": expr.Eq, "a0 <> 1": expr.Ne, "a0 != 1": expr.Ne,
+	} {
+		q, err := Parse("select a0 from R where "+src, resolver())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		cmp, ok := q.Where.(*expr.Cmp)
+		if !ok || cmp.Op != op {
+			t.Fatalf("%s parsed as %v", src, q.Where)
+		}
+	}
+}
+
+func TestParseNegativeConstants(t *testing.T) {
+	q, err := Parse("select a0 from R where a1 > -1000000000", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where.(*expr.Cmp)
+	if k, ok := cmp.R.(*expr.Const); !ok || k.V != -1000000000 {
+		t.Fatalf("constant = %v", cmp.R)
+	}
+}
+
+func TestParseExpressionPredicate(t *testing.T) {
+	// Predicates over expressions, e.g. (a+b) > X (paper §3.4).
+	q, err := Parse("select a0 from R where a1 + a2 > 100", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.WhereAttrs(), []data.AttrID{1, 2}) {
+		t.Fatalf("WhereAttrs = %v", q.WhereAttrs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select from R",
+		"select a0",           // missing FROM
+		"select a0 from",      // missing table
+		"select a0 from Nope", // unknown table
+		"select zz from R",    // unknown column
+		"select a0 from R where",
+		"select a0 from R where a1",          // missing comparison
+		"select a0 from R where a1 <",        // missing rhs
+		"select a0 from R extra",             // trailing tokens
+		"select a0 a1 from R",                // missing comma
+		"select (a0 from R",                  // unbalanced paren
+		"select a0 from R where a1 ! a2",     // bad operator
+		"select 99999999999999999999 from R", // overflow literal
+		"select a0 @ a1 from R",              // bad character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, resolver()); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("SeLeCt a0 FrOm R wHeRe a1 < 3 AnD a2 > 4", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where == nil {
+		t.Fatal("where clause lost")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parse → String → Parse must preserve the access pattern.
+	srcs := []string{
+		"select a0, a1 from R where a2 < 5",
+		"select max(a0), max(a3) from R where a1 > 2 and a2 < 9",
+		"select a0 + a1 + a2 from R",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src, resolver())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q1.String(), resolver())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if !reflect.DeepEqual(q1.SelectAttrs(), q2.SelectAttrs()) ||
+			!reflect.DeepEqual(q1.WhereAttrs(), q2.WhereAttrs()) {
+			t.Fatalf("round trip changed access pattern for %q", src)
+		}
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q, err := Parse("select * from R", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 10 {
+		t.Fatalf("star expanded to %d items, want 10", len(q.Items))
+	}
+	if !reflect.DeepEqual(q.SelectAttrs(), []data.AttrID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("SelectAttrs = %v", q.SelectAttrs())
+	}
+	// Star with a where clause.
+	q, err = Parse("select * from R where a0 < 5", resolver())
+	if err != nil || q.Where == nil {
+		t.Fatalf("star+where: %v %v", q, err)
+	}
+	// Star must stand alone in this dialect.
+	if _, err := Parse("select *, a1 from R", resolver()); err == nil {
+		t.Fatal("star mixed with columns accepted")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q, err := Parse("select a0 from R where a1 between -5 and 10 and a2 > 3", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Where.(*expr.And)
+	if !ok || len(and.Terms) != 3 {
+		t.Fatalf("where = %v; BETWEEN must expand to two terms plus the extra conjunct", q.Where)
+	}
+	lo := and.Terms[0].(*expr.Cmp)
+	hi := and.Terms[1].(*expr.Cmp)
+	if lo.Op != expr.Ge || hi.Op != expr.Le {
+		t.Fatalf("BETWEEN ops = %v, %v", lo.Op, hi.Op)
+	}
+	// Evaluate semantics: a1 in [-5, 10].
+	holds := func(v data.Value) bool {
+		return q.Where.EvalBool(func(a data.AttrID) data.Value {
+			return map[data.AttrID]data.Value{1: v, 2: 4, 0: 0}[a]
+		})
+	}
+	if !holds(-5) || !holds(10) || holds(-6) || holds(11) {
+		t.Fatal("BETWEEN bounds must be inclusive")
+	}
+	if _, err := Parse("select a0 from R where a1 between 1", resolver()); err == nil {
+		t.Fatal("incomplete BETWEEN accepted")
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	q, err := Parse("select a0 from R where a1 > 0 limit 7", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 7 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+	// Limit round-trips through String.
+	q2, err := Parse(q.String(), resolver())
+	if err != nil || q2.Limit != 7 {
+		t.Fatalf("limit round trip: %v %v", q2, err)
+	}
+	for _, bad := range []string{
+		"select a0 from R limit",
+		"select a0 from R limit x",
+		"select a0 from R limit -1",
+		"select a0 from R limit 1 2",
+	} {
+		if _, err := Parse(bad, resolver()); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	r := SchemaMap{"R": data.SyntheticSchema("R", 3)}
+	stmt, err := ParseInsert("insert into R values (1, -2, 3), (4, 5, 6)", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Table != "R" || len(stmt.Rows) != 2 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if !reflect.DeepEqual(stmt.Rows[0], []data.Value{1, -2, 3}) {
+		t.Fatalf("row 0 = %v", stmt.Rows[0])
+	}
+	for _, bad := range []string{
+		"insert into R values (1, 2)",       // wrong arity
+		"insert into R values (1, 2, 3",     // unbalanced
+		"insert into Nope values (1, 2, 3)", // unknown table
+		"insert R values (1, 2, 3)",         // missing INTO
+		"insert into R values (1, 2, 3) x",  // trailing
+		"insert into R values (a, 2, 3)",    // non-literal
+		"insert into R values",              // missing rows
+	} {
+		if _, err := ParseInsert(bad, r); err == nil {
+			t.Errorf("ParseInsert(%q) should fail", bad)
+		}
+	}
+	if !IsInsert("  INSERT into R values (1,2,3)") {
+		t.Fatal("IsInsert false negative")
+	}
+	if IsInsert("select a0 from R") || IsInsert("") {
+		t.Fatal("IsInsert false positive")
+	}
+}
+
+func TestLexerPositionsInErrors(t *testing.T) {
+	_, err := Parse("select a0 from R where a1 < ?", resolver())
+	if err == nil || !strings.Contains(err.Error(), "sql:") {
+		t.Fatalf("expected sql error, got %v", err)
+	}
+}

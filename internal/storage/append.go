@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"fmt"
+
+	"h2o/internal/data"
+)
+
+// Append adds one tuple (a full-width value slice in schema attribute
+// order) to the relation: every column group grows by one mini-tuple, so
+// all layouts stay consistent views of the same logical relation.
+//
+// H2O is a read-optimized analytical store — the paper evaluates scans, not
+// updates — so appends are the only write: densely packed, no free space,
+// no in-place updates (§3.1: "attributes are densely-packed and no
+// additional space is left for updates").
+func (r *Relation) Append(tuple []data.Value) error {
+	if len(tuple) != r.Schema.NumAttrs() {
+		return fmt.Errorf("storage: tuple has %d values, schema %q has %d attributes",
+			len(tuple), r.Schema.Name, r.Schema.NumAttrs())
+	}
+	for _, g := range r.Groups {
+		base := len(g.Data)
+		g.Data = append(g.Data, make([]data.Value, g.Stride)...)
+		for i, a := range g.Attrs {
+			g.Data[base+i] = tuple[a]
+		}
+		g.Rows++
+	}
+	r.Rows++
+	return nil
+}
+
+// AppendBatch adds many tuples; it validates all widths before mutating
+// anything, so a bad batch leaves the relation untouched.
+func (r *Relation) AppendBatch(tuples [][]data.Value) error {
+	for i, tup := range tuples {
+		if len(tup) != r.Schema.NumAttrs() {
+			return fmt.Errorf("storage: tuple %d has %d values, schema %q has %d attributes",
+				i, len(tup), r.Schema.Name, r.Schema.NumAttrs())
+		}
+	}
+	for _, g := range r.Groups {
+		need := len(g.Data) + len(tuples)*g.Stride
+		if cap(g.Data) < need {
+			grown := make([]data.Value, len(g.Data), need)
+			copy(grown, g.Data)
+			g.Data = grown
+		}
+		for _, tup := range tuples {
+			base := len(g.Data)
+			g.Data = g.Data[:base+g.Stride]
+			for i, a := range g.Attrs {
+				g.Data[base+i] = tup[a]
+			}
+		}
+		g.Rows += len(tuples)
+	}
+	r.Rows += len(tuples)
+	return nil
+}

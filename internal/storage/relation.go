@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"h2o/internal/data"
+)
+
+// Relation is a stored relation: a schema, a row count and a set of column
+// groups that together cover every attribute at least once. Groups may
+// overlap — the paper allows "the same piece of data [to] be stored in more
+// than one format" — so lookups prefer the narrowest covering group.
+type Relation struct {
+	Schema *data.Schema
+	Rows   int
+	Groups []*ColumnGroup
+
+	// narrowest caches, per attribute, the narrowest group storing it; it is
+	// invalidated whenever the group set changes. Wide schemas make the
+	// linear GroupFor scan O(attrs x groups) per query without it.
+	narrowest []*ColumnGroup
+}
+
+// NewRelation creates a relation from a set of groups. It validates that the
+// groups cover the schema and share the relation's row count.
+func NewRelation(schema *data.Schema, rows int, groups []*ColumnGroup) (*Relation, error) {
+	rel := &Relation{Schema: schema, Rows: rows, Groups: groups}
+	covered := make([]bool, schema.NumAttrs())
+	for _, g := range groups {
+		if g.Rows != rows {
+			return nil, fmt.Errorf("storage: group %v has %d rows, relation %q has %d", g.Attrs, g.Rows, schema.Name, rows)
+		}
+		if !schema.ValidAttrs(g.Attrs) {
+			return nil, fmt.Errorf("storage: group %v references attributes outside schema %q", g.Attrs, schema.Name)
+		}
+		for _, a := range g.Attrs {
+			covered[a] = true
+		}
+	}
+	for a, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("storage: attribute %s of %q not covered by any group", schema.AttrName(a), schema.Name)
+		}
+	}
+	return rel, nil
+}
+
+// BuildColumnMajor materializes t as a pure column-major relation
+// (one width-1 group per attribute).
+func BuildColumnMajor(t *data.Table) *Relation {
+	groups := make([]*ColumnGroup, t.Schema.NumAttrs())
+	for a := range groups {
+		groups[a] = BuildGroup(t, []data.AttrID{a})
+	}
+	rel, err := NewRelation(t.Schema, t.Rows, groups)
+	if err != nil {
+		panic(err) // unreachable: construction covers the schema by design
+	}
+	return rel
+}
+
+// BuildRowMajor materializes t as a single row-major group. If padded is
+// true the group carries the NSM page/slot overhead the paper measures for
+// the commercial row store.
+func BuildRowMajor(t *data.Table, padded bool) *Relation {
+	all := make([]data.AttrID, t.Schema.NumAttrs())
+	for a := range all {
+		all[a] = a
+	}
+	pad := 0
+	if padded {
+		pad = RowOverheadWords(len(all))
+	}
+	rel, err := NewRelation(t.Schema, t.Rows, []*ColumnGroup{BuildGroupPadded(t, all, pad)})
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// BuildPartitioned materializes t according to an explicit vertical
+// partitioning: one group per attribute set in parts. Parts must cover the
+// schema (they may overlap).
+func BuildPartitioned(t *data.Table, parts [][]data.AttrID) (*Relation, error) {
+	groups := make([]*ColumnGroup, len(parts))
+	for i, p := range parts {
+		groups[i] = BuildGroup(t, p)
+	}
+	return NewRelation(t.Schema, t.Rows, groups)
+}
+
+// Kind classifies the relation's current layout.
+func (r *Relation) Kind() LayoutKind {
+	if len(r.Groups) == 1 && r.Groups[0].Width == r.Schema.NumAttrs() {
+		return KindRow
+	}
+	for _, g := range r.Groups {
+		if g.Width != 1 {
+			return KindGroup
+		}
+	}
+	return KindColumn
+}
+
+// Bytes returns the total in-memory footprint of all groups.
+func (r *Relation) Bytes() int64 {
+	var n int64
+	for _, g := range r.Groups {
+		n += g.Bytes()
+	}
+	return n
+}
+
+// GroupFor returns the narrowest group storing attribute a.
+func (r *Relation) GroupFor(a data.AttrID) (*ColumnGroup, error) {
+	if r.narrowest == nil {
+		r.rebuildIndex()
+	}
+	if a >= 0 && a < len(r.narrowest) {
+		if g := r.narrowest[a]; g != nil {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: no group stores attribute %s", r.Schema.AttrName(a))
+}
+
+// rebuildIndex recomputes the narrowest-group-per-attribute cache.
+func (r *Relation) rebuildIndex() {
+	r.narrowest = make([]*ColumnGroup, r.Schema.NumAttrs())
+	for _, g := range r.Groups {
+		for _, a := range g.Attrs {
+			if best := r.narrowest[a]; best == nil || g.Width < best.Width {
+				r.narrowest[a] = g
+			}
+		}
+	}
+}
+
+// ExactGroup returns the group whose attribute set is exactly attrs, if any.
+func (r *Relation) ExactGroup(attrs []data.AttrID) (*ColumnGroup, bool) {
+	want := data.SortedUnique(attrs)
+	for _, g := range r.Groups {
+		if len(g.Attrs) != len(want) {
+			continue
+		}
+		same := true
+		for i := range want {
+			if g.Attrs[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// CoveringGroups returns a small set of groups that together store every
+// attribute in attrs, using a greedy set cover that prefers groups covering
+// the most still-missing attributes and, on ties, the narrowest group (least
+// wasted bandwidth). The returned assignment maps each requested attribute to
+// the group chosen for it.
+func (r *Relation) CoveringGroups(attrs []data.AttrID) ([]*ColumnGroup, map[data.AttrID]*ColumnGroup, error) {
+	need := make(map[data.AttrID]bool, len(attrs))
+	for _, a := range attrs {
+		need[a] = true
+	}
+	var chosen []*ColumnGroup
+	assign := make(map[data.AttrID]*ColumnGroup, len(attrs))
+	for len(need) > 0 {
+		var best *ColumnGroup
+		bestCover := 0
+		for _, g := range r.Groups {
+			cover := 0
+			for _, a := range g.Attrs {
+				if need[a] {
+					cover++
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			if best == nil || cover > bestCover || (cover == bestCover && g.Width < best.Width) {
+				best, bestCover = g, cover
+			}
+		}
+		if best == nil {
+			missing := make([]data.AttrID, 0, len(need))
+			for a := range need {
+				missing = append(missing, a)
+			}
+			sort.Ints(missing)
+			return nil, nil, fmt.Errorf("storage: attributes %v not covered by any group of %q", missing, r.Schema.Name)
+		}
+		chosen = append(chosen, best)
+		for _, a := range best.Attrs {
+			if need[a] {
+				assign[a] = best
+				delete(need, a)
+			}
+		}
+	}
+	return chosen, assign, nil
+}
+
+// AddGroup registers a new group with the relation. The group must match the
+// relation's row count.
+func (r *Relation) AddGroup(g *ColumnGroup) error {
+	if g.Rows != r.Rows {
+		return fmt.Errorf("storage: group %v has %d rows, relation has %d", g.Attrs, g.Rows, r.Rows)
+	}
+	r.Groups = append(r.Groups, g)
+	r.narrowest = nil
+	return nil
+}
+
+// DropGroup removes a group from the relation if removing it keeps the
+// schema covered; it reports whether the group was removed.
+func (r *Relation) DropGroup(g *ColumnGroup) bool {
+	idx := -1
+	for i, have := range r.Groups {
+		if have == g {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	covered := make([]bool, r.Schema.NumAttrs())
+	for i, have := range r.Groups {
+		if i == idx {
+			continue
+		}
+		for _, a := range have.Attrs {
+			covered[a] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	r.Groups = append(r.Groups[:idx], r.Groups[idx+1:]...)
+	r.narrowest = nil
+	return true
+}
+
+// LayoutSignature returns a stable human-readable description of the current
+// partitioning, used by the shell, logs and tests.
+func (r *Relation) LayoutSignature() string {
+	parts := make([]string, len(r.Groups))
+	for i, g := range r.Groups {
+		parts[i] = fmt.Sprint(g.Attrs)
+	}
+	sort.Strings(parts)
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += " | "
+		}
+		s += p
+	}
+	return s
+}

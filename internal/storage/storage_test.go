@@ -1,0 +1,457 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"h2o/internal/data"
+)
+
+func genTable(t *testing.T, attrs, rows int) *data.Table {
+	t.Helper()
+	return data.Generate(data.SyntheticSchema("R", attrs), rows, 4242)
+}
+
+func TestBuildGroupRoundTrip(t *testing.T) {
+	tb := genTable(t, 6, 500)
+	g := BuildGroup(tb, []data.AttrID{1, 4, 2})
+	if !reflect.DeepEqual(g.Attrs, []data.AttrID{1, 2, 4}) {
+		t.Fatalf("attrs not normalized: %v", g.Attrs)
+	}
+	for r := 0; r < tb.Rows; r++ {
+		for _, a := range g.Attrs {
+			if g.Value(r, a) != tb.Value(r, a) {
+				t.Fatalf("mismatch at row %d attr %d", r, a)
+			}
+		}
+	}
+}
+
+func TestGroupPadding(t *testing.T) {
+	tb := genTable(t, 4, 100)
+	g := BuildGroupPadded(tb, []data.AttrID{0, 1, 2, 3}, 2)
+	if g.Stride != 6 {
+		t.Fatalf("stride = %d, want 6", g.Stride)
+	}
+	if g.Bytes() != int64(100*6*8) {
+		t.Fatalf("bytes = %d", g.Bytes())
+	}
+	for r := 0; r < 100; r++ {
+		for a := 0; a < 4; a++ {
+			if g.Value(r, a) != tb.Value(r, a) {
+				t.Fatalf("padded group corrupted data at (%d,%d)", r, a)
+			}
+		}
+	}
+}
+
+func TestGroupAccessors(t *testing.T) {
+	tb := genTable(t, 5, 50)
+	g := BuildGroup(tb, []data.AttrID{1, 3})
+	if off, ok := g.Offset(3); !ok || off != 1 {
+		t.Fatalf("Offset(3) = %d,%v", off, ok)
+	}
+	if _, ok := g.Offset(0); ok {
+		t.Fatal("Offset reported attribute the group does not store")
+	}
+	if !g.Has(1) || g.Has(2) {
+		t.Fatal("Has wrong")
+	}
+	if !g.HasAll([]data.AttrID{1, 3}) || g.HasAll([]data.AttrID{1, 2}) {
+		t.Fatal("HasAll wrong")
+	}
+	col := g.Column(3)
+	if !reflect.DeepEqual(col, tb.Cols[3][:50]) {
+		t.Fatal("Column contents wrong")
+	}
+}
+
+func TestColumnViewForWidthOne(t *testing.T) {
+	tb := genTable(t, 3, 20)
+	g := BuildGroup(tb, []data.AttrID{2})
+	col := g.Column(2)
+	// Width-1 unpadded groups return a direct view.
+	col[0] = 12345
+	if g.Value(0, 2) != 12345 {
+		t.Fatal("width-1 Column should alias Data")
+	}
+}
+
+func TestGroupSetAndPanics(t *testing.T) {
+	g := NewGroup([]data.AttrID{0, 1}, 10)
+	g.Set(3, 1, 77)
+	if g.Value(3, 1) != 77 {
+		t.Fatal("Set/Value round trip failed")
+	}
+	mustPanic(t, func() { g.Value(0, 9) })
+	mustPanic(t, func() { g.Set(0, 9, 1) })
+	mustPanic(t, func() { NewGroup(nil, 5) })
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tb := genTable(t, 3, 30)
+	g := BuildGroup(tb, []data.AttrID{0, 2})
+	c := g.Clone()
+	c.Set(0, 0, 999)
+	if g.Value(0, 0) == 999 {
+		t.Fatal("Clone shares data with original")
+	}
+	if GroupChecksum(g) == GroupChecksum(c) {
+		t.Fatal("checksum failed to detect mutation")
+	}
+}
+
+func TestRowOverheadWords(t *testing.T) {
+	if RowOverheadWords(1) < 1 {
+		t.Fatal("overhead must be at least one word")
+	}
+	// ~13% of 250 attributes is 33 words.
+	if got := RowOverheadWords(250); got != 33 {
+		t.Fatalf("RowOverheadWords(250) = %d, want 33", got)
+	}
+}
+
+func TestLayoutKinds(t *testing.T) {
+	tb := genTable(t, 4, 10)
+	col := BuildColumnMajor(tb)
+	if col.Kind() != KindColumn {
+		t.Fatalf("kind = %v", col.Kind())
+	}
+	row := BuildRowMajor(tb, false)
+	if row.Kind() != KindRow {
+		t.Fatalf("kind = %v", row.Kind())
+	}
+	part, err := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Kind() != KindGroup {
+		t.Fatalf("kind = %v", part.Kind())
+	}
+	for _, k := range []LayoutKind{KindColumn, KindRow, KindGroup, LayoutKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	tb := genTable(t, 3, 10)
+	g01 := BuildGroup(tb, []data.AttrID{0, 1})
+	if _, err := NewRelation(tb.Schema, 10, []*ColumnGroup{g01}); err == nil {
+		t.Fatal("expected coverage error")
+	}
+	short := NewGroup([]data.AttrID{2}, 5)
+	if _, err := NewRelation(tb.Schema, 10, []*ColumnGroup{g01, short}); err == nil {
+		t.Fatal("expected row-count error")
+	}
+	bad := NewGroup([]data.AttrID{7}, 10)
+	if _, err := NewRelation(tb.Schema, 10, []*ColumnGroup{g01, bad}); err == nil {
+		t.Fatal("expected out-of-schema error")
+	}
+}
+
+func TestGroupForPrefersNarrowest(t *testing.T) {
+	tb := genTable(t, 4, 10)
+	wide := BuildGroup(tb, []data.AttrID{0, 1, 2, 3})
+	narrow := BuildGroup(tb, []data.AttrID{1})
+	rel, err := NewRelation(tb.Schema, 10, []*ColumnGroup{wide, narrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := rel.GroupFor(1)
+	if err != nil || g != narrow {
+		t.Fatal("GroupFor should prefer the narrowest group")
+	}
+	g, err = rel.GroupFor(0)
+	if err != nil || g != wide {
+		t.Fatal("GroupFor(0) should return the wide group")
+	}
+}
+
+func TestExactGroup(t *testing.T) {
+	tb := genTable(t, 4, 10)
+	rel, err := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := rel.ExactGroup([]data.AttrID{1, 0}); !ok || g.Width != 2 {
+		t.Fatal("ExactGroup should normalize and find {0,1}")
+	}
+	if _, ok := rel.ExactGroup([]data.AttrID{0}); ok {
+		t.Fatal("ExactGroup false positive")
+	}
+}
+
+func TestCoveringGroups(t *testing.T) {
+	tb := genTable(t, 6, 10)
+	rel, err := BuildPartitioned(tb, [][]data.AttrID{{0, 1, 2}, {3, 4}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, assign, err := rel.CoveringGroups([]data.AttrID{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("expected 3 covering groups, got %d", len(groups))
+	}
+	for _, a := range []data.AttrID{1, 3, 5} {
+		if g := assign[a]; g == nil || !g.Has(a) {
+			t.Fatalf("attribute %d not assigned a covering group", a)
+		}
+	}
+	// Greedy should prefer a group covering more missing attributes.
+	groups, _, err = rel.CoveringGroups([]data.AttrID{0, 1, 2})
+	if err != nil || len(groups) != 1 {
+		t.Fatalf("expected single covering group, got %d (%v)", len(groups), err)
+	}
+}
+
+func TestAddAndDropGroup(t *testing.T) {
+	tb := genTable(t, 3, 10)
+	rel := BuildColumnMajor(tb)
+	extra := BuildGroup(tb, []data.AttrID{0, 1})
+	if err := rel.AddGroup(extra); err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Groups) != 4 {
+		t.Fatal("AddGroup did not register the group")
+	}
+	if !rel.DropGroup(extra) {
+		t.Fatal("DropGroup should remove a redundant group")
+	}
+	// Dropping a sole covering group must be refused.
+	only, _ := rel.GroupFor(2)
+	if rel.DropGroup(only) {
+		t.Fatal("DropGroup removed the only group covering attribute 2")
+	}
+	if rel.DropGroup(extra) {
+		t.Fatal("DropGroup of unregistered group should report false")
+	}
+	if err := rel.AddGroup(NewGroup([]data.AttrID{0}, 99)); err == nil {
+		t.Fatal("AddGroup accepted mismatched row count")
+	}
+}
+
+func TestStitchMatchesSource(t *testing.T) {
+	tb := genTable(t, 8, 300)
+	rel, err := BuildPartitioned(tb, [][]data.AttrID{{0, 1, 2}, {3, 4}, {5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []data.AttrID{1, 4, 6}
+	g, err := Stitch(rel, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < tb.Rows; r++ {
+		for _, a := range attrs {
+			if g.Value(r, a) != tb.Value(r, a) {
+				t.Fatalf("stitched value mismatch at (%d,%d)", r, a)
+			}
+		}
+	}
+}
+
+func TestStitchErrorsOnMissingAttr(t *testing.T) {
+	tb := genTable(t, 4, 10)
+	rel, _ := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2, 3}})
+	rel.Groups = rel.Groups[:1] // break coverage deliberately
+	if _, err := Stitch(rel, []data.AttrID{3}); err == nil {
+		t.Fatal("expected error for uncovered attribute")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tb := genTable(t, 6, 200)
+	src := BuildGroup(tb, []data.AttrID{0, 1, 2, 3, 4, 5})
+	sub, err := Project(src, []data.AttrID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 200; r++ {
+		if sub.Value(r, 1) != tb.Value(r, 1) || sub.Value(r, 3) != tb.Value(r, 3) {
+			t.Fatalf("projection mismatch at row %d", r)
+		}
+	}
+	if _, err := Project(sub, []data.AttrID{0}); err == nil {
+		t.Fatal("expected error projecting attribute not in source")
+	}
+}
+
+// TestReorganizationPreservesData is the key storage invariant: any sequence
+// of stitch/project reorganizations leaves the logical relation unchanged.
+func TestReorganizationPreservesData(t *testing.T) {
+	tb := genTable(t, 10, 400)
+	rel := BuildColumnMajor(tb)
+	before, err := Checksum(rel, allAttrs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stitch a few overlapping groups and register them.
+	for _, attrs := range [][]data.AttrID{{0, 1, 2}, {2, 3, 4, 5}, {7, 9}} {
+		g, err := Stitch(rel, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rel.AddGroup(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := Checksum(rel, allAttrs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("reorganization changed the logical relation contents")
+	}
+}
+
+// Property: stitching any random attribute subset from a randomly
+// partitioned relation reproduces the generator table exactly.
+func TestStitchProperty(t *testing.T) {
+	tb := genTable(t, 12, 64)
+	f := func(seed uint8, pick []bool) bool {
+		// Partition attributes round-robin into 1 + seed%4 groups.
+		k := 1 + int(seed)%4
+		parts := make([][]data.AttrID, k)
+		for a := 0; a < 12; a++ {
+			parts[a%k] = append(parts[a%k], a)
+		}
+		rel, err := BuildPartitioned(tb, parts)
+		if err != nil {
+			return false
+		}
+		var attrs []data.AttrID
+		for a := 0; a < 12 && a < len(pick); a++ {
+			if pick[a] {
+				attrs = append(attrs, a)
+			}
+		}
+		if len(attrs) == 0 {
+			attrs = []data.AttrID{0}
+		}
+		g, err := Stitch(rel, attrs)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < tb.Rows; r++ {
+			for _, a := range g.Attrs {
+				if g.Value(r, a) != tb.Value(r, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformBytes(t *testing.T) {
+	tb := genTable(t, 4, 100)
+	rel := BuildColumnMajor(tb)
+	n, err := TransformBytes(rel, []data.AttrID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read two 100-row columns (2*800 bytes) + write one 2-wide group (1600).
+	if n != 3200 {
+		t.Fatalf("TransformBytes = %d, want 3200", n)
+	}
+}
+
+func TestLayoutSignatureStable(t *testing.T) {
+	tb := genTable(t, 4, 10)
+	r1, _ := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2, 3}})
+	r2, _ := BuildPartitioned(tb, [][]data.AttrID{{2, 3}, {0, 1}})
+	if r1.LayoutSignature() != r2.LayoutSignature() {
+		t.Fatal("signature should not depend on group registration order")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	tb := genTable(t, 5, 100)
+	rel, err := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add an overlapping group so appends must keep three layouts in sync.
+	extra, err := Stitch(rel, []data.AttrID{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AddGroup(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	tuple := []data.Value{10, 20, 30, 40, 50}
+	if err := rel.Append(tuple); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows != 101 {
+		t.Fatalf("rows = %d", rel.Rows)
+	}
+	for _, g := range rel.Groups {
+		if g.Rows != 101 || len(g.Data) != 101*g.Stride {
+			t.Fatalf("group %v out of sync: rows=%d len=%d", g.Attrs, g.Rows, len(g.Data))
+		}
+		for _, a := range g.Attrs {
+			if g.Value(100, a) != tuple[a] {
+				t.Fatalf("group %v attr %d = %d, want %d", g.Attrs, a, g.Value(100, a), tuple[a])
+			}
+		}
+	}
+	if err := rel.Append([]data.Value{1, 2}); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	tb := genTable(t, 3, 50)
+	rel := BuildColumnMajor(tb)
+	batch := [][]data.Value{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if err := rel.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rows != 53 {
+		t.Fatalf("rows = %d", rel.Rows)
+	}
+	for i, tup := range batch {
+		for a := 0; a < 3; a++ {
+			g, _ := rel.GroupFor(a)
+			if g.Value(50+i, a) != tup[a] {
+				t.Fatalf("batch row %d attr %d wrong", i, a)
+			}
+		}
+	}
+	// A bad batch must leave the relation untouched.
+	bad := [][]data.Value{{1, 2, 3}, {4, 5}}
+	if err := rel.AppendBatch(bad); err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if rel.Rows != 53 {
+		t.Fatal("failed batch mutated the relation")
+	}
+}
+
+func allAttrs(n int) []data.AttrID {
+	out := make([]data.AttrID, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+// ZoneMap summarizes a column group with per-block min/max values per
+// attribute, enabling scans to skip blocks that cannot satisfy a predicate.
+// This is the lightweight end of the "adaptive indexing together with
+// adaptive data layouts" direction the paper's conclusions propose: zone
+// maps are built in one pass whenever a group is created or reorganized, so
+// they ride along with layout adaptation for free.
+//
+// Skipping only pays off when values cluster by position (e.g. append-
+// ordered timestamps); on uniformly shuffled data every block spans the
+// whole domain and nothing is skipped — the ablation-zonemap experiment
+// shows both regimes.
+type ZoneMap struct {
+	Block int // rows per zone
+	zones int
+	width int
+	mins  []data.Value // zone*width + attrPos
+	maxs  []data.Value
+}
+
+// DefaultZoneBlock is the default rows-per-zone granularity.
+const DefaultZoneBlock = 1024
+
+// BuildZoneMap scans g once and summarizes every block. block <= 0 selects
+// DefaultZoneBlock.
+func BuildZoneMap(g *ColumnGroup, block int) *ZoneMap {
+	if block <= 0 {
+		block = DefaultZoneBlock
+	}
+	zones := (g.Rows + block - 1) / block
+	z := &ZoneMap{
+		Block: block,
+		zones: zones,
+		width: g.Width,
+		mins:  make([]data.Value, zones*g.Width),
+		maxs:  make([]data.Value, zones*g.Width),
+	}
+	d, stride := g.Data, g.Stride
+	for zi := 0; zi < zones; zi++ {
+		lo := zi * block
+		hi := lo + block
+		if hi > g.Rows {
+			hi = g.Rows
+		}
+		for off := 0; off < g.Width; off++ {
+			mn := d[lo*stride+off]
+			mx := mn
+			for r := lo + 1; r < hi; r++ {
+				v := d[r*stride+off]
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			z.mins[zi*g.Width+off] = mn
+			z.maxs[zi*g.Width+off] = mx
+		}
+	}
+	return z
+}
+
+// Zones returns the number of blocks.
+func (z *ZoneMap) Zones() int { return z.zones }
+
+// ZoneRange returns the row span of zone zi, clamped to rows.
+func (z *ZoneMap) ZoneRange(zi, rows int) (lo, hi int) {
+	lo = zi * z.Block
+	hi = lo + z.Block
+	if hi > rows {
+		hi = rows
+	}
+	return lo, hi
+}
+
+// MayMatch reports whether any value of the attribute at word offset off in
+// zone zi can satisfy "value op v". False means the whole block is safely
+// skippable.
+func (z *ZoneMap) MayMatch(zi, off int, op expr.CmpOp, v data.Value) bool {
+	mn := z.mins[zi*z.width+off]
+	mx := z.maxs[zi*z.width+off]
+	switch op {
+	case expr.Lt:
+		return mn < v
+	case expr.Le:
+		return mn <= v
+	case expr.Gt:
+		return mx > v
+	case expr.Ge:
+		return mx >= v
+	case expr.Eq:
+		return mn <= v && v <= mx
+	case expr.Ne:
+		return mn != v || mx != v
+	default:
+		return true
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/query"
+)
+
+func TestQueryClassBuilders(t *testing.T) {
+	attrs := []data.AttrID{1, 2, 3}
+	for _, c := range []QueryClass{ClassProjection, ClassAggregation, ClassExpression, ClassAggExpression} {
+		q := c.Build("R", attrs, nil)
+		if q == nil || len(q.SelectAttrs()) != 3 {
+			t.Fatalf("class %v built %v", c, q)
+		}
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+}
+
+func TestProjectivitySweepShape(t *testing.T) {
+	points := ProjectivitySweep("R", 100, 10_000, []int{5, 20, 50}, ClassAggregation, 0.4, 1)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, want := range []int{5, 20, 50} {
+		got := len(points[i].Query.SelectAttrs())
+		if got != want {
+			t.Fatalf("point %d accesses %d attrs, want %d", i, got, want)
+		}
+		if points[i].Query.Where == nil {
+			t.Fatal("filtered sweep missing where clause")
+		}
+		// The dial attribute must be part of the accessed set.
+		if points[i].Query.SelectAttrs()[0] != 0 {
+			t.Fatal("dial attribute not included")
+		}
+	}
+	// No-filter variant.
+	points = ProjectivitySweep("R", 100, 10_000, []int{5}, ClassProjection, -1, 1)
+	if points[0].Query.Where != nil {
+		t.Fatal("sel<0 must disable the where clause")
+	}
+}
+
+func TestSelectivitySweepFixesAttrs(t *testing.T) {
+	points := SelectivitySweep("R", 100, 10_000, 20, ClassExpression, []float64{0.01, 0.5, 1}, 1)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	first := points[0].Query.SelectAttrs()
+	for _, p := range points[1:] {
+		got := p.Query.SelectAttrs()
+		if len(got) != len(first) {
+			t.Fatal("attribute set must stay fixed across the selectivity sweep")
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatal("attribute set changed across sweep")
+			}
+		}
+	}
+}
+
+func TestAdaptiveSequenceProperties(t *testing.T) {
+	qs := AdaptiveSequence("R", 150, 10_000, 100, 10, 30, 7)
+	if len(qs) != 100 {
+		t.Fatalf("n = %d", len(qs))
+	}
+	patterns := map[string]int{}
+	for _, q := range qs {
+		z := len(q.SelectAttrs())
+		if z < 10 || z > 30 {
+			t.Fatalf("query accesses %d attrs, want [10,30]", z)
+		}
+		if q.Where == nil {
+			t.Fatal("adaptive sequence queries must have predicates")
+		}
+		patterns[query.InfoOf(q).Pattern()]++
+	}
+	// Recurrence: some pattern must repeat several times (hot templates),
+	// and there must be more than a couple of distinct patterns (drift).
+	best := 0
+	for _, n := range patterns {
+		if n > best {
+			best = n
+		}
+	}
+	if best < 5 {
+		t.Fatalf("hottest pattern recurs only %d times; workload lacks locality", best)
+	}
+	if len(patterns) < 5 {
+		t.Fatalf("only %d distinct patterns; workload lacks evolution", len(patterns))
+	}
+	// Determinism.
+	qs2 := AdaptiveSequence("R", 150, 10_000, 100, 10, 30, 7)
+	for i := range qs {
+		if qs[i].String() != qs2[i].String() {
+			t.Fatal("sequence not deterministic")
+		}
+	}
+}
+
+func TestShiftSequencePhases(t *testing.T) {
+	qs := ShiftSequence("R", 150, 60, 15, 3)
+	union := func(lo, hi int) map[data.AttrID]bool {
+		set := map[data.AttrID]bool{}
+		for _, q := range qs[lo:hi] {
+			for _, a := range q.AllAttrs() {
+				set[a] = true
+			}
+		}
+		return set
+	}
+	phase1, phase2 := union(0, 15), union(15, 60)
+	for a := range phase1 {
+		if phase2[a] {
+			t.Fatalf("attribute %d appears in both phases; working sets must be disjoint", a)
+		}
+	}
+	if len(phase1) == 0 || len(phase2) == 0 {
+		t.Fatal("empty phase")
+	}
+	for _, q := range qs {
+		z := len(q.SelectAttrs())
+		if z < 5 || z > 20 {
+			t.Fatalf("query accesses %d attrs, want [5,20]", z)
+		}
+	}
+}
+
+func TestOscillatingSequence(t *testing.T) {
+	qs := OscillatingSequence("R", 100, 20, 5, 1)
+	pat := func(i int) string { return query.InfoOf(qs[i]).Pattern() }
+	if pat(0) != pat(4) {
+		t.Fatal("first period not uniform")
+	}
+	if pat(0) == pat(5) {
+		t.Fatal("period did not switch pattern")
+	}
+	if pat(0) != pat(10) {
+		t.Fatal("pattern A must return in the third period")
+	}
+}
+
+func TestSkyServerTrace(t *testing.T) {
+	qs := SkyServerTrace(10_000, 9)
+	if len(qs) != SkyServerQueries {
+		t.Fatalf("trace length %d", len(qs))
+	}
+	sch := SkyServerSchema()
+	if sch.NumAttrs() != PhotoObjAllAttrs {
+		t.Fatalf("schema width %d", sch.NumAttrs())
+	}
+	patterns := map[string]int{}
+	for _, q := range qs {
+		if q.Table != "PhotoObjAll" {
+			t.Fatal("wrong table name")
+		}
+		for _, a := range q.AllAttrs() {
+			if a < 0 || a >= PhotoObjAllAttrs {
+				t.Fatalf("attribute %d out of schema", a)
+			}
+		}
+		if q.Where == nil {
+			t.Fatal("SkyServer queries carry range predicates")
+		}
+		patterns[query.InfoOf(q).Pattern()]++
+	}
+	// Hot sets dominate: the most frequent pattern families must recur.
+	distinct := len(patterns)
+	if distinct < 20 || distinct >= SkyServerQueries {
+		t.Fatalf("distinct patterns = %d; expected heavy but not total reuse", distinct)
+	}
+	// Determinism.
+	qs2 := SkyServerTrace(10_000, 9)
+	for i := range qs {
+		if qs[i].String() != qs2[i].String() {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}
+
+func TestDialPredicate(t *testing.T) {
+	tb := data.GenerateSelective(data.SyntheticSchema("R", 2), 1000, 1)
+	p := DialPredicate(1000, 0.25)
+	n := 0
+	for r := 0; r < 1000; r++ {
+		if p.EvalBool(func(a data.AttrID) data.Value { return tb.Cols[a][r] }) {
+			n++
+		}
+	}
+	if n != 250 {
+		t.Fatalf("dial predicate selected %d rows, want 250", n)
+	}
+}
