@@ -2,11 +2,19 @@
 // BenchmarkFig*/BenchmarkTable* regenerates the corresponding experiment
 // through the harness at smoke scale. Run the full-scale versions with
 // cmd/h2obench (go run ./cmd/h2obench -exp all).
+//
+// The BenchmarkServe* benchmarks measure the concurrent serving layer
+// instead: run them with increasing -cpu values (e.g. -cpu 1,2,4,8) to see
+// queries-per-second scale with client count on cache-hit and read-only
+// workloads. cmd/h2obench -exp serve prints the same sweep as a table.
 package h2o_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"h2o"
 	"h2o/internal/harness"
 )
 
@@ -99,3 +107,72 @@ func BenchmarkAblationBitmap(b *testing.B) { benchExperiment(b, "ablation-bitmap
 
 // BenchmarkAblationZonemap measures zone-map scan skipping.
 func BenchmarkAblationZonemap(b *testing.B) { benchExperiment(b, "ablation-zonemap") }
+
+// serveDB builds the serving-benchmark fixture: one table behind a server.
+func serveDB(b *testing.B, cacheEntries int) (*h2o.DB, *h2o.Server) {
+	b.Helper()
+	db := h2o.NewDB()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 16), 50_000, 17)
+	srv := db.Serve(h2o.ServerConfig{CacheEntries: cacheEntries})
+	return db, srv
+}
+
+// BenchmarkServeCacheHit measures the hot path of the serving layer: every
+// client replays the same query, so after the first execution everything is
+// a sharded-LRU cache hit. Throughput should scale near-linearly with -cpu.
+func BenchmarkServeCacheHit(b *testing.B) {
+	db, srv := serveDB(b, 4096)
+	defer srv.Close()
+	q, err := db.Parse("select max(a1), min(a2) from events where a0 < 0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := srv.Query(ctx, q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := srv.Query(ctx, q); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeReadOnly measures concurrent execution with the cache
+// disabled: every query scans under the engine's shared read lock. Scaling
+// with -cpu here demonstrates that read-only queries no longer serialize
+// behind one mutex.
+func BenchmarkServeReadOnly(b *testing.B) {
+	db, srv := serveDB(b, -1)
+	defer srv.Close()
+	queries := make([]*h2o.Query, 16)
+	for i := range queries {
+		q, err := db.Parse(fmt.Sprintf("select max(a%d) from events where a%d < 0", i%16, (i+1)%16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = q
+	}
+	ctx := context.Background()
+	// Settle the adaptive machinery so the steady state is read-only.
+	for _, q := range queries {
+		if _, _, err := srv.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := srv.Query(ctx, queries[i%len(queries)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}

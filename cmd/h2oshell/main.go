@@ -6,12 +6,18 @@
 //	h2o> select max(a1), max(a5) from R where a0 < 0
 //	h2o> \layout        # current column groups
 //	h2o> \stats         # adaptations, reorganizations, operator cache
+//	h2o> \cache         # serving layer: result cache hits, executions
 //	h2o> \replay trace.sql
 //	h2o> \quit
+//
+// Statements run through the serving layer (DB.QueryCtx): repeated selects
+// hit the versioned result cache until an insert or reorganization bumps
+// the relation version. -parallel partitions fused scans across goroutines.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +28,21 @@ import (
 
 func main() {
 	var (
-		attrs   = flag.Int("attrs", 50, "attributes of the synthetic table R")
-		rows    = flag.Int("rows", 100_000, "rows of the synthetic table R")
-		seed    = flag.Int64("seed", 2014, "data seed")
-		maxRows = flag.Int("display", 5, "result rows to display")
+		attrs    = flag.Int("attrs", 50, "attributes of the synthetic table R")
+		rows     = flag.Int("rows", 100_000, "rows of the synthetic table R")
+		seed     = flag.Int64("seed", 2014, "data seed")
+		maxRows  = flag.Int("display", 5, "result rows to display")
+		parallel = flag.Int("parallel", 0, "goroutines per fused scan (0 = serial)")
 	)
 	flag.Parse()
 
-	db := h2o.NewDB()
+	opts := h2o.DefaultOptions()
+	opts.Parallelism = *parallel
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
 	db.CreateTableFrom(h2o.SyntheticSchema("R", *attrs), *rows, *seed)
 	fmt.Printf("table R: %d attributes (a0..a%d), %d rows, column-major start\n", *attrs, *attrs-1, *rows)
-	fmt.Println(`type SQL, or \layout, \stats, \explain <sql>, \replay <file>, \save <file>, \load <file>, \quit`)
+	fmt.Println(`type SQL, or \layout, \stats, \cache, \explain <sql>, \replay <file>, \save <file>, \load <file>, \quit`)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -61,9 +71,13 @@ func main() {
 				continue
 			}
 			st := e.Stats()
-			fmt.Printf("queries=%d adaptations=%d reorgs=%d groups_created=%d groups_dropped=%d op_cache_hits=%d misses=%d window=%d\n",
+			fmt.Printf("queries=%d adaptations=%d reorgs=%d groups_created=%d groups_dropped=%d op_cache_hits=%d misses=%d window=%d version=%d\n",
 				st.Queries, st.Adaptations, st.Reorgs, st.GroupsCreated, st.GroupsDropped,
-				st.OpCacheHits, st.OpCacheMisses, e.WindowSize())
+				st.OpCacheHits, st.OpCacheMisses, e.WindowSize(), e.Version())
+		case line == `\cache`:
+			st := db.ServeStats()
+			fmt.Printf("submitted=%d executed=%d cache_hits=%d cache_misses=%d canceled=%d uncacheable=%d\n",
+				st.Submitted, st.Executed, st.CacheHits, st.CacheMisses, st.Canceled, st.Uncacheable)
 		case strings.HasPrefix(line, `\explain `):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
 			q, err := db.Parse(src)
@@ -113,7 +127,7 @@ func main() {
 }
 
 func execute(db *h2o.DB, src string, maxRows int) {
-	res, info, err := db.Query(src)
+	res, info, err := db.QueryCtx(context.Background(), src)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -122,6 +136,9 @@ func execute(db *h2o.DB, src string, maxRows int) {
 	event := ""
 	if info.Reorganized {
 		event = fmt.Sprintf("  [reorganized: new group over %d attributes]", len(info.NewGroup))
+	}
+	if info.CacheHit {
+		event += "  [result cache hit]"
 	}
 	fmt.Printf("-- %d row(s), %v, strategy=%v layout=%v%s\n",
 		res.Rows, info.Duration.Round(100), info.Strategy, info.Layout, event)
@@ -143,7 +160,7 @@ func replay(db *h2o.DB, path string, maxRows int) {
 			continue
 		}
 		n++
-		res, info, err := db.Query(line)
+		res, info, err := db.QueryCtx(context.Background(), line)
 		if err != nil {
 			fmt.Printf("q%d error: %v\n", n, err)
 			continue
@@ -151,6 +168,9 @@ func replay(db *h2o.DB, path string, maxRows int) {
 		event := ""
 		if info.Reorganized {
 			event = " REORG"
+		}
+		if info.CacheHit {
+			event += " CACHED"
 		}
 		fmt.Printf("q%-4d %8v  %v  %d row(s)%s\n", n, info.Duration.Round(100), info.Strategy, res.Rows, event)
 	}

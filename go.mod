@@ -1,0 +1,3 @@
+module h2o
+
+go 1.21

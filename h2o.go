@@ -20,17 +20,28 @@
 //	db := h2o.NewDB()
 //	db.CreateTableFrom(schema, rows, seed)      // synthetic data
 //	res, info, err := db.Query("select max(bytes) from events where src < 100")
+//
+// For many simultaneous clients, route queries through the serving layer —
+// a bounded worker pool with a versioned result cache (see internal/server):
+//
+//	res, info, err := db.QueryCtx(ctx, "select max(bytes) from events")
+//	// or, with explicit sizing and lifecycle:
+//	srv := db.Serve(h2o.ServerConfig{Workers: 8})
+//	defer srv.Close()
 package h2o
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"h2o/internal/core"
 	"h2o/internal/data"
 	"h2o/internal/exec"
 	"h2o/internal/persist"
 	"h2o/internal/query"
+	"h2o/internal/server"
 	"h2o/internal/sql"
 	"h2o/internal/storage"
 )
@@ -54,6 +65,15 @@ type (
 	Stats = core.Stats
 	// Query is the logical select-project-aggregate representation.
 	Query = query.Query
+	// Server is the concurrent serving layer: a bounded worker pool with a
+	// versioned result cache in front of the engines.
+	Server = server.Server
+	// ServerConfig sizes a Server (workers, queue depth, cache shards and
+	// capacity); the zero value selects defaults.
+	ServerConfig = server.Config
+	// ServerStats are serving-layer counters (cache hits, executions,
+	// cancellations).
+	ServerStats = server.Stats
 )
 
 // NewSchema builds a schema; attribute names must be unique.
@@ -75,12 +95,28 @@ func Generate(schema *Schema, rows int, seed int64) *Table {
 // DefaultOptions returns the paper's adaptive configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// DB is a catalog of H2O engines, one per table, with a SQL front end.
+// DB is a catalog of H2O engines, one per table, with a SQL front end. All
+// methods are safe for concurrent use: the catalog itself is guarded by a
+// read-write mutex, and each engine serializes its own mutations while
+// letting read-only queries run in parallel (see core.Engine).
 type DB struct {
+	mu      sync.RWMutex
 	engines map[string]*core.Engine
 	schemas sql.SchemaMap
 	opts    Options
+
+	// srvMu guards the lazily started default serving layer behind
+	// QueryCtx: creation, Close and stats all synchronize on it, so a
+	// Close racing the first QueryCtx can never miss a just-created
+	// server.
+	srvMu     sync.Mutex
+	srv       *server.Server
+	srvClosed bool
 }
+
+// ErrClosed is returned by QueryCtx after Close has shut the database's
+// default serving layer down.
+var ErrClosed = server.ErrClosed
 
 // NewDB creates an empty database with default adaptive options.
 func NewDB() *DB { return NewDBWith(core.DefaultOptions()) }
@@ -106,21 +142,38 @@ func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
 
 // AddTable registers an existing generated table.
 func (db *DB) AddTable(t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajor(t), db.opts)
 	db.schemas[t.Schema.Name] = t.Schema
 }
 
 // Engine returns the engine behind a table, for inspection.
 func (db *DB) Engine(table string) (*Engine, error) {
+	db.mu.RLock()
 	e, ok := db.engines[table]
+	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("h2o: unknown table %q", table)
 	}
 	return e, nil
 }
 
+// Version returns a table's relation version: a counter that advances on
+// every insert and layout reorganization. The serving layer keys its result
+// cache on it. Together with Exec this makes DB a server.Backend.
+func (db *DB) Version(table string) (uint64, error) {
+	e, err := db.Engine(table)
+	if err != nil {
+		return 0, err
+	}
+	return e.Version(), nil
+}
+
 // Tables lists the registered table names.
 func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.engines))
 	for name := range db.engines {
 		out = append(out, name)
@@ -130,6 +183,8 @@ func (db *DB) Tables() []string {
 
 // Parse parses a SQL statement against the catalog without executing it.
 func (db *DB) Parse(src string) (*Query, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return sql.Parse(src, db.schemas)
 }
 
@@ -138,25 +193,117 @@ func (db *DB) Parse(src string) (*Query, error) {
 // the inserted row count in ExecInfo-free form (Result.Rows).
 func (db *DB) Query(src string) (*Result, ExecInfo, error) {
 	if sql.IsInsert(src) {
-		stmt, err := sql.ParseInsert(src, db.schemas)
-		if err != nil {
-			return nil, ExecInfo{}, err
-		}
-		e, ok := db.engines[stmt.Table]
-		if !ok {
-			return nil, ExecInfo{}, fmt.Errorf("h2o: unknown table %q", stmt.Table)
-		}
-		if err := e.Insert(stmt.Rows); err != nil {
-			return nil, ExecInfo{}, err
-		}
-		return &Result{Cols: []string{"inserted"}, Rows: 1,
-			Data: []int64{int64(len(stmt.Rows))}}, ExecInfo{}, nil
+		return db.execInsert(src)
 	}
-	q, err := sql.Parse(src, db.schemas)
+	q, err := db.Parse(src)
 	if err != nil {
 		return nil, ExecInfo{}, err
 	}
 	return db.Exec(q)
+}
+
+// QueryCtx is Query routed through the serving layer: selects go through the
+// default server's worker pool and versioned result cache (started lazily on
+// first use; size it explicitly with Serve for dedicated deployments), and
+// honor ctx cancellation while queued. Inserts execute directly — they take
+// the engine's exclusive lock and bump the relation version, which strands
+// every cached result for the table. After Close, every QueryCtx call —
+// inserts included — fails with ErrClosed.
+//
+// Results served from the cache are shared between clients: treat the
+// returned Result as read-only.
+func (db *DB) QueryCtx(ctx context.Context, src string) (*Result, ExecInfo, error) {
+	if sql.IsInsert(src) {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, ExecInfo{}, err
+			}
+		}
+		db.srvMu.Lock()
+		closed := db.srvClosed
+		db.srvMu.Unlock()
+		if closed {
+			return nil, ExecInfo{}, ErrClosed
+		}
+		return db.execInsert(src)
+	}
+	q, err := db.Parse(src)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	srv := db.defaultServer()
+	if srv == nil {
+		return nil, ExecInfo{}, ErrClosed
+	}
+	return srv.Query(ctx, q)
+}
+
+// execInsert parses and applies one insert statement.
+func (db *DB) execInsert(src string) (*Result, ExecInfo, error) {
+	db.mu.RLock()
+	stmt, err := sql.ParseInsert(src, db.schemas)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	e, err := db.Engine(stmt.Table)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	if err := e.Insert(stmt.Rows); err != nil {
+		return nil, ExecInfo{}, err
+	}
+	return &Result{Cols: []string{"inserted"}, Rows: 1,
+		Data: []int64{int64(len(stmt.Rows))}}, ExecInfo{}, nil
+}
+
+// Serve starts a new serving layer over this catalog with explicit sizing:
+// a bounded worker pool, an admission queue with context cancellation and a
+// sharded LRU result cache keyed by (table, normalized query, relation
+// version). The caller owns the returned server's lifecycle (Close it).
+func (db *DB) Serve(cfg ServerConfig) *Server {
+	return server.New(db, cfg)
+}
+
+// defaultServer lazily starts the server behind QueryCtx, or returns nil
+// after Close — the default server is not resurrected once shut down.
+func (db *DB) defaultServer() *Server {
+	db.srvMu.Lock()
+	defer db.srvMu.Unlock()
+	if db.srvClosed {
+		return nil
+	}
+	if db.srv == nil {
+		db.srv = server.New(db, ServerConfig{})
+	}
+	return db.srv
+}
+
+// ServeStats snapshots the default serving layer's counters (zero if
+// QueryCtx was never used). Servers created with Serve report their own
+// stats.
+func (db *DB) ServeStats() ServerStats {
+	db.srvMu.Lock()
+	srv := db.srv
+	db.srvMu.Unlock()
+	if srv == nil {
+		return ServerStats{}
+	}
+	return srv.Stats()
+}
+
+// Close shuts down the default serving layer, if QueryCtx ever started it,
+// and fences further QueryCtx calls with ErrClosed. Engines need no
+// shutdown. Servers created with Serve are closed by their owners.
+func (db *DB) Close() {
+	db.srvMu.Lock()
+	srv := db.srv
+	db.srv = nil
+	db.srvClosed = true
+	db.srvMu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
 }
 
 // ImportCSV loads a table from a CSV stream (header = attribute names,
@@ -170,11 +317,13 @@ func (db *DB) ImportCSV(r io.Reader, tableName string) (*Table, error) {
 	return t, nil
 }
 
-// Exec executes a logical query.
+// Exec executes a logical query. The catalog lock is released before
+// execution: concurrent queries serialize only inside the engine, and only
+// when they mutate.
 func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
-	e, ok := db.engines[q.Table]
-	if !ok {
-		return nil, ExecInfo{}, fmt.Errorf("h2o: unknown table %q", q.Table)
+	e, err := db.Engine(q.Table)
+	if err != nil {
+		return nil, ExecInfo{}, err
 	}
 	return e.Execute(q)
 }
@@ -185,17 +334,25 @@ func (db *DB) LayoutSignature(table string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return e.Relation().LayoutSignature(), nil
+	var sig string
+	err = e.View(func(rel *storage.Relation) error {
+		sig = rel.LayoutSignature()
+		return nil
+	})
+	return sig, err
 }
 
 // SaveTable snapshots a table — data plus its current adapted layout — to a
-// binary file.
+// binary file. The snapshot is taken under the engine's read lock, so it is
+// consistent even with concurrent inserts.
 func (db *DB) SaveTable(table, path string) error {
 	e, err := db.Engine(table)
 	if err != nil {
 		return err
 	}
-	return persist.SaveFile(path, e.Relation())
+	return e.View(func(rel *storage.Relation) error {
+		return persist.SaveFile(path, rel)
+	})
 }
 
 // LoadTable restores a snapshot and registers it under its stored table
@@ -207,7 +364,9 @@ func (db *DB) LoadTable(path string) (string, error) {
 		return "", err
 	}
 	name := rel.Schema.Name
+	db.mu.Lock()
 	db.engines[name] = core.New(rel, db.opts)
 	db.schemas[name] = rel.Schema
+	db.mu.Unlock()
 	return name, nil
 }

@@ -1,0 +1,307 @@
+package h2o_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"h2o"
+)
+
+// TestQueryCtxEndToEnd drives the serving layer through the SQL facade:
+// cache hit on repetition, invalidation on insert, correctness of the
+// recomputed answer.
+func TestQueryCtxEndToEnd(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 8), 2_000, 3)
+	ctx := context.Background()
+
+	const q = "select count(a0) from events"
+	r1, i1, err := db.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	if r1.At(0, 0) != 2_000 {
+		t.Fatalf("count = %d", r1.At(0, 0))
+	}
+
+	// Whitespace/case variants normalize to the same cache entry.
+	_, i2, err := db.QueryCtx(ctx, "SELECT   count(a0)   FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i2.CacheHit {
+		t.Fatal("normalized repeat missed the cache")
+	}
+
+	// Insert bumps the relation version; the cached count is stale and must
+	// not be served.
+	if _, _, err := db.QueryCtx(ctx, "insert into events values (1,2,3,4,5,6,7,8)"); err != nil {
+		t.Fatal(err)
+	}
+	r3, i3, err := db.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3.CacheHit {
+		t.Fatal("stale cached count served after insert")
+	}
+	if r3.At(0, 0) != 2_001 {
+		t.Fatalf("post-insert count = %d, want 2001", r3.At(0, 0))
+	}
+
+	st := db.ServeStats()
+	if st.CacheHits != 1 || st.Executed != 2 {
+		t.Fatalf("serve stats = %+v", st)
+	}
+}
+
+// TestQueryCtxCancellation: a canceled context is honored before admission.
+func TestQueryCtxCancellation(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 4), 100, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := db.QueryCtx(ctx, "select max(a0) from events"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := db.QueryCtx(ctx, "insert into events values (1,2,3,4)"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("insert err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDBConcurrentClients is the facade-level -race stress test: many
+// clients mixing selects (through the serving layer) with inserts and
+// catalog reads, across two tables.
+func TestDBConcurrentClients(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 8), 2_000, 3)
+	db.CreateTableFrom(h2o.SyntheticSchema("metrics", 6), 1_000, 4)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 10)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var src string
+				switch (c + i) % 4 {
+				case 0:
+					src = fmt.Sprintf("select max(a%d), min(a%d) from events where a0 < %d", (c+i)%8, (c+i)%8, i*1000)
+				case 1:
+					src = fmt.Sprintf("select count(a0) from metrics where a1 > %d", -i*1000)
+				case 2:
+					src = "select sum(a1 + a2) from events"
+				default:
+					src = fmt.Sprintf("select a2, a3 from metrics where a0 < %d", -900_000_000+i)
+				}
+				if _, _, err := db.QueryCtx(ctx, src); err != nil {
+					errCh <- fmt.Errorf("client %d query %d (%s): %w", c, i, src, err)
+					return
+				}
+				if _, err := db.Version("events"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				table, vals := "events", "(1,2,3,4,5,6,7,8)"
+				if w == 1 {
+					table, vals = "metrics", "(1,2,3,4,5,6)"
+				}
+				src := fmt.Sprintf("insert into %s values %s", table, vals)
+				if _, _, err := db.QueryCtx(ctx, src); err != nil {
+					errCh <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Final consistency: counts reflect every insert.
+	res, _, err := db.Query("select count(a0) from events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 0) != 2_020 {
+		t.Fatalf("events count = %d, want 2020", res.At(0, 0))
+	}
+}
+
+// TestCloseFencesQueryCtx: after Close, QueryCtx reports ErrClosed instead
+// of silently resurrecting a serving layer, including when Close races the
+// first QueryCtx.
+func TestCloseFencesQueryCtx(t *testing.T) {
+	db := h2o.NewDB()
+	db.CreateTableFrom(h2o.SyntheticSchema("R", 4), 200, 1)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Must either succeed (before Close won) or fail with ErrClosed.
+			if _, _, err := db.QueryCtx(ctx, "select max(a0) from R"); err != nil && !errors.Is(err, h2o.ErrClosed) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	db.Close()
+	wg.Wait()
+
+	if _, _, err := db.QueryCtx(ctx, "select max(a0) from R"); !errors.Is(err, h2o.ErrClosed) {
+		t.Fatalf("QueryCtx after Close: err = %v, want ErrClosed", err)
+	}
+	// Inserts are fenced too: Close means no more QueryCtx traffic, reads
+	// or writes.
+	if _, _, err := db.QueryCtx(ctx, "insert into R values (1,2,3,4)"); !errors.Is(err, h2o.ErrClosed) {
+		t.Fatalf("insert after Close: err = %v, want ErrClosed", err)
+	}
+	db.Close() // idempotent
+}
+
+// TestSaveTableDuringInserts: snapshots are taken under the engine's read
+// lock, so saving while a writer appends must neither race (-race) nor
+// produce a torn snapshot (SaveFile checksums the relation it wrote).
+func TestSaveTableDuringInserts(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("R", 4), 1_000, 1)
+	dir := t.TempDir()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, _, err := db.Query("insert into R values (1,2,3,4)"); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := db.SaveTable("R", fmt.Sprintf("%s/s%d.snap", dir, i)); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := db.LayoutSignature("R"); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Every snapshot restores cleanly (checksums verify).
+	for i := 0; i < 10; i++ {
+		if _, err := db.LoadTable(fmt.Sprintf("%s/s%d.snap", dir, i)); err != nil {
+			t.Fatalf("snapshot %d corrupt: %v", i, err)
+		}
+	}
+}
+
+// TestReplaceTableInvalidatesCache: re-registering a table (AddTable or
+// LoadTable under the same name) must not let the serving layer answer
+// from results cached against the replaced table — relation versions are
+// process-unique, so the new engine's version can never collide with a
+// cached key.
+func TestReplaceTableInvalidatesCache(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("R", 4), 1_000, 1)
+	ctx := context.Background()
+
+	const q = "select count(a0) from R"
+	r1, _, err := db.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.At(0, 0) != 1_000 {
+		t.Fatalf("count = %d", r1.At(0, 0))
+	}
+
+	// Replace R with a differently-sized table under the same name.
+	db.AddTable(h2o.Generate(h2o.SyntheticSchema("R", 4), 250, 2))
+	r2, i2, err := db.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.CacheHit {
+		t.Fatal("cache served a result computed against the replaced table")
+	}
+	if r2.At(0, 0) != 250 {
+		t.Fatalf("post-replace count = %d, want 250", r2.At(0, 0))
+	}
+
+	// Same discipline for LoadTable: save the 250-row R, replace it with a
+	// bigger one, cache a result, then restore the snapshot.
+	path := t.TempDir() + "/r.snap"
+	if err := db.SaveTable("R", path); err != nil {
+		t.Fatal(err)
+	}
+	db.AddTable(h2o.Generate(h2o.SyntheticSchema("R", 4), 500, 3))
+	if r, _, err := db.QueryCtx(ctx, q); err != nil || r.At(0, 0) != 500 {
+		t.Fatalf("count=%v err=%v", r.At(0, 0), err)
+	}
+	if _, err := db.LoadTable(path); err != nil {
+		t.Fatal(err)
+	}
+	r4, i4, err := db.QueryCtx(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i4.CacheHit {
+		t.Fatal("cache served a result from before the snapshot restore")
+	}
+	if r4.At(0, 0) != 250 {
+		t.Fatalf("post-restore count = %d, want 250", r4.At(0, 0))
+	}
+}
+
+// TestServeExplicit exercises a caller-owned server instance.
+func TestServeExplicit(t *testing.T) {
+	db := h2o.NewDB()
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 4), 500, 9)
+	srv := db.Serve(h2o.ServerConfig{Workers: 2, CacheEntries: 8})
+	defer srv.Close()
+
+	q, err := db.Parse("select max(a1) from events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := srv.Query(context.Background(), q); err != nil || info.CacheHit {
+		t.Fatalf("first: err=%v hit=%v", err, info.CacheHit)
+	}
+	if _, info, err := srv.Query(context.Background(), q); err != nil || !info.CacheHit {
+		t.Fatalf("second: err=%v hit=%v", err, info.CacheHit)
+	}
+}

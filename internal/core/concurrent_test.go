@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// TestConcurrentQueriesWithInserts is the -race stress test: many client
+// goroutines issue adaptive queries — exercising monitoring, adaptation and
+// online reorganization — while a writer appends batches. Nothing here
+// asserts timing; the test exists so the race detector sweeps every lock
+// path (shared read execution, exclusive adapt/reorg, insert).
+func TestConcurrentQueriesWithInserts(t *testing.T) {
+	const (
+		attrs    = 16
+		rows     = 4_000
+		readers  = 8
+		queries  = 60
+		inserts  = 40
+		batch    = 25
+		rowWidth = attrs
+	)
+	tb := data.Generate(data.SyntheticSchema("R", attrs), rows, 7)
+	e := New(storage.BuildColumnMajor(tb), DefaultOptions())
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < queries; i++ {
+				var q *query.Query
+				switch (r + i) % 3 {
+				case 0:
+					q = query.Aggregation("R", expr.AggMax,
+						[]data.AttrID{(r + i) % attrs, (r + i + 1) % attrs},
+						query.PredLt((r+i+2)%attrs, 0))
+				case 1:
+					q = query.Projection("R",
+						[]data.AttrID{(r + i) % attrs},
+						query.PredLt((r+i+1)%attrs, -900_000_000))
+				default:
+					q = query.AggExpression("R",
+						[]data.AttrID{(r + i) % attrs, (r + i + 3) % attrs}, nil)
+				}
+				res, _, err := e.Execute(q)
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d query %d: %w", r, i, err)
+					return
+				}
+				if res == nil {
+					errCh <- fmt.Errorf("reader %d query %d: nil result", r, i)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tuple := make([]data.Value, rowWidth)
+		for i := 0; i < inserts; i++ {
+			tuples := make([][]data.Value, batch)
+			for j := range tuples {
+				for k := range tuple {
+					tuple[k] = data.Value(i*batch + j + k)
+				}
+				tuples[j] = append([]data.Value(nil), tuple...)
+			}
+			if err := e.Insert(tuples); err != nil {
+				errCh <- fmt.Errorf("insert %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The relation ends with every insert applied and a version that
+	// advanced at least once per mutation.
+	if got, want := e.Relation().Rows, rows+inserts*batch; got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	if v := e.Version(); v < inserts {
+		t.Fatalf("version = %d, want >= %d (one bump per insert batch)", v, inserts)
+	}
+	st := e.Stats()
+	if st.Queries != readers*queries {
+		t.Fatalf("stats.Queries = %d, want %d", st.Queries, readers*queries)
+	}
+}
+
+// TestAdaptationPhaseRunsOnce: when many concurrent queries cross the same
+// window boundary, exactly one of them runs the adaptation phase — the
+// others re-check under the exclusive lock and find the counter already
+// reset. Without the re-check every boundary-crosser adapts back to back,
+// inflating stats and the dynamic window.
+func TestAdaptationPhaseRunsOnce(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 8), 2_000, 3)
+	opts := DefaultOptions()
+	opts.Window.InitialSize = 20
+	opts.Window.MinSize = 20 // the 8 extra observes below cannot re-arm the boundary
+	e := New(storage.BuildColumnMajor(tb), opts)
+
+	q := query.Aggregation("R", expr.AggMax, []data.AttrID{1}, query.PredLt(0, 0))
+	// Prime to one query before the boundary.
+	for i := 0; i < 19; i++ {
+		if _, _, err := e.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Stats().Adaptations
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, _, err := e.Execute(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := e.Stats().Adaptations - before; got != 1 {
+		t.Fatalf("adaptations at one boundary = %d, want 1", got)
+	}
+}
+
+// TestConcurrentReadOnlyConsistency checks that concurrent read-only
+// queries on a frozen layout all see the same answer as a serial run.
+func TestConcurrentReadOnlyConsistency(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 8), 10_000, 11)
+	opts := DefaultOptions()
+	opts.Mode = ModeFrozen
+	e := New(storage.BuildColumnMajor(tb), opts)
+
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 3}, query.PredGt(0, 0))
+	want, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, _, err := e.Execute(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !got.Equal(want) {
+					errCh <- fmt.Errorf("concurrent result diverged: %v vs %v", got.Data, want.Data)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

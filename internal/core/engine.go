@@ -10,6 +10,14 @@
 // row-store, a static column-store (both sharing this code base, as in §4.1)
 // and the "optimal" oracle that enjoys a perfectly tailored layout for every
 // query with no creation cost.
+//
+// Engines are safe for many simultaneous clients: read-only queries on a
+// stable layout share a read lock and run concurrently (the paper's engines
+// are "tuned to use all the available CPUs"), while inserts, adaptation
+// phases and online reorganizations take an exclusive per-relation lock.
+// Every mutation advances the relation's version counter, which the serving
+// layer (internal/server) uses to key — and implicitly invalidate — its
+// result cache.
 package core
 
 import (
@@ -121,6 +129,10 @@ type ExecInfo struct {
 	EstimatedCost costmodel.Seconds
 	// WindowSize is the monitoring window size after this query.
 	WindowSize int
+	// CacheHit is set by the serving layer (internal/server) when the result
+	// came from the versioned result cache instead of an execution; the
+	// engine itself never sets it.
+	CacheHit bool
 }
 
 // Stats accumulates engine-lifetime counters.
@@ -136,11 +148,25 @@ type Stats struct {
 }
 
 // Engine is one H2O instance bound to a single relation. Execute is safe
-// for concurrent use: queries serialize on an internal mutex (the engine
-// mutates shared state — the monitoring window, the layout set, the
-// statistics — on every query).
+// for concurrent use and is designed for many simultaneous read-only
+// clients: queries on a stable layout share a read lock and run in
+// parallel, while mutations — inserts, adaptation phases, online
+// reorganizations — take the exclusive lock. Lightweight per-query
+// bookkeeping (the monitoring window, statistics, selectivity estimates,
+// group recency) lives behind a second, short-critical-section mutex so it
+// never serializes the scans themselves.
+//
+// Lock ordering: mu (any mode) may be held when acquiring stateMu; stateMu
+// is a leaf lock — no code path acquires mu while holding it.
 type Engine struct {
-	mu    sync.Mutex
+	// mu guards the relation: its data (appends) and its group set
+	// (reorganization). Read-only query execution holds it shared.
+	mu sync.RWMutex
+	// stateMu guards the adaptive bookkeeping: win, pending, selEst,
+	// lastUsed and stats. Critical sections are O(query attributes), never
+	// O(rows).
+	stateMu sync.Mutex
+
 	rel   *storage.Relation
 	opts  Options
 	model *costmodel.Model
@@ -148,14 +174,22 @@ type Engine struct {
 	gen   *opgen.Generator
 
 	// pending holds adaptation proposals not yet materialized (lazy
-	// layouts).
+	// layouts). Guarded by stateMu.
 	pending []advisor.Proposal
+	// declined remembers query patterns whose covering proposal was
+	// evaluated and turned down (insufficient amortized gain), so repeat
+	// queries stop paying the exclusive-lock reorg check and run on the
+	// shared read path. Reset on every adaptation phase (new proposals, new
+	// economics). Guarded by stateMu.
+	declined map[string]struct{}
 	// selEst tracks the observed selectivity per access pattern, feeding the
-	// cost model's estimates.
+	// cost model's estimates. Guarded by stateMu.
 	selEst map[string]float64
-	// lastUsed tracks group recency for MaxGroups eviction.
+	// lastUsed tracks group recency for MaxGroups eviction. Guarded by
+	// stateMu.
 	lastUsed map[*storage.ColumnGroup]int
 
+	// stats is guarded by stateMu.
 	stats Stats
 }
 
@@ -174,19 +208,35 @@ func New(rel *storage.Relation, opts Options) *Engine {
 		gen:      opgen.New(opts.OpGen),
 		selEst:   make(map[string]float64),
 		lastUsed: make(map[*storage.ColumnGroup]int),
+		declined: make(map[string]struct{}),
 	}
 	return e
 }
 
 // Relation exposes the engine's relation for inspection by tools and tests.
 // The returned value is the live relation: do not mutate it, and do not read
-// it while queries are executing concurrently.
+// it while queries are executing concurrently — use View for reads that
+// must coexist with concurrent clients.
 func (e *Engine) Relation() *storage.Relation { return e.rel }
+
+// View runs fn with the relation read-locked: safe against concurrent
+// inserts and reorganizations. fn must not mutate the relation and must not
+// call back into the engine (the lock is not reentrant).
+func (e *Engine) View(fn func(*storage.Relation) error) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return fn(e.rel)
+}
+
+// Version returns the relation's mutation counter: it advances on every
+// insert and every layout reorganization. Serving layers key result caches
+// on it. Safe to call without any engine lock.
+func (e *Engine) Version() uint64 { return e.rel.Version() }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	s := e.stats
 	s.OpCacheHits, s.OpCacheMisses = e.gen.Stats()
 	return s
@@ -195,15 +245,22 @@ func (e *Engine) Stats() Stats {
 // PendingProposals returns the adaptation proposals awaiting a triggering
 // query.
 func (e *Engine) PendingProposals() []advisor.Proposal {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	return append([]advisor.Proposal(nil), e.pending...)
 }
 
 // WindowSize returns the current monitoring window size.
 func (e *Engine) WindowSize() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.win.Size()
+}
+
+// windowSize is WindowSize for internal callers that do not hold stateMu.
+func (e *Engine) windowSize() int {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	return e.win.Size()
 }
 
@@ -220,34 +277,77 @@ func (e *Engine) ExecuteSQL(src string, parse func(string) (*query.Query, error)
 // the adaptation mechanism, lazily materializes a proposed layout when this
 // query benefits, picks the cheapest (layout, strategy) combination, obtains
 // the specialized operator and executes it.
+//
+// Concurrency: queries that neither trigger an adaptation phase nor are
+// covered by a pending layout proposal — the steady state between
+// workload shifts — execute under a shared read lock, so any number of
+// them scan the relation simultaneously. Only adaptation, reorganization
+// and inserts serialize on the exclusive lock.
 func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	start := time.Now()
-	e.stats.Queries++
 	info := query.InfoOf(q)
+	adaptive := e.opts.Mode == ModeAdaptive
 
 	var obs affinity.Observation
-	if e.opts.Mode == ModeAdaptive {
+	exclusive := false
+	e.stateMu.Lock()
+	e.stats.Queries++
+	if adaptive {
 		obs = e.win.Observe(info)
 		if obs.Due {
-			e.adapt()
+			exclusive = true
+		} else if _, turned := e.declined[info.Pattern()]; !turned {
+			exclusive = e.pendingCoversLocked(q.AllAttrs())
 		}
 	}
+	e.stateMu.Unlock()
 
-	// Lazy reorganization: if a pending proposal covers this query and the
-	// cost model says the new layout pays for itself within the horizon,
-	// create it as part of answering the query.
-	if e.opts.Mode == ModeAdaptive {
+	if exclusive {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if obs.Due {
+			// Re-check under the exclusive lock: several concurrent queries
+			// can observe Due at the same window boundary, but only the
+			// first to get here should run the adaptation phase —
+			// MarkAdapted resets the counter, turning the rest into
+			// ordinary queries.
+			e.stateMu.Lock()
+			stillDue := e.win.SinceAdaptation() >= e.win.Size()
+			e.stateMu.Unlock()
+			if stillDue {
+				e.adapt()
+			}
+		}
+		// Lazy reorganization: if a pending proposal covers this query and
+		// the cost model says the new layout pays for itself within the
+		// horizon, create it as part of answering the query.
 		if res, execInfo, done, err := e.tryReorg(q, info, start); done {
 			return res, execInfo, err
 		}
+		// The covering proposal (if any) did not fire for this pattern:
+		// remember that, so repeats take the shared read path until the
+		// next adaptation phase changes the proposal pool.
+		e.stateMu.Lock()
+		e.declined[info.Pattern()] = struct{}{}
+		e.stateMu.Unlock()
+		return e.run(q, info, start)
 	}
 
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.run(q, info, start)
+}
+
+// run picks the cheapest strategy and executes it. The caller holds e.mu in
+// read or write mode.
+func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, error) {
 	strategy, estCost := e.chooseStrategy(q, info)
 
-	// Parallel fast path: fused row scans partition across goroutines.
-	if e.opts.Parallelism > 1 && strategy == exec.StrategyRow {
+	// Parallel fast path: fused row scans partition across goroutines. A
+	// hybrid plan degenerates to the same fused scan whenever one group
+	// covers the whole query, so it takes the parallel path too — intra-query
+	// parallelism composes with the inter-query parallelism of the read lock.
+	if e.opts.Parallelism > 1 && (strategy == exec.StrategyRow || strategy == exec.StrategyHybrid) {
 		if g := exec.BestCoveringGroup(e.rel, q); g != nil {
 			if res, err := exec.ExecRowParallel(g, q, e.opts.Parallelism); err == nil {
 				e.recordSelectivity(info, q, res)
@@ -257,7 +357,7 @@ func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 					Strategy:      strategy,
 					Layout:        e.rel.Kind(),
 					EstimatedCost: estCost,
-					WindowSize:    e.win.Size(),
+					WindowSize:    e.windowSize(),
 					Duration:      time.Since(start),
 				}, nil
 			}
@@ -272,7 +372,9 @@ func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 	res, _, err := op.Run(e.rel, q)
 	if err == exec.ErrUnsupported {
 		// Shape outside the template library: generic operator.
+		e.stateMu.Lock()
 		e.stats.GenericFallback++
+		e.stateMu.Unlock()
 		strategy = exec.StrategyGeneric
 		op, cached, err = e.gen.Operator(strategy, e.rel, q)
 		if err != nil {
@@ -292,7 +394,7 @@ func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 		Strategy:      strategy,
 		Layout:        e.rel.Kind(),
 		EstimatedCost: estCost,
-		WindowSize:    e.win.Size(),
+		WindowSize:    e.windowSize(),
 		Duration:      time.Since(start),
 	}
 	if !cached {
@@ -302,11 +404,23 @@ func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 	return res, ei, nil
 }
 
+// pendingCoversLocked reports whether any pending proposal covers the
+// attribute set. Caller holds stateMu.
+func (e *Engine) pendingCoversLocked(all []data.AttrID) bool {
+	for i := range e.pending {
+		if data.ContainsAll(e.pending[i].Attrs, all) {
+			return true
+		}
+	}
+	return false
+}
+
 // Insert appends tuples (full-width, schema attribute order) to the
 // relation. Every column group — including groups the adaptation mechanism
-// created — grows consistently. Appends invalidate nothing: cached
-// operators rebind the relation on each call and the cost model reads live
-// row counts.
+// created — grows consistently, and the relation version advances so
+// result caches drop entries computed against the smaller relation. Cached
+// operators need no invalidation: they rebind the relation on each call and
+// the cost model reads live row counts.
 func (e *Engine) Insert(tuples [][]data.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -340,8 +454,8 @@ type StrategyCost struct {
 // whether a pending proposal covers the query. It does not execute the
 // query and does not advance the monitoring window.
 func (e *Engine) Explain(q *query.Query) (Explanation, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	info := query.InfoOf(q)
 	est := e.estimateSelectivity(info, q)
 	var ex Explanation
@@ -366,6 +480,7 @@ func (e *Engine) Explain(q *query.Query) (Explanation, error) {
 		ex.CoveringGroups = append(ex.CoveringGroups, fmt.Sprint(g.Attrs))
 	}
 	all := q.AllAttrs()
+	e.stateMu.Lock()
 	for i := range e.pending {
 		if data.ContainsAll(e.pending[i].Attrs, all) {
 			p := e.pending[i]
@@ -373,35 +488,48 @@ func (e *Engine) Explain(q *query.Query) (Explanation, error) {
 			break
 		}
 	}
+	e.stateMu.Unlock()
 	return ex, nil
 }
 
 // adapt runs one adaptation phase: evaluate the window, compute proposals,
-// keep them pending (lazy creation).
+// keep them pending (lazy creation). Caller holds e.mu exclusively.
 func (e *Engine) adapt() {
+	e.stateMu.Lock()
 	e.stats.Adaptations++
 	e.win.MarkAdapted()
-	proposals := advisor.Propose(e.rel, e.win.Recent(), e.model, e.opts.Advisor)
+	recent := append([]query.Info(nil), e.win.Recent()...)
+	e.stateMu.Unlock()
+
+	proposals := advisor.Propose(e.rel, recent, e.model, e.opts.Advisor)
+
+	e.stateMu.Lock()
 	// Replace the pending pool: old un-triggered proposals reflect an older
-	// window ("the recent query history is used as a trigger").
+	// window ("the recent query history is used as a trigger"), and past
+	// reorg refusals no longer apply to the new pool.
 	e.pending = proposals
+	e.declined = make(map[string]struct{})
+	e.stateMu.Unlock()
 }
 
 // tryReorg checks whether a pending proposal should be materialized by this
 // query. When it fires, the reorganizing operator answers the query and
-// registers the new group in one pass.
+// registers the new group in one pass. Caller holds e.mu exclusively;
+// every pending-pool mutator (adapt, removePending callers) also runs
+// under the exclusive lock, so iterating e.pending directly is stable and
+// race-free — concurrent holders of stateMu only read it.
 func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, bool, error) {
 	all := q.AllAttrs()
 	horizon := e.opts.AmortizationHorizon
 	if horizon <= 0 {
-		horizon = e.win.Size()
+		horizon = e.windowSize()
 	}
 	for i, p := range e.pending {
 		if !data.ContainsAll(p.Attrs, all) {
 			continue
 		}
 		if _, exists := e.rel.ExactGroup(p.Attrs); exists {
-			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.removePending(i)
 			return nil, ExecInfo{}, false, nil
 		}
 		// Does the new layout beat the current best plan by enough to
@@ -422,9 +550,11 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 		if err := e.rel.AddGroup(g); err != nil {
 			return nil, ExecInfo{}, true, err
 		}
+		e.stateMu.Lock()
 		e.stats.Reorgs++
 		e.stats.GroupsCreated++
-		e.pending = append(e.pending[:i], e.pending[i+1:]...)
+		e.stateMu.Unlock()
+		e.removePending(i)
 		e.touchGroups(q)
 		e.evictIfNeeded()
 		e.recordSelectivity(info, q, res)
@@ -434,12 +564,20 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 			Layout:      storage.KindGroup,
 			Reorganized: true,
 			NewGroup:    g.Attrs,
-			WindowSize:  e.win.Size(),
+			WindowSize:  e.windowSize(),
 			Duration:    time.Since(start),
 		}
 		return res, ei, true, nil
 	}
 	return nil, ExecInfo{}, false, nil
+}
+
+// removePending drops the i-th pending proposal. Caller holds e.mu
+// exclusively; stateMu guards the write against concurrent readers.
+func (e *Engine) removePending(i int) {
+	e.stateMu.Lock()
+	e.pending = append(e.pending[:i], e.pending[i+1:]...)
+	e.stateMu.Unlock()
 }
 
 // chooseStrategy evaluates the available (layout, strategy) combinations
@@ -489,19 +627,26 @@ func (e *Engine) estimateSelectivity(info query.Info, q *query.Query) float64 {
 	if q != nil && q.Where == nil {
 		return 1
 	}
-	if s, ok := e.selEst[info.Pattern()]; ok {
+	e.stateMu.Lock()
+	s, ok := e.selEst[info.Pattern()]
+	e.stateMu.Unlock()
+	if ok {
 		return s
 	}
 	return e.opts.Advisor.EstSelectivity
 }
 
 // recordSelectivity updates the per-pattern selectivity estimate from the
-// observed result cardinality.
+// observed result cardinality. Caller holds e.mu (any mode), keeping
+// rel.Rows stable.
 func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Result) {
 	if q.Where == nil || q.HasAggregates() || e.rel.Rows == 0 {
 		return
 	}
-	e.selEst[info.Pattern()] = float64(res.Rows) / float64(e.rel.Rows)
+	sel := float64(res.Rows) / float64(e.rel.Rows)
+	e.stateMu.Lock()
+	e.selEst[info.Pattern()] = sel
+	e.stateMu.Unlock()
 }
 
 // applyLimit truncates a materialized result to q.Limit rows. Aggregate
@@ -515,21 +660,27 @@ func applyLimit(q *query.Query, res *exec.Result) {
 	res.Data = res.Data[:q.Limit*len(res.Cols)]
 }
 
-// touchGroups marks the groups serving q as recently used.
+// touchGroups marks the groups serving q as recently used. Caller holds
+// e.mu (any mode).
 func (e *Engine) touchGroups(q *query.Query) {
 	groups, _, err := e.rel.CoveringGroups(q.AllAttrs())
 	if err != nil {
 		return
 	}
+	e.stateMu.Lock()
 	for _, g := range groups {
 		e.lastUsed[g] = e.stats.Queries
 	}
+	e.stateMu.Unlock()
 }
 
 // evictIfNeeded drops least-recently-used groups beyond the MaxGroups cap,
 // never breaking schema coverage. Undroppable groups (sole cover of some
 // attribute) are skipped in favor of the next-least-recently-used one.
+// Caller holds e.mu exclusively (it mutates the group set).
 func (e *Engine) evictIfNeeded() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
 	for len(e.rel.Groups) > e.opts.MaxGroups {
 		candidates := append([]*storage.ColumnGroup(nil), e.rel.Groups...)
 		sort.Slice(candidates, func(i, j int) bool {

@@ -32,13 +32,32 @@ func ExecRowParallel(g *storage.ColumnGroup, q *query.Query, workers int) (*Resu
 		return ExecRow(g, q) // surfaces the coverage error
 	}
 	out := Classify(q)
-	preds, splittable := SplitConjunction(q.Where)
-	if out.Kind == OutOther || !splittable {
+	if out.Kind == OutOther {
 		return nil, ErrUnsupported
 	}
-	bound, ok := BindPreds(g, preds)
-	if !ok {
-		return ExecRow(g, q) // surfaces the binding error
+	// Conjunctions of single-column comparisons compile to offset-bound
+	// predicates evaluated in the tight kernels. Any other predicate shape
+	// (disjunctions, expression comparisons) still partitions across
+	// goroutines: each worker evaluates the interpreted predicate against
+	// its row range through a group-bound accessor, so disjunctive filters
+	// get intra-query parallelism instead of falling back to the serial
+	// generic operator.
+	preds, splittable := SplitConjunction(q.Where)
+	var bound []GroupPred
+	var generic expr.Pred
+	if splittable {
+		b, ok := BindPreds(g, preds)
+		if !ok {
+			return ExecRow(g, q) // surfaces the binding error
+		}
+		bound = b
+	} else {
+		generic = q.Where
+		for _, a := range q.WhereAttrs() {
+			if _, ok := g.Offset(a); !ok {
+				return ExecRow(g, q) // surfaces the binding error
+			}
+		}
 	}
 
 	partials := make([]*partial, workers)
@@ -57,7 +76,7 @@ func ExecRowParallel(g *storage.ColumnGroup, q *query.Query, workers int) (*Resu
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			partials[w] = scanRange(g, out, bound, lo, hi)
+			partials[w] = scanRange(g, out, bound, generic, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -94,17 +113,62 @@ type partial struct {
 	rows   int
 }
 
+// rangeFilter evaluates one partition's filter. The compiled path (bound
+// offset predicates) is the common case and stays branch-free per row; the
+// generic path re-binds the interpreted predicate to the group once per
+// partition — one accessor closure per partition, not per row — so
+// disjunctions and other non-splittable shapes still scan in parallel.
+type rangeFilter struct {
+	bound   []GroupPred
+	generic expr.Pred
+	get     expr.Accessor
+	d       []data.Value
+	base    int
+	offs    []int // attribute id -> word offset within the group
+}
+
+func newRangeFilter(g *storage.ColumnGroup, bound []GroupPred, generic expr.Pred) *rangeFilter {
+	f := &rangeFilter{bound: bound, generic: generic, d: g.Data}
+	if generic != nil {
+		maxAttr := data.AttrID(0)
+		attrs := generic.Attrs(nil)
+		for _, a := range attrs {
+			if a > maxAttr {
+				maxAttr = a
+			}
+		}
+		f.offs = make([]int, maxAttr+1)
+		for _, a := range attrs {
+			if off, ok := g.Offset(a); ok {
+				f.offs[a] = off
+			}
+		}
+		f.get = func(a data.AttrID) data.Value { return f.d[f.base+f.offs[a]] }
+	}
+	return f
+}
+
+// passes evaluates the filter against the mini-tuple starting at base.
+func (f *rangeFilter) passes(base int) bool {
+	if f.generic != nil {
+		f.base = base
+		return f.generic.EvalBool(f.get)
+	}
+	return passes(f.d, base, f.bound)
+}
+
 // scanRange is the fused row scan over rows [lo, hi): the per-partition body
 // of ExecRowParallel, sharing the kernels and shapes of ExecRow.
-func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, lo, hi int) *partial {
+func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, generic expr.Pred, lo, hi int) *partial {
 	d, stride := g.Data, g.Stride
+	flt := newRangeFilter(g, bound, generic)
 	p := &partial{}
 	switch out.Kind {
 	case OutProjection:
 		offs := mustOffsets(g, out.ProjAttrs)
 		base := lo * stride
 		for r := lo; r < hi; r++ {
-			if passes(d, base, bound) {
+			if flt.passes(base) {
 				for _, o := range offs {
 					p.data = append(p.data, d[base+o])
 				}
@@ -120,7 +184,7 @@ func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, lo, hi in
 		}
 		base := lo * stride
 		for r := lo; r < hi; r++ {
-			if passes(d, base, bound) {
+			if flt.passes(base) {
 				for i, o := range offs {
 					p.states[i].Add(d[base+o])
 				}
@@ -131,7 +195,7 @@ func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, lo, hi in
 		offs := mustOffsets(g, out.ExprAttrs)
 		base := lo * stride
 		for r := lo; r < hi; r++ {
-			if passes(d, base, bound) {
+			if flt.passes(base) {
 				var acc data.Value
 				for _, o := range offs {
 					acc += d[base+o]
@@ -146,7 +210,7 @@ func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, lo, hi in
 		st := expr.NewAggState(out.ExprAgg)
 		base := lo * stride
 		for r := lo; r < hi; r++ {
-			if passes(d, base, bound) {
+			if flt.passes(base) {
 				var acc data.Value
 				for _, o := range offs {
 					acc += d[base+o]

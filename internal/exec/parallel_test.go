@@ -46,10 +46,43 @@ func TestParallelDefaultsToNumCPU(t *testing.T) {
 	}
 }
 
-func TestParallelUnsupportedShape(t *testing.T) {
+// TestParallelDisjunction: non-splittable predicates (disjunctions) no
+// longer fall back to the serial generic operator — each partition evaluates
+// the interpreted predicate over its row range. The result must match the
+// generic operator's bit for bit, for worker counts that do and do not
+// divide the row count.
+func TestParallelDisjunction(t *testing.T) {
 	_, _, row, _ := fixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
-	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
+	for qi, q := range []*query.Query{
+		query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or),
+		query.Projection("R", []data.AttrID{0, 3}, or),
+		query.AggExpression("R", []data.AttrID{1, 2}, or),
+	} {
+		want, err := ExecGeneric(row, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7, 16} {
+			got, err := ExecRowParallel(row.Groups[0], q, workers)
+			if err != nil {
+				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("query %d (%s) workers=%d: parallel disjunction differs from generic", qi, q, workers)
+			}
+		}
+	}
+}
+
+func TestParallelUnsupportedShape(t *testing.T) {
+	_, _, row, _ := fixture(t)
+	// A select clause mixing an aggregate with a plain column is outside
+	// every template (OutOther): only the generic operator covers it.
+	q := &query.Query{Table: "R", Items: []query.SelectItem{
+		{Agg: &expr.Agg{Op: expr.AggMax, Arg: &expr.Col{ID: 0}}},
+		{Expr: &expr.Col{ID: 1}},
+	}}
 	if _, err := ExecRowParallel(row.Groups[0], q, 4); err != ErrUnsupported {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}

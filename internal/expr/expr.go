@@ -5,6 +5,10 @@
 // dispatch through an accessor function): it is the "generic operator" whose
 // interpretation overhead the paper's dynamically generated operators remove
 // (§3.4, Fig. 14).
+//
+// Expression trees are immutable once built and evaluation (Eval, EvalBool)
+// touches no shared state, so the same tree may be evaluated from many
+// goroutines at once — the partitioned scans in internal/exec rely on this.
 package expr
 
 import (

@@ -6,6 +6,8 @@
 // Absolute times differ from the paper (different hardware, different row
 // counts, Go instead of icc-compiled C++); the harness is about the *shape*
 // of each result — who wins, by what factor, where the crossovers fall.
+// cmd/h2obench is the command-line front end (and also hosts the
+// serving-layer concurrency sweep, which is not a paper experiment).
 package harness
 
 import (

@@ -15,6 +15,10 @@
 // accounts on the first (cache-miss) use of each operator. The baseline the
 // paper compares against — a generic operator that interprets expression
 // trees tuple-at-a-time — is exec.ExecGeneric.
+//
+// A Generator is safe for concurrent use: the operator cache is guarded
+// internally, and generated operators are stateless closures that rebind
+// the relation on every call, so one operator may serve many goroutines.
 package opgen
 
 import (

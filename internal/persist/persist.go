@@ -15,6 +15,11 @@
 //	          stride uint32
 //	          data   rows*stride int64 values
 //	digest  uint64 order-independent content checksum (storage.Checksum)
+//
+// The relation version counter (storage.Relation.Version) is deliberately
+// not serialized: a restored relation draws a fresh version from the
+// process-wide clock, so result-cache entries (internal/server) keyed
+// against whatever relation it replaces can never be served for it.
 package persist
 
 import (

@@ -1,0 +1,33 @@
+// Package server is the concurrent serving layer on top of the H2O engines:
+// it turns the single-process adaptive store into something that can sit
+// behind many simultaneous clients.
+//
+// Three pieces compose:
+//
+//   - A bounded worker pool. Queries are admitted into a fixed-depth queue
+//     and executed by a fixed number of workers, so a burst of clients
+//     degrades into queueing latency instead of unbounded goroutine and
+//     memory growth. Admission and the wait for a result both honor context
+//     cancellation: a client that gives up while its query is still queued
+//     costs nothing — the worker skips canceled jobs.
+//
+//   - A sharded LRU result cache keyed by (table, normalized query text,
+//     relation version). The relation version — see storage.Relation.Version —
+//     advances on every insert and every layout reorganization, so a
+//     mutation implicitly invalidates every cached result for the table: the
+//     old entries simply stop being addressable and age out of the LRU.
+//     There is no explicit eviction pass and no coordination between writers
+//     and the cache. Sharding keeps lock contention on the hot lookup path
+//     negligible next to query execution.
+//
+//   - A version re-check before publishing. A worker records the relation
+//     version before executing and re-reads it after: if a mutation landed
+//     mid-flight, the result is returned to the caller (it was a consistent
+//     snapshot when computed) but not cached, so a stale entry can never be
+//     installed under a key that concurrent readers consider fresh.
+//
+// The package deliberately knows nothing about SQL or the catalog: it
+// executes logical queries against a Backend (implemented by the h2o.DB
+// facade) and is reusable over any engine that can report a per-table
+// version.
+package server

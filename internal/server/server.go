@@ -1,0 +1,276 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"h2o/internal/core"
+	"h2o/internal/exec"
+	"h2o/internal/query"
+)
+
+// ErrClosed is returned for queries submitted to (or in flight on) a server
+// that has been shut down.
+var ErrClosed = errors.New("server: closed")
+
+// Backend executes logical queries and reports per-table versions. The
+// h2o.DB facade implements it; tests implement it with stubs.
+type Backend interface {
+	// Exec runs one logical query to completion.
+	Exec(q *query.Query) (*exec.Result, core.ExecInfo, error)
+	// Version returns the named table's current relation version. It must
+	// be cheap (an atomic load) and safe to call concurrently with Exec.
+	Version(table string) (uint64, error)
+}
+
+// Config sizes the serving layer. Zero values select defaults.
+type Config struct {
+	// Workers is the number of goroutines executing queries. Default:
+	// GOMAXPROCS. Intra-query parallelism (core.Options.Parallelism)
+	// multiplies on top of this, so on dedicated serving hosts keep
+	// Workers x Parallelism near the core count.
+	Workers int
+	// QueueDepth bounds the admission queue. A full queue makes Query block
+	// until a slot frees or the caller's context is canceled. Default:
+	// 4 x Workers.
+	QueueDepth int
+	// CacheShards is the number of independent lock domains in the result
+	// cache, rounded up to a power of two. Default: 16.
+	CacheShards int
+	// CacheEntries is the total result-cache capacity in entries. Default:
+	// 4096. Negative disables caching entirely.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	return c
+}
+
+// Stats are serving-layer lifetime counters, all monotone.
+type Stats struct {
+	// Submitted counts queries that entered Query.
+	Submitted uint64
+	// Executed counts queries a worker ran against the backend.
+	Executed uint64
+	// CacheHits counts queries answered from the result cache.
+	CacheHits uint64
+	// CacheMisses counts queries that had to execute (cache enabled).
+	CacheMisses uint64
+	// Canceled counts queries abandoned by their context — while queued,
+	// while waiting for a worker, or before admission.
+	Canceled uint64
+	// Uncacheable counts results not published because the relation version
+	// moved during execution.
+	Uncacheable uint64
+}
+
+// job is one admitted query.
+type job struct {
+	ctx     context.Context
+	q       *query.Query
+	key     string // cache key, empty when caching is off
+	version uint64 // relation version read at admission
+	done    chan outcome
+}
+
+type outcome struct {
+	res  *exec.Result
+	info core.ExecInfo
+	err  error
+}
+
+// Server is the concurrent serving layer: a bounded worker pool with an
+// admission queue in front of a Backend, and a versioned result cache.
+// All methods are safe for concurrent use.
+type Server struct {
+	backend Backend
+	cfg     Config
+	cache   *resultCache // nil when caching is disabled
+
+	queue chan *job
+	done  chan struct{} // closed by Close
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	submitted   atomic.Uint64
+	executed    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	canceled    atomic.Uint64
+	uncacheable atomic.Uint64
+}
+
+// New starts a server over backend and returns it running; callers own the
+// shutdown via Close.
+func New(backend Backend, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		backend: backend,
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		done:    make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheShards, cfg.CacheEntries)
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers. Queries already queued or in flight receive
+// ErrClosed; Close blocks until every worker has exited. Closing twice is
+// safe.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:   s.submitted.Load(),
+		Executed:    s.executed.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		Canceled:    s.canceled.Load(),
+		Uncacheable: s.uncacheable.Load(),
+	}
+}
+
+// CacheSize returns the number of live result-cache entries (0 when caching
+// is disabled). Stale-version entries count until the LRU recycles them.
+func (s *Server) CacheSize() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.size()
+}
+
+// Query serves one logical query: answered from the result cache when a
+// fresh-version entry exists, otherwise admitted to the worker pool and
+// executed. It blocks until the result is ready, ctx is canceled, or the
+// server closes. A cache hit sets ExecInfo.CacheHit, reports the hit's own
+// (sub-millisecond) latency in ExecInfo.Duration, and costs no queue slot.
+//
+// Results may be shared: a cached *exec.Result is handed to every client
+// that hits it. Treat returned results as read-only — mutating Data or Rows
+// in place would corrupt what other clients see.
+func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.ExecInfo, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.submitted.Add(1)
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return nil, core.ExecInfo{}, err
+	}
+	// A closed server refuses all queries, cache hits included: Close is a
+	// fence — nothing answers after it.
+	select {
+	case <-s.done:
+		return nil, core.ExecInfo{}, ErrClosed
+	default:
+	}
+
+	version, err := s.backend.Version(q.Table)
+	if err != nil {
+		return nil, core.ExecInfo{}, err
+	}
+
+	var key string
+	if s.cache != nil {
+		key = cacheKey(q.Table, q.String(), version)
+		if res, info, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			info.CacheHit = true
+			// Report the hit's latency, not the original execution's scan
+			// time, so per-query latency accounting reflects what the
+			// caller actually waited.
+			info.Duration = time.Since(start)
+			info.CompileTime = 0
+			return res, info, nil
+		}
+		s.cacheMisses.Add(1)
+	}
+
+	j := &job{ctx: ctx, q: q, key: key, version: version, done: make(chan outcome, 1)}
+
+	// Admission: block for a queue slot, but never past cancellation or
+	// shutdown.
+	select {
+	case s.queue <- j:
+	case <-ctx.Done():
+		s.canceled.Add(1)
+		return nil, core.ExecInfo{}, ctx.Err()
+	case <-s.done:
+		return nil, core.ExecInfo{}, ErrClosed
+	}
+
+	// Wait for a worker. The done channel is buffered, so a worker finishing
+	// after the client gave up does not block.
+	select {
+	case out := <-j.done:
+		return out.res, out.info, out.err
+	case <-ctx.Done():
+		s.canceled.Add(1)
+		return nil, core.ExecInfo{}, ctx.Err()
+	case <-s.done:
+		return nil, core.ExecInfo{}, ErrClosed
+	}
+}
+
+// worker drains the admission queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.serve(j)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// serve executes one admitted job and publishes the result.
+func (s *Server) serve(j *job) {
+	// The client may have left while the job sat in the queue; skip the scan.
+	if err := j.ctx.Err(); err != nil {
+		j.done <- outcome{err: err}
+		return
+	}
+	res, info, err := s.backend.Exec(j.q)
+	s.executed.Add(1)
+	if err == nil && s.cache != nil && j.key != "" {
+		// Publish only if no mutation landed while we executed: the result
+		// is still correct for the caller (it was a consistent snapshot),
+		// but caching it under the admission-time version would let later
+		// readers of that version see data the version no longer describes.
+		if v2, verr := s.backend.Version(j.q.Table); verr == nil && v2 == j.version {
+			s.cache.put(j.key, res, info)
+		} else {
+			s.uncacheable.Add(1)
+		}
+	}
+	j.done <- outcome{res: res, info: info, err: err}
+}

@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"h2o/internal/core"
+	"h2o/internal/data"
+	"h2o/internal/exec"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// engineBackend adapts a single core.Engine to the Backend interface, the
+// way the facade does for a whole catalog.
+type engineBackend struct {
+	table string
+	e     *core.Engine
+}
+
+func (b *engineBackend) Exec(q *query.Query) (*exec.Result, core.ExecInfo, error) {
+	if q.Table != b.table {
+		return nil, core.ExecInfo{}, fmt.Errorf("unknown table %q", q.Table)
+	}
+	return b.e.Execute(q)
+}
+
+func (b *engineBackend) Version(table string) (uint64, error) {
+	if table != b.table {
+		return 0, fmt.Errorf("unknown table %q", table)
+	}
+	return b.e.Version(), nil
+}
+
+func newTestBackend(t testing.TB, rows int) *engineBackend {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", 8), rows, 5)
+	return &engineBackend{table: "R", e: core.New(storage.BuildColumnMajor(tb), core.DefaultOptions())}
+}
+
+func testQuery(attr int) *query.Query {
+	return query.Aggregation("R", expr.AggMax, []data.AttrID{attr}, query.PredLt((attr+1)%8, 0))
+}
+
+func TestCacheHitAndStats(t *testing.T) {
+	b := newTestBackend(t, 2_000)
+	s := New(b, Config{Workers: 2})
+	defer s.Close()
+
+	q := testQuery(0)
+	r1, i1, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	r2, i2, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i2.CacheHit {
+		t.Fatal("second execution missed the cache")
+	}
+	if !r1.Equal(r2) {
+		t.Fatal("cached result differs from executed result")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.Executed != 1 || st.Submitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	b := newTestBackend(t, 1_000)
+	s := New(b, Config{Workers: 2})
+	defer s.Close()
+
+	q := query.Aggregation("R", expr.AggCount, []data.AttrID{0}, nil)
+	r1, _, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.At(0, 0) != 1_000 {
+		t.Fatalf("count = %d", r1.At(0, 0))
+	}
+
+	// Insert: the relation version bumps, so the cached count is stranded
+	// under the old key and the next query recomputes.
+	if err := b.e.Insert([][]data.Value{{1, 2, 3, 4, 5, 6, 7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	r2, i2, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i2.CacheHit {
+		t.Fatal("stale cache entry served after insert")
+	}
+	if r2.At(0, 0) != 1_001 {
+		t.Fatalf("post-insert count = %d, want 1001", r2.At(0, 0))
+	}
+
+	// A layout reorganization also bumps the version: same invalidation
+	// discipline for adaptation as for data change.
+	g, err := storage.Stitch(b.e.Relation(), []data.AttrID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.e.Relation().AddGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	_, i3, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3.CacheHit {
+		t.Fatal("stale cache entry served after reorganization")
+	}
+	// And with no further mutation, the recomputed entry now hits.
+	_, i4, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i4.CacheHit {
+		t.Fatal("fresh entry not served after recompute")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// A backend slow enough that jobs pile up behind one worker.
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	b := &stubBackend{
+		exec: func(q *query.Query) (*exec.Result, core.ExecInfo, error) {
+			close(blocked)
+			<-release
+			return &exec.Result{Cols: []string{"x"}, Rows: 1, Data: []data.Value{1}}, core.ExecInfo{}, nil
+		},
+	}
+	s := New(b, Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
+	defer func() { close(release); s.Close() }()
+
+	// First query occupies the only worker.
+	go s.Query(context.Background(), query.Projection("R", []data.AttrID{0}, nil))
+	<-blocked
+
+	// Second query sits in the queue; cancel it while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.Query(ctx, query.Projection("R", []data.AttrID{1}, nil))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it enqueue
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled query did not return")
+	}
+
+	// An already-canceled context never admits.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := s.Query(ctx2, query.Projection("R", []data.AttrID{2}, nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled query: err = %v", err)
+	}
+	if st := s.Stats(); st.Canceled < 2 {
+		t.Fatalf("Canceled = %d, want >= 2", st.Canceled)
+	}
+}
+
+// stubBackend lets tests script execution behavior.
+type stubBackend struct {
+	exec    func(q *query.Query) (*exec.Result, core.ExecInfo, error)
+	version atomic.Uint64
+}
+
+func (b *stubBackend) Exec(q *query.Query) (*exec.Result, core.ExecInfo, error) { return b.exec(q) }
+func (b *stubBackend) Version(string) (uint64, error)                           { return b.version.Load(), nil }
+
+func TestVersionMovedDuringExecutionNotCached(t *testing.T) {
+	b := &stubBackend{}
+	b.exec = func(q *query.Query) (*exec.Result, core.ExecInfo, error) {
+		// A mutation lands mid-execution.
+		b.version.Add(1)
+		return &exec.Result{Cols: []string{"x"}, Rows: 1, Data: []data.Value{42}}, core.ExecInfo{}, nil
+	}
+	s := New(b, Config{Workers: 1})
+	defer s.Close()
+
+	q := query.Projection("R", []data.AttrID{0}, nil)
+	if _, _, err := s.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.CacheSize(); n != 0 {
+		t.Fatalf("mid-flight-mutation result was cached (%d entries)", n)
+	}
+	if st := s.Stats(); st.Uncacheable != 1 {
+		t.Fatalf("Uncacheable = %d, want 1", st.Uncacheable)
+	}
+}
+
+func TestClose(t *testing.T) {
+	b := newTestBackend(t, 100)
+	s := New(b, Config{Workers: 2})
+	// Populate the cache so the post-Close query would hit if it were
+	// consulted: Close is a fence, cache hits included.
+	if _, _, err := s.Query(context.Background(), testQuery(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, _, err := s.Query(context.Background(), testQuery(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query on closed server: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	b := newTestBackend(t, 500)
+	s := New(b, Config{Workers: 2, CacheEntries: -1})
+	defer s.Close()
+	q := testQuery(3)
+	for i := 0; i < 3; i++ {
+		if _, info, err := s.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		} else if info.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if st := s.Stats(); st.Executed != 3 || st.CacheHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentClients is the serving-layer stress test: many clients,
+// mixed hit/miss traffic, a concurrent writer bumping versions. Run under
+// -race in CI.
+func TestConcurrentClients(t *testing.T) {
+	b := newTestBackend(t, 2_000)
+	s := New(b, Config{Workers: 4, QueueDepth: 8})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 9)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := s.Query(context.Background(), testQuery((c+i)%8)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := b.e.Insert([][]data.Value{{1, 2, 3, 4, 5, 6, 7, 8}}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Submitted != 400 {
+		t.Fatalf("Submitted = %d, want 400", st.Submitted)
+	}
+	if st.Executed+st.CacheHits < 400 {
+		t.Fatalf("Executed+CacheHits = %d, want >= 400", st.Executed+st.CacheHits)
+	}
+}

@@ -28,12 +28,16 @@ func (r *Relation) Append(tuple []data.Value) error {
 		g.Rows++
 	}
 	r.Rows++
+	r.bumpVersion()
 	return nil
 }
 
 // AppendBatch adds many tuples; it validates all widths before mutating
 // anything, so a bad batch leaves the relation untouched.
 func (r *Relation) AppendBatch(tuples [][]data.Value) error {
+	if len(tuples) == 0 {
+		return nil // no mutation: keep the version (and caches keyed on it) intact
+	}
 	for i, tup := range tuples {
 		if len(tup) != r.Schema.NumAttrs() {
 			return fmt.Errorf("storage: tuple %d has %d values, schema %q has %d attributes",
@@ -57,5 +61,6 @@ func (r *Relation) AppendBatch(tuples [][]data.Value) error {
 		g.Rows += len(tuples)
 	}
 	r.Rows += len(tuples)
+	r.bumpVersion()
 	return nil
 }

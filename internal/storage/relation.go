@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"h2o/internal/data"
 )
@@ -11,16 +12,45 @@ import (
 // groups that together cover every attribute at least once. Groups may
 // overlap — the paper allows "the same piece of data [to] be stored in more
 // than one format" — so lookups prefer the narrowest covering group.
+//
+// A Relation carries a monotonically increasing version that advances on
+// every mutation — appends as well as layout reorganizations (AddGroup /
+// DropGroup). Result caches key entries by this version, so a bump
+// implicitly invalidates everything cached against the previous state
+// without any explicit eviction pass. The Relation itself performs no
+// locking: callers (the engine) serialize mutations against reads; only the
+// version counter is atomic so serving layers can read it without holding
+// the engine's lock.
 type Relation struct {
 	Schema *data.Schema
 	Rows   int
 	Groups []*ColumnGroup
 
 	// narrowest caches, per attribute, the narrowest group storing it; it is
-	// invalidated whenever the group set changes. Wide schemas make the
+	// rebuilt whenever the group set changes. Wide schemas make the
 	// linear GroupFor scan O(attrs x groups) per query without it.
 	narrowest []*ColumnGroup
+
+	// version is this relation's slice of the process-wide version clock.
+	// Read with Version; advanced with bumpVersion under the caller's
+	// write lock.
+	version atomic.Uint64
 }
+
+// versionClock is the process-wide source of relation versions. Drawing
+// every relation's versions — including the initial one — from a single
+// monotone counter means a version value is never reused across relations:
+// replacing a table (reload, re-registration) can never resurrect a cache
+// entry keyed under the old relation's versions.
+var versionClock atomic.Uint64
+
+// Version returns the relation's current version. It is safe to call
+// without external locking.
+func (r *Relation) Version() uint64 { return r.version.Load() }
+
+// bumpVersion advances the relation to a fresh process-unique version.
+// Callers hold the exclusive lock that serializes the mutation itself.
+func (r *Relation) bumpVersion() { r.version.Store(versionClock.Add(1)) }
 
 // NewRelation creates a relation from a set of groups. It validates that the
 // groups cover the schema and share the relation's row count.
@@ -43,6 +73,12 @@ func NewRelation(schema *data.Schema, rows int, groups []*ColumnGroup) (*Relatio
 			return nil, fmt.Errorf("storage: attribute %s of %q not covered by any group", schema.AttrName(a), schema.Name)
 		}
 	}
+	// Build the lookup index eagerly: GroupFor must be read-only once the
+	// relation is shared between concurrent readers.
+	rel.rebuildIndex()
+	// Start at a fresh process-unique version so this relation's cache keys
+	// can never collide with those of a relation it replaces.
+	rel.bumpVersion()
 	return rel, nil
 }
 
@@ -112,7 +148,10 @@ func (r *Relation) Bytes() int64 {
 	return n
 }
 
-// GroupFor returns the narrowest group storing attribute a.
+// GroupFor returns the narrowest group storing attribute a. For relations
+// built through NewRelation the index always exists and the lookup is
+// read-only; the lazy rebuild below only serves hand-assembled Relation
+// literals (tests, micro-harnesses), which are single-threaded.
 func (r *Relation) GroupFor(a data.AttrID) (*ColumnGroup, error) {
 	if r.narrowest == nil {
 		r.rebuildIndex()
@@ -213,7 +252,8 @@ func (r *Relation) AddGroup(g *ColumnGroup) error {
 		return fmt.Errorf("storage: group %v has %d rows, relation has %d", g.Attrs, g.Rows, r.Rows)
 	}
 	r.Groups = append(r.Groups, g)
-	r.narrowest = nil
+	r.rebuildIndex()
+	r.bumpVersion()
 	return nil
 }
 
@@ -245,7 +285,8 @@ func (r *Relation) DropGroup(g *ColumnGroup) bool {
 		}
 	}
 	r.Groups = append(r.Groups[:idx], r.Groups[idx+1:]...)
-	r.narrowest = nil
+	r.rebuildIndex()
+	r.bumpVersion()
 	return true
 }
 

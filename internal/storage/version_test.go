@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"testing"
+
+	"h2o/internal/data"
+)
+
+// TestVersionAdvancesOnMutation checks that every mutation class — append,
+// batch append, group creation, group drop — bumps the relation version, and
+// that read-only operations leave it alone. Result caches key on this
+// counter, so a missed bump would serve stale results.
+func TestVersionAdvancesOnMutation(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 4), 100, 1)
+	rel := BuildColumnMajor(tb)
+	v0 := rel.Version()
+
+	if err := rel.Append([]data.Value{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Version() <= v0 {
+		t.Fatalf("Append did not bump version: %d -> %d", v0, rel.Version())
+	}
+	v1 := rel.Version()
+
+	if err := rel.AppendBatch([][]data.Value{{5, 6, 7, 8}, {9, 10, 11, 12}}); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Version() <= v1 {
+		t.Fatalf("AppendBatch did not bump version: %d -> %d", v1, rel.Version())
+	}
+	v2 := rel.Version()
+
+	// An empty batch is a no-op and must not invalidate caches.
+	if err := rel.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Version() != v2 {
+		t.Fatalf("empty AppendBatch bumped version: %d -> %d", v2, rel.Version())
+	}
+
+	g, err := Stitch(rel, []data.AttrID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.AddGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Version() <= v2 {
+		t.Fatalf("AddGroup did not bump version: %d -> %d", v2, rel.Version())
+	}
+	v3 := rel.Version()
+
+	if !rel.DropGroup(g) {
+		t.Fatal("DropGroup refused a droppable group")
+	}
+	if rel.Version() <= v3 {
+		t.Fatalf("DropGroup did not bump version: %d -> %d", v3, rel.Version())
+	}
+	v4 := rel.Version()
+
+	// Read-only operations do not advance the version.
+	if _, err := rel.GroupFor(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rel.CoveringGroups([]data.AttrID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rel.Kind()
+	_ = rel.LayoutSignature()
+	if rel.Version() != v4 {
+		t.Fatalf("read-only access bumped version: %d -> %d", v4, rel.Version())
+	}
+}
+
+// TestVersionFailedMutationsDoNotBump checks that rejected mutations leave
+// the version untouched.
+func TestVersionFailedMutationsDoNotBump(t *testing.T) {
+	tb := data.Generate(data.SyntheticSchema("R", 3), 10, 1)
+	rel := BuildColumnMajor(tb)
+	v0 := rel.Version()
+
+	if err := rel.Append([]data.Value{1}); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+	if err := rel.AppendBatch([][]data.Value{{1, 2, 3}, {4}}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	// Dropping the sole cover of an attribute must be refused.
+	g, err := rel.GroupFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.DropGroup(g) {
+		t.Fatal("dropped the only cover of attribute 0")
+	}
+	if rel.Version() != v0 {
+		t.Fatalf("failed mutations bumped version: %d -> %d", v0, rel.Version())
+	}
+}

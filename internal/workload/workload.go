@@ -4,6 +4,9 @@
 // workload of §4.1, the 60-query shifting workload of Figure 9, oscillating
 // workloads, and a simulator for the SkyServer (SDSS) trace used in
 // Figure 8.
+//
+// Generators are deterministic in their seed so every experiment — and
+// every CI run — replays the identical query sequence.
 package workload
 
 import (
