@@ -19,6 +19,11 @@
 // hosts:
 //
 //	h2obench -exp serve -clients 1,2,4,8,16 -duration 2s
+//
+// -exp segments measures the segmented-storage contract: appends and
+// hot-segment reorganizations stay O(segment size) as the relation grows,
+// and selective scans over append-ordered data skip cold segments via
+// per-segment zone maps.
 package main
 
 import (
@@ -38,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1, fig2a-c, fig7, table1, fig8, fig9, fig10a-f, fig11, fig12, fig13, fig14, ablation-*) or 'all'")
+		exp     = flag.String("exp", "", "experiment id (fig1, fig2a-c, fig7, table1, fig8, fig9, fig10a-f, fig11, fig12, fig13, fig14, ablation-*, segments) or 'all'")
 		list    = flag.Bool("list", false, "list available experiments and exit")
 		rows150 = flag.Int("rows150", 0, "rows of the 150-attribute relation (default 100000)")
 		rows250 = flag.Int("rows250", 0, "rows of the 250-attribute relation (default 50000)")

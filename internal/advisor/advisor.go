@@ -57,8 +57,15 @@ type Proposal struct {
 	// Gain is the expected reduction in window workload cost once the group
 	// exists (excluding the transformation cost).
 	Gain costmodel.Seconds
-	// TransformBytes is the data volume the reorganization would move.
+	// TransformBytes is the data volume reorganizing every segment that
+	// lacks the group would move — the whole-relation upper bound. The
+	// engine re-prices the hot subset per segment at trigger time.
 	TransformBytes int64
+	// SegmentBytes is the per-segment breakdown of TransformBytes (zero for
+	// segments that already carry the group), letting the engine decide
+	// "adapt the 3 hot segments now, leave the other 97" without
+	// re-deriving the covering sets.
+	SegmentBytes []int64
 }
 
 // String describes the proposal.
@@ -113,13 +120,13 @@ func Propose(rel *storage.Relation, window []query.Info, m *costmodel.Model, cfg
 			}
 			withCost := ev.workloadCost(append(config, cand))
 			gain := baseCost - withCost
-			moveBytes := ev.transformBytes(cand)
+			segBytes, moveBytes := ev.transformBytes(cand)
 			net := gain - m.TransformCost(moveBytes)
 			if net <= 0 || float64(gain) < cfg.MinGainRatio*float64(baseCost) {
 				continue
 			}
 			if best == nil || gain > best.Gain {
-				best = &Proposal{Attrs: cand, Gain: gain, TransformBytes: moveBytes}
+				best = &Proposal{Attrs: cand, Gain: gain, TransformBytes: moveBytes, SegmentBytes: segBytes}
 				bestCand = cand
 			}
 		}
@@ -159,13 +166,12 @@ func newEvaluator(rel *storage.Relation, window []query.Info, m *costmodel.Model
 	return &evaluator{rel: rel, window: window, m: m, cfg: cfg}
 }
 
-// currentSets snapshots the relation's existing groups as attribute sets.
+// currentSets snapshots the layout common to every segment as attribute
+// sets. Groups that exist only in some (hot) segments are deliberately not
+// counted as existing, so a proposal covering them stays alive for the
+// segments that still lack them.
 func (ev *evaluator) currentSets() [][]data.AttrID {
-	out := make([][]data.AttrID, len(ev.rel.Groups))
-	for i, g := range ev.rel.Groups {
-		out[i] = g.Attrs
-	}
-	return out
+	return ev.rel.CommonLayout()
 }
 
 // redundant reports whether the configuration already contains cand exactly.
@@ -230,14 +236,24 @@ func (ev *evaluator) queryCost(info query.Info, config [][]data.AttrID) costmode
 	return ev.m.QueryCost(accesses)
 }
 
-// transformBytes estimates the volume a reorganization into attrs moves.
-func (ev *evaluator) transformBytes(attrs []data.AttrID) int64 {
-	n, err := storage.TransformBytes(ev.rel, attrs)
-	if err != nil {
-		// Uncovered attributes cannot be stitched; price it prohibitively.
-		return int64(ev.rel.Rows) * int64(len(attrs)) * 16
+// transformBytes estimates the volume a reorganization into attrs moves,
+// per segment and in total. Segments already carrying the group cost zero.
+func (ev *evaluator) transformBytes(attrs []data.AttrID) ([]int64, int64) {
+	segBytes := make([]int64, len(ev.rel.Segments))
+	var total int64
+	for si, seg := range ev.rel.Segments {
+		if _, ok := seg.ExactGroup(attrs); ok {
+			continue
+		}
+		n, err := storage.SegTransformBytes(seg, attrs)
+		if err != nil {
+			// Uncovered attributes cannot be stitched; price it prohibitively.
+			n = int64(seg.Rows) * int64(len(attrs)) * 16
+		}
+		segBytes[si] = n
+		total += n
 	}
-	return n
+	return segBytes, total
 }
 
 // subtract removes members of b from the sorted set a.

@@ -134,7 +134,7 @@ func TestStaticModesNeverAdapt(t *testing.T) {
 		func() *Engine { return NewColumnStore(tb) },
 	} {
 		e := mk()
-		groupsBefore := len(e.Relation().Groups)
+		groupsBefore := len(e.Relation().Segments[0].Groups)
 		for _, q := range hotQueries(30) {
 			res, info, err := e.Execute(q)
 			if err != nil {
@@ -151,7 +151,7 @@ func TestStaticModesNeverAdapt(t *testing.T) {
 		if st.Adaptations != 0 || st.Reorgs != 0 {
 			t.Fatalf("%v engine adapted: %+v", e.opts.Mode, st)
 		}
-		if len(e.Relation().Groups) != groupsBefore {
+		if len(e.Relation().Segments[0].Groups) != groupsBefore {
 			t.Fatalf("%v engine changed its layout", e.opts.Mode)
 		}
 	}
@@ -209,7 +209,7 @@ func TestMaxGroupsEviction(t *testing.T) {
 			}
 		}
 	}
-	if got := len(e.Relation().Groups); got > opts.MaxGroups {
+	if got := len(e.Relation().Segments[0].Groups); got > opts.MaxGroups {
 		t.Fatalf("groups = %d exceeds cap %d", got, opts.MaxGroups)
 	}
 	if e.Stats().GroupsCreated >= 3 && e.Stats().GroupsDropped == 0 {

@@ -18,6 +18,14 @@
 // Every mutation advances the relation's version counter, which the serving
 // layer (internal/server) uses to key — and implicitly invalidate — its
 // result cache.
+//
+// Adaptation is *incremental* at segment granularity: relations are stored
+// as fixed-capacity segments (internal/storage), and a triggered
+// reorganization stitches the advisor's layout only into the segments the
+// workload made hot — the rest keep their old layout, so a relation can
+// legitimately hold mixed layouts across segments and a reorganization
+// costs O(hot segments), not O(relation). Inserts likewise touch only the
+// tail segment.
 package core
 
 import (
@@ -92,10 +100,17 @@ type Options struct {
 	// reorganization must pay for itself before the engine triggers it; 0
 	// means "current window size".
 	AmortizationHorizon int
-	// Parallelism partitions fused row scans across this many goroutines
-	// (the paper's engines "use all the available CPUs"). 0 or 1 keeps scans
-	// serial.
+	// Parallelism fans fused scans out across this many goroutines, one
+	// task per storage segment (the paper's engines "use all the available
+	// CPUs"). 0 or 1 keeps scans serial.
 	Parallelism int
+	// HotSegmentReads is the number of scans (since the last adaptation
+	// phase) that marks a segment hot: online reorganization stitches the
+	// advisor's layout into hot segments only — plus whichever segments the
+	// triggering query touches — and leaves cold segments on their old
+	// layout, so reorganization cost scales with the hot fraction of the
+	// data. 0 selects the default of 1.
+	HotSegmentReads int
 }
 
 // DefaultOptions returns the adaptive configuration used in §4.1.
@@ -114,11 +129,19 @@ func DefaultOptions() Options {
 type ExecInfo struct {
 	Strategy exec.Strategy
 	Layout   storage.LayoutKind // kind of the layout actually scanned
-	// Reorganized is true when the query piggybacked the creation of a new
-	// column group (online reorganization).
+	// Reorganized is true when the query piggybacked the creation of new
+	// segment-local column groups (online reorganization).
 	Reorganized bool
-	// NewGroup is the attribute set of the group created, if any.
+	// NewGroup is the attribute set of the groups created, if any.
 	NewGroup []data.AttrID
+	// SegmentsReorganized counts the segments that received the new group:
+	// incremental adaptation touches only hot segments, so this is usually
+	// far below the relation's segment count.
+	SegmentsReorganized int
+	// SegmentsScanned and SegmentsPruned report how much of the relation
+	// the scan touched versus skipped outright via per-segment zone maps.
+	SegmentsScanned int
+	SegmentsPruned  int
 	// CompileTime is the simulated operator-generation cost charged to this
 	// query (zero on operator-cache hits).
 	CompileTime time.Duration
@@ -199,6 +222,9 @@ type Engine struct {
 func New(rel *storage.Relation, opts Options) *Engine {
 	if opts.MaxGroups <= 0 {
 		opts.MaxGroups = 2*rel.Schema.NumAttrs() + 16
+	}
+	if opts.HotSegmentReads <= 0 {
+		opts.HotSegmentReads = 1
 	}
 	e := &Engine{
 		rel:      rel,
@@ -343,22 +369,27 @@ func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, error) {
 	strategy, estCost := e.chooseStrategy(q, info)
 
-	// Parallel fast path: fused row scans partition across goroutines. A
-	// hybrid plan degenerates to the same fused scan whenever one group
-	// covers the whole query, so it takes the parallel path too — intra-query
-	// parallelism composes with the inter-query parallelism of the read lock.
+	// Parallel fast path: fused row scans fan out with one task per storage
+	// segment, so the parallelism granularity matches the data partitioning.
+	// A hybrid plan degenerates to the same fused scan whenever one group
+	// per segment covers the whole query, so it takes the parallel path too
+	// — intra-query parallelism composes with the inter-query parallelism
+	// of the read lock.
 	if e.opts.Parallelism > 1 && (strategy == exec.StrategyRow || strategy == exec.StrategyHybrid) {
-		if g := exec.BestCoveringGroup(e.rel, q); g != nil {
-			if res, err := exec.ExecRowParallel(g, q, e.opts.Parallelism); err == nil {
+		if exec.RowCovered(e.rel, q) {
+			var st exec.StrategyStats
+			if res, err := exec.ExecRowParallel(e.rel, q, e.opts.Parallelism, &st); err == nil {
 				e.recordSelectivity(info, q, res)
 				e.touchGroups(q)
 				applyLimit(q, res)
 				return res, ExecInfo{
-					Strategy:      strategy,
-					Layout:        e.rel.Kind(),
-					EstimatedCost: estCost,
-					WindowSize:    e.windowSize(),
-					Duration:      time.Since(start),
+					Strategy:        strategy,
+					Layout:          e.rel.Kind(),
+					EstimatedCost:   estCost,
+					WindowSize:      e.windowSize(),
+					SegmentsScanned: st.SegmentsScanned,
+					SegmentsPruned:  st.SegmentsPruned,
+					Duration:        time.Since(start),
 				}, nil
 			}
 			// Unsupported shape: fall through to the operator path.
@@ -369,7 +400,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 	if err != nil {
 		return nil, ExecInfo{}, err
 	}
-	res, _, err := op.Run(e.rel, q)
+	res, st, err := op.Run(e.rel, q)
 	if err == exec.ErrUnsupported {
 		// Shape outside the template library: generic operator.
 		e.stateMu.Lock()
@@ -380,7 +411,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 		if err != nil {
 			return nil, ExecInfo{}, err
 		}
-		res, _, err = op.Run(e.rel, q)
+		res, st, err = op.Run(e.rel, q)
 	}
 	if err != nil {
 		return nil, ExecInfo{}, err
@@ -396,6 +427,10 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 		EstimatedCost: estCost,
 		WindowSize:    e.windowSize(),
 		Duration:      time.Since(start),
+	}
+	if st != nil {
+		ei.SegmentsScanned = st.SegmentsScanned
+		ei.SegmentsPruned = st.SegmentsPruned
 	}
 	if !cached {
 		ei.CompileTime = op.CompileTime
@@ -510,14 +545,25 @@ func (e *Engine) adapt() {
 	e.pending = proposals
 	e.declined = make(map[string]struct{})
 	e.stateMu.Unlock()
+
+	// Segment hotness restarts with the new window: reorganization triggered
+	// by the queries ahead should reflect where *they* concentrate.
+	for _, seg := range e.rel.Segments {
+		seg.ResetReads()
+	}
 }
 
 // tryReorg checks whether a pending proposal should be materialized by this
-// query. When it fires, the reorganizing operator answers the query and
-// registers the new group in one pass. Caller holds e.mu exclusively;
-// every pending-pool mutator (adapt, removePending callers) also runs
-// under the exclusive lock, so iterating e.pending directly is stable and
-// race-free — concurrent holders of stateMu only read it.
+// query. When it fires, the reorganizing operator answers the query while
+// stitching the proposed group into the *hot* segments only — segments the
+// recent workload scanned (plus those this query touches); cold segments
+// keep their layout and their groups are neither copied nor rescanned, so
+// one trigger costs O(hot segments). The proposal stays pending until every
+// segment carries the group, letting later queries extend the layout to
+// segments that become hot. Caller holds e.mu exclusively; every
+// pending-pool mutator (adapt, removePending callers) also runs under the
+// exclusive lock, so iterating e.pending directly is stable and race-free —
+// concurrent holders of stateMu only read it.
 func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, bool, error) {
 	all := q.AllAttrs()
 	horizon := e.opts.AmortizationHorizon
@@ -533,43 +579,97 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 			return nil, ExecInfo{}, false, nil
 		}
 		// Does the new layout beat the current best plan by enough to
-		// amortize the move within the horizon?
+		// amortize the move within the horizon? Gain and move volume are
+		// both restricted to the hot segments: adapting three hot segments
+		// can pay even when reorganizing the whole relation would not.
 		currStrat, currCost := e.chooseStrategy(q, info)
 		newCost := e.costOnGroup(len(p.Attrs), len(all), info)
 		gain := currCost - newCost
-		if gain <= 0 || float64(gain)*float64(horizon) < float64(e.model.TransformCost(p.TransformBytes)) {
+		if gain <= 0 {
 			continue
 		}
 		_ = currStrat
+		hot, hotRows, hotBytes := e.hotSegments(q, p)
+		if hotRows == 0 {
+			continue
+		}
+		gainHot := costmodel.Seconds(float64(gain) * float64(hotRows) / float64(e.rel.Rows))
+		if !e.model.ReorgPays(gainHot, horizon, hotBytes) {
+			continue
+		}
 
-		g, res, err := exec.ExecReorg(e.rel, q, p.Attrs)
+		newGroups, res, err := exec.ExecReorg(e.rel, q, p.Attrs, hot)
 		if err != nil {
 			return nil, ExecInfo{}, true, err
 		}
 		applyLimit(q, res)
-		if err := e.rel.AddGroup(g); err != nil {
-			return nil, ExecInfo{}, true, err
+		reorged := 0
+		for si, g := range newGroups {
+			if g == nil {
+				continue
+			}
+			if err := e.rel.Segments[si].AddGroup(g); err != nil {
+				return nil, ExecInfo{}, true, err
+			}
+			reorged++
 		}
 		e.stateMu.Lock()
 		e.stats.Reorgs++
 		e.stats.GroupsCreated++
 		e.stateMu.Unlock()
-		e.removePending(i)
+		if _, exists := e.rel.ExactGroup(p.Attrs); exists {
+			// Every segment adapted: the proposal is fully realized.
+			e.removePending(i)
+		}
 		e.touchGroups(q)
 		e.evictIfNeeded()
 		e.recordSelectivity(info, q, res)
 
 		ei := ExecInfo{
-			Strategy:    exec.StrategyReorg,
-			Layout:      storage.KindGroup,
-			Reorganized: true,
-			NewGroup:    g.Attrs,
-			WindowSize:  e.windowSize(),
-			Duration:    time.Since(start),
+			Strategy:            exec.StrategyReorg,
+			Layout:              storage.KindGroup,
+			Reorganized:         true,
+			NewGroup:            p.Attrs,
+			SegmentsReorganized: reorged,
+			WindowSize:          e.windowSize(),
+			Duration:            time.Since(start),
 		}
 		return res, ei, true, nil
 	}
 	return nil, ExecInfo{}, false, nil
+}
+
+// hotSegments classifies the relation's segments for an incremental
+// reorganization into attrs: a segment is hot when the workload scanned it
+// at least HotSegmentReads times since the last adaptation phase, or when
+// the triggering query itself will touch it (it is about to be scanned
+// anyway, so stitching rides along for free). Segments that already carry
+// the group are never re-stitched. Returns the hot mask, the hot row count
+// and the per-segment transform volume summed over hot segments. Caller
+// holds e.mu exclusively.
+func (e *Engine) hotSegments(q *query.Query, p advisor.Proposal) (hot []bool, hotRows int, hotBytes int64) {
+	thresh := uint64(e.opts.HotSegmentReads)
+	hot = make([]bool, len(e.rel.Segments))
+	for si, seg := range e.rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if _, exists := seg.ExactGroup(p.Attrs); exists {
+			continue
+		}
+		if seg.Reads() < thresh && !exec.QueryTouchesSegment(seg, q) {
+			continue
+		}
+		hot[si] = true
+		hotRows += seg.Rows
+		if si < len(p.SegmentBytes) && p.SegmentBytes[si] > 0 {
+			hotBytes += p.SegmentBytes[si]
+		} else if b, err := storage.SegTransformBytes(seg, p.Attrs); err == nil {
+			// Segments appended after the proposal was priced.
+			hotBytes += b
+		}
+	}
+	return hot, hotRows, hotBytes
 }
 
 // removePending drops the i-th pending proposal. Caller holds e.mu
@@ -638,9 +738,12 @@ func (e *Engine) estimateSelectivity(info query.Info, q *query.Query) float64 {
 
 // recordSelectivity updates the per-pattern selectivity estimate from the
 // observed result cardinality. Caller holds e.mu (any mode), keeping
-// rel.Rows stable.
+// rel.Rows stable. Limited queries are skipped: their scans stop consuming
+// segments once the limit is reached, so the observed row count is a
+// prefix artifact, not the pattern's true selectivity (and the pattern key
+// is shared with unlimited queries).
 func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Result) {
-	if q.Where == nil || q.HasAggregates() || e.rel.Rows == 0 {
+	if q.Where == nil || q.HasAggregates() || q.Limit > 0 || e.rel.Rows == 0 {
 		return
 	}
 	sel := float64(res.Rows) / float64(e.rel.Rows)
@@ -650,8 +753,9 @@ func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Re
 }
 
 // applyLimit truncates a materialized result to q.Limit rows. Aggregate
-// results (one row) are unaffected. The cut happens after the scan; the
-// engine has no early-exit path.
+// results (one row) are unaffected. The scan itself already stops consuming
+// segments once the limit is reached (see the exec drivers); this trims the
+// overshoot within the last scanned segment to exactly N rows.
 func applyLimit(q *query.Query, res *exec.Result) {
 	if q.Limit <= 0 || res.Rows <= q.Limit {
 		return
@@ -660,43 +764,68 @@ func applyLimit(q *query.Query, res *exec.Result) {
 	res.Data = res.Data[:q.Limit*len(res.Cols)]
 }
 
-// touchGroups marks the groups serving q as recently used. Caller holds
-// e.mu (any mode).
+// touchGroups marks the segment-local groups serving q as recently used.
+// The greedy set cover runs once per *distinct layout signature*, not once
+// per segment — on the common uniform relation that is a single cover plus
+// a cheap exact-group lookup per segment, keeping the stateMu critical
+// section flat as segment counts grow. Caller holds e.mu (any mode).
 func (e *Engine) touchGroups(q *query.Query) {
-	groups, _, err := e.rel.CoveringGroups(q.AllAttrs())
-	if err != nil {
-		return
-	}
+	all := q.AllAttrs()
+	covers := make(map[string][][]data.AttrID, 1)
 	e.stateMu.Lock()
-	for _, g := range groups {
-		e.lastUsed[g] = e.stats.Queries
+	defer e.stateMu.Unlock()
+	now := e.stats.Queries
+	for _, seg := range e.rel.Segments {
+		sig := seg.LayoutSignature()
+		sets, seen := covers[sig]
+		if !seen {
+			groups, _, err := seg.CoveringGroups(all)
+			if err != nil {
+				covers[sig] = nil
+				continue
+			}
+			for _, g := range groups {
+				sets = append(sets, g.Attrs)
+				e.lastUsed[g] = now
+			}
+			covers[sig] = sets
+			continue
+		}
+		for _, attrs := range sets {
+			if g, ok := seg.ExactGroup(attrs); ok {
+				e.lastUsed[g] = now
+			}
+		}
 	}
-	e.stateMu.Unlock()
 }
 
-// evictIfNeeded drops least-recently-used groups beyond the MaxGroups cap,
-// never breaking schema coverage. Undroppable groups (sole cover of some
-// attribute) are skipped in favor of the next-least-recently-used one.
-// Caller holds e.mu exclusively (it mutates the group set).
+// evictIfNeeded drops least-recently-used groups beyond the per-segment
+// MaxGroups cap, never breaking schema coverage. The cap applies segment by
+// segment — layouts are segment-local, so the budget is too. Undroppable
+// groups (sole cover of some attribute) are skipped in favor of the
+// next-least-recently-used one. Caller holds e.mu exclusively (it mutates
+// the group sets).
 func (e *Engine) evictIfNeeded() {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
-	for len(e.rel.Groups) > e.opts.MaxGroups {
-		candidates := append([]*storage.ColumnGroup(nil), e.rel.Groups...)
-		sort.Slice(candidates, func(i, j int) bool {
-			return e.lastUsed[candidates[i]] < e.lastUsed[candidates[j]]
-		})
-		dropped := false
-		for _, g := range candidates {
-			if e.rel.DropGroup(g) {
-				delete(e.lastUsed, g)
-				e.stats.GroupsDropped++
-				dropped = true
-				break
+	for _, seg := range e.rel.Segments {
+		for len(seg.Groups) > e.opts.MaxGroups {
+			candidates := append([]*storage.ColumnGroup(nil), seg.Groups...)
+			sort.Slice(candidates, func(i, j int) bool {
+				return e.lastUsed[candidates[i]] < e.lastUsed[candidates[j]]
+			})
+			dropped := false
+			for _, g := range candidates {
+				if seg.DropGroup(g) {
+					delete(e.lastUsed, g)
+					e.stats.GroupsDropped++
+					dropped = true
+					break
+				}
 			}
-		}
-		if !dropped {
-			return // every group is load-bearing; live over the cap
+			if !dropped {
+				break // every group is load-bearing; live over the cap
+			}
 		}
 	}
 }

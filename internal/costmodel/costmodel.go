@@ -177,10 +177,25 @@ func (m *Model) QueryCost(accesses []GroupAccess) Seconds {
 
 // TransformCost prices a layout transformation that moves the given volume
 // (source bytes read plus destination bytes written) — the T(Ci-1, Ci) term
-// of Eq. 1.
+// of Eq. 1. Reorganization is segment-granular, so callers pass the bytes
+// of exactly the segments they intend to move: pricing one hot segment
+// costs O(segment), pricing the whole relation costs the sum.
 func (m *Model) TransformCost(bytes int64) Seconds {
 	if bytes <= 0 {
 		return 0
 	}
 	return Seconds(float64(bytes) / m.P.CopyBandwidth)
+}
+
+// ReorgPays decides whether a reorganization that moves moveBytes is worth
+// triggering: the per-query gain, collected over the amortization horizon,
+// must exceed the transformation cost. The engine evaluates it per
+// segment-subset — gain scaled to the hot segments' row share, moveBytes
+// summed over hot segments only — so adapting three hot segments can pay
+// even when reorganizing the whole relation would not.
+func (m *Model) ReorgPays(gain Seconds, horizon int, moveBytes int64) bool {
+	if gain <= 0 {
+		return false
+	}
+	return float64(gain)*float64(horizon) >= float64(m.TransformCost(moveBytes))
 }

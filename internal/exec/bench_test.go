@@ -110,7 +110,7 @@ func BenchmarkStrategyRow(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecRow(row.Groups[0], q); err != nil {
+		if _, err := ExecRowRel(row, q, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,7 +163,7 @@ func BenchmarkExecReorgOnline(b *testing.B) {
 	b.SetBytes(int64(len(attrs)) * benchRows * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ExecReorg(col, q, attrs); err != nil {
+		if _, _, err := ExecReorg(col, q, attrs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -137,9 +137,23 @@ func AggColumnBitmap(g *storage.ColumnGroup, off int, op expr.AggOp, bm *Bitmap)
 	return st.Result()
 }
 
+// foldColumnBitmap folds the rows whose bit is set into st.
+func foldColumnBitmap(st *expr.AggState, g *storage.ColumnGroup, off int, bm *Bitmap) {
+	d, stride := g.Data, g.Stride
+	for wi, w := range bm.words {
+		base := wi << 6
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			st.Add(d[(base+bit)*stride+off])
+		}
+	}
+}
+
 // ExecHybridBitmap is ExecHybrid's aggregate path with bitmaps instead of
 // selection vectors, used by the bitmap ablation. It supports the
-// aggregation template only.
+// aggregation template only; segments are processed one at a time with a
+// segment-sized bitmap, skipping segments their zone maps rule out.
 func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	out := Classify(q)
 	if out.Kind != OutAggregates {
@@ -149,45 +163,52 @@ func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStat
 	if !splittable {
 		return nil, ErrUnsupported
 	}
-	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	states := newStates(out)
+	err := scanSegments(rel, preds, stats, 0, func() int { return 0 },
+		func(seg *storage.Segment) error {
+			_, assign, err := seg.CoveringGroups(q.AllAttrs())
+			if err != nil {
+				return err
+			}
+
+			var bm *Bitmap
+			if len(preds) > 0 {
+				bm = NewBitmap(seg.Rows)
+				grouped := map[*storage.ColumnGroup][]GroupPred{}
+				var order []*storage.ColumnGroup
+				for _, p := range preds {
+					g := assign[p.Attr]
+					off, _ := g.Offset(p.Attr)
+					if _, seen := grouped[g]; !seen {
+						order = append(order, g)
+					}
+					grouped[g] = append(grouped[g], GroupPred{Off: off, Op: p.Op, Val: p.Val})
+				}
+				for i, g := range order {
+					if i == 0 {
+						FilterGroupBitmap(g, grouped[g], bm)
+					} else {
+						RefineBitmap(g, grouped[g], bm)
+					}
+				}
+				if stats != nil {
+					stats.IntermediateWords += len(bm.words)
+				}
+			}
+
+			for i, a := range out.AggAttrs {
+				g := assign[a]
+				off, _ := g.Offset(a)
+				if bm != nil {
+					foldColumnBitmap(states[i], g, off, bm)
+				} else {
+					foldRange(states[i], g, off, 0, seg.Rows)
+				}
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-
-	var bm *Bitmap
-	if len(preds) > 0 {
-		bm = NewBitmap(rel.Rows)
-		grouped := map[*storage.ColumnGroup][]GroupPred{}
-		var order []*storage.ColumnGroup
-		for _, p := range preds {
-			g := assign[p.Attr]
-			off, _ := g.Offset(p.Attr)
-			if _, seen := grouped[g]; !seen {
-				order = append(order, g)
-			}
-			grouped[g] = append(grouped[g], GroupPred{Off: off, Op: p.Op, Val: p.Val})
-		}
-		for i, g := range order {
-			if i == 0 {
-				FilterGroupBitmap(g, grouped[g], bm)
-			} else {
-				RefineBitmap(g, grouped[g], bm)
-			}
-		}
-		if stats != nil {
-			stats.IntermediateWords += len(bm.words)
-		}
-	}
-
-	vals := make([]data.Value, len(out.AggAttrs))
-	for i, a := range out.AggAttrs {
-		g := assign[a]
-		off, _ := g.Offset(a)
-		if bm != nil {
-			vals[i] = AggColumnBitmap(g, off, out.AggOps[i], bm)
-		} else {
-			vals[i] = AggColumnAll(g, off, out.AggOps[i])
-		}
-	}
-	return &Result{Cols: out.Labels, Rows: 1, Data: vals}, nil
+	return aggResult(out.Labels, states), nil
 }

@@ -45,22 +45,48 @@ func (s Strategy) String() string {
 // with the given strategy. estSel is the engine's selectivity estimate for
 // the query's predicates; it only matters for ranking.
 //
+// Costing is segment-aware: a relation whose segments share one layout is
+// costed once at full row count (identical to costing each segment and
+// summing, since every term is linear in rows); a mixed-layout relation is
+// costed segment by segment so a plan that is cheap on the three
+// reorganized segments and expensive on the rest prices correctly.
+//
 // The returned slice is nil when the strategy cannot run the query on the
-// relation's current groups (e.g. StrategyRow without a covering group).
+// relation's current groups (e.g. StrategyRow without a covering group in
+// every segment).
 func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	if rel.Uniform() {
+		return segAccessPlan(s, rel.Segments[0], rel.Rows, q, estSel)
+	}
+	var accesses []costmodel.GroupAccess
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		sub := segAccessPlan(s, seg, seg.Rows, q, estSel)
+		if sub == nil {
+			return nil
+		}
+		accesses = append(accesses, sub...)
+	}
+	return accesses
+}
+
+// segAccessPlan costs one segment's layout, scaled to rows tuples.
+func segAccessPlan(s Strategy, seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
 	all := q.AllAttrs()
 	if q.Where == nil {
 		estSel = 1
 	}
 	switch s {
 	case StrategyRow:
-		g := bestCoveringGroup(rel, q)
+		g := bestCoveringGroupSeg(seg, q)
 		if g == nil {
 			return nil
 		}
 		// One fused pass over the single group; no intermediates.
 		return []costmodel.GroupAccess{{
-			Stride: g.Stride, Width: g.Width, Used: len(all), Rows: g.Rows,
+			Stride: g.Stride, Width: g.Width, Used: len(all), Rows: rows,
 			Selectivity: 1, // predicate push-down scans every tuple
 		}}
 
@@ -71,7 +97,7 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 		where := q.WhereAttrs()
 		sel := q.SelectAttrs()
 		for i, a := range where {
-			g, err := rel.GroupFor(a)
+			g, err := seg.GroupFor(a)
 			if err != nil {
 				return nil
 			}
@@ -79,12 +105,12 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 			inter := 0
 			if i > 0 {
 				scanSel = estSel // later predicates probe through the vector
-				inter = int(float64(rel.Rows) * estSel)
+				inter = int(float64(rows) * estSel)
 			} else {
-				inter = int(float64(rel.Rows) * estSel / 2) // selection vector (int32)
+				inter = int(float64(rows) * estSel / 2) // selection vector (int32)
 			}
 			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: 1, Rows: g.Rows,
+				Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
 				Selectivity: scanSel, IntermediateWords: inter,
 			})
 		}
@@ -94,7 +120,7 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 			outSel = 1
 		}
 		for _, a := range sel {
-			g, err := rel.GroupFor(a)
+			g, err := seg.GroupFor(a)
 			if err != nil {
 				return nil
 			}
@@ -102,17 +128,17 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 			if out.Kind != OutAggregates {
 				// Projections and expressions materialize a full
 				// intermediate column per attribute.
-				inter = int(float64(rel.Rows) * outSel)
+				inter = int(float64(rows) * outSel)
 			}
 			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: 1, Rows: g.Rows,
+				Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
 				Selectivity: outSel, IntermediateWords: inter,
 			})
 		}
 		return accesses
 
 	case StrategyHybrid:
-		groups, assign, err := rel.CoveringGroups(all)
+		groups, assign, err := seg.CoveringGroups(all)
 		if err != nil {
 			return nil
 		}
@@ -145,17 +171,17 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 				scanSel = 1
 			} else if i == firstPredGroup {
 				scanSel = 1 // the filtering group is fully scanned
-				inter = int(float64(rel.Rows) * estSel / 2)
+				inter = int(float64(rows) * estSel / 2)
 			}
 			// Expression outputs accumulate per-group partial sums through a
 			// temporary vector: two extra full-length passes per contributing
 			// group. A single fused group (StrategyRow) avoids this — that is
 			// the gap that makes merged groups worth creating.
 			if out.Kind == OutExpression || out.Kind == OutAggExpression {
-				inter += 2 * int(float64(rel.Rows)*outSel)
+				inter += 2 * int(float64(rows)*outSel)
 			}
 			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: used, Rows: g.Rows,
+				Stride: g.Stride, Width: g.Width, Used: used, Rows: rows,
 				Selectivity: scanSel, IntermediateWords: inter,
 			})
 		}
@@ -165,7 +191,7 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 		// Same data traffic as hybrid, plus an interpretation overhead that
 		// the model charges as extra per-word compute (about 6x, matching
 		// the measured gap between interpreted and compiled operators).
-		accesses := AccessPlan(StrategyHybrid, rel, q, estSel)
+		accesses := segAccessPlan(StrategyHybrid, seg, rows, q, estSel)
 		for i := range accesses {
 			accesses[i].IntermediateWords += accesses[i].Rows * accesses[i].Used / 2
 		}
@@ -176,12 +202,12 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 	}
 }
 
-// bestCoveringGroup returns the narrowest single group covering every
-// attribute of q, or nil.
-func bestCoveringGroup(rel *storage.Relation, q *query.Query) *storage.ColumnGroup {
+// bestCoveringGroupSeg returns the narrowest single group of seg covering
+// every attribute of q, or nil.
+func bestCoveringGroupSeg(seg *storage.Segment, q *query.Query) *storage.ColumnGroup {
 	all := q.AllAttrs()
 	var best *storage.ColumnGroup
-	for _, g := range rel.Groups {
+	for _, g := range seg.Groups {
 		if g.HasAll(all) && (best == nil || g.Width < best.Width) {
 			best = g
 		}
@@ -189,7 +215,17 @@ func bestCoveringGroup(rel *storage.Relation, q *query.Query) *storage.ColumnGro
 	return best
 }
 
-// BestCoveringGroup exposes bestCoveringGroup to the engine.
-func BestCoveringGroup(rel *storage.Relation, q *query.Query) *storage.ColumnGroup {
-	return bestCoveringGroup(rel, q)
+// RowCovered reports whether every segment of rel has a single group
+// covering all of q's attributes — the precondition of the fused row
+// strategy (segments may satisfy it with different groups).
+func RowCovered(rel *storage.Relation, q *query.Query) bool {
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if bestCoveringGroupSeg(seg, q) == nil {
+			return false
+		}
+	}
+	return true
 }

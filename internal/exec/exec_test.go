@@ -119,7 +119,7 @@ func TestAllStrategiesAgree(t *testing.T) {
 			res  *Result
 			err  error
 		}
-		rowRes, rowErr := ExecRow(row.Groups[0], q)
+		rowRes, rowErr := ExecRowRel(row, q, nil)
 		var runs []run
 		runs = append(runs, run{"row-fused", rowRes, rowErr})
 		for _, rel := range []*storage.Relation{col, row, grp} {
@@ -145,8 +145,11 @@ func TestAllStrategiesAgree(t *testing.T) {
 func TestExecRowRequiresCoveringGroup(t *testing.T) {
 	_, col, _, _ := fixture(t)
 	q := query.Projection("R", []data.AttrID{0, 1}, nil)
-	if _, err := ExecRow(col.Groups[0], q); err == nil {
+	if _, err := ExecRow(col.Segments[0].Groups[0], q); err == nil {
 		t.Fatal("ExecRow must reject a non-covering group")
+	}
+	if _, err := ExecRowRel(col, q, nil); err == nil {
+		t.Fatal("ExecRowRel must reject a relation without a covering group per segment")
 	}
 }
 
@@ -156,7 +159,7 @@ func TestUnsupportedShapesFallThrough(t *testing.T) {
 	// answer.
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
-	if _, err := ExecRow(row.Groups[0], q); err != ErrUnsupported {
+	if _, err := ExecRow(row.Segments[0].Groups[0], q); err != ErrUnsupported {
 		t.Fatalf("ExecRow err = %v, want ErrUnsupported", err)
 	}
 	if _, err := ExecColumn(col, q, nil); err != ErrUnsupported {
@@ -419,13 +422,17 @@ func TestExecReorgAnswersAndBuilds(t *testing.T) {
 	want := referenceExecute(tb, q)
 	for _, rel := range []*storage.Relation{col, row, grp} {
 		attrs := q.AllAttrs()
-		g, res, err := ExecReorg(rel, q, attrs)
+		groups, res, err := ExecReorg(rel, q, attrs, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !res.Equal(want) {
 			t.Fatalf("reorg result mismatch on %v", rel.Kind())
 		}
+		if len(groups) != len(rel.Segments) || groups[0] == nil {
+			t.Fatalf("expected one new group per segment, got %v", groups)
+		}
+		g := groups[0]
 		if !reflect.DeepEqual(g.Attrs, attrs) {
 			t.Fatalf("new group attrs = %v, want %v", g.Attrs, attrs)
 		}
@@ -444,15 +451,15 @@ func TestExecReorgWiderThanQuery(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
 	attrs := []data.AttrID{1, 2, 3, 4} // build a wider group than the query needs
-	g, res, err := ExecReorg(col, q, attrs)
+	groups, res, err := ExecReorg(col, q, attrs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Equal(referenceExecute(tb, q)) {
 		t.Fatal("result wrong when group is wider than query")
 	}
-	if g.Width != 4 {
-		t.Fatalf("group width = %d", g.Width)
+	if groups[0].Width != 4 {
+		t.Fatalf("group width = %d", groups[0].Width)
 	}
 }
 
@@ -460,14 +467,14 @@ func TestExecReorgGenericFallback(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
-	g, res, err := ExecReorg(col, q, q.AllAttrs())
+	groups, res, err := ExecReorg(col, q, q.AllAttrs(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Equal(referenceExecute(tb, q)) {
 		t.Fatal("fallback reorg result wrong")
 	}
-	if g == nil || !g.HasAll(q.AllAttrs()) {
+	if len(groups) == 0 || groups[0] == nil || !groups[0].HasAll(q.AllAttrs()) {
 		t.Fatal("fallback must still build the group")
 	}
 }
@@ -519,7 +526,7 @@ func TestStrategiesAgreeProperty(t *testing.T) {
 			p = query.PredLt(predAttr, cut%data.ValueHi)
 		}
 		q := query.Aggregation("R", expr.AggSum, attrs, p)
-		a, err1 := ExecRow(row.Groups[0], q)
+		a, err1 := ExecRowRel(row, q, nil)
 		b, err2 := ExecColumn(col, q, nil)
 		c, err3 := ExecHybrid(col, q, nil)
 		d, err4 := ExecGeneric(row, q)

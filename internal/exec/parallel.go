@@ -3,6 +3,7 @@ package exec
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"h2o/internal/data"
 	"h2o/internal/expr"
@@ -10,26 +11,26 @@ import (
 	"h2o/internal/storage"
 )
 
-// ExecRowParallel runs the fused row strategy over g with the scan
-// partitioned into contiguous row ranges, one goroutine per partition — the
-// intra-query parallelism the paper's engines use ("tuned to use all the
-// available CPUs"). Partial aggregates merge associatively; projection and
-// expression partials concatenate in partition order, so the result is
-// bit-identical to the serial scan.
+// ExecRowParallel runs the fused row strategy over rel with one task per
+// *segment* — the parallelism granularity matches the storage partitioning,
+// so a worker's unit of work is normally one segment's contiguous rows (the
+// intra-query parallelism the paper's engines use, "tuned to use all the
+// available CPUs"). When the relation has fewer (unpruned) segments than
+// workers, segments are sub-split into contiguous row ranges so small
+// relations still use every core. Segments whose zone maps rule the predicates out are
+// skipped before any worker touches them. Partial aggregates merge
+// associatively; projection and expression partials concatenate in segment
+// order, so the result is bit-identical to the serial scan. Materializing
+// queries stop claiming new segments once q.Limit rows have been produced
+// by a contiguous prefix of segments.
 //
-// workers <= 0 selects runtime.NumCPU().
-func ExecRowParallel(g *storage.ColumnGroup, q *query.Query, workers int) (*Result, error) {
+// Every scanned segment must have a single group covering the query's
+// attributes (segments may differ in which group that is); otherwise the
+// serial path's coverage error surfaces. workers <= 0 selects
+// runtime.NumCPU().
+func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *StrategyStats) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
-	}
-	if workers > g.Rows {
-		workers = g.Rows
-	}
-	if workers <= 1 {
-		return ExecRow(g, q)
-	}
-	if !g.HasAll(q.AllAttrs()) {
-		return ExecRow(g, q) // surfaces the coverage error
 	}
 	out := Classify(q)
 	if out.Kind == OutOther {
@@ -37,86 +38,181 @@ func ExecRowParallel(g *storage.ColumnGroup, q *query.Query, workers int) (*Resu
 	}
 	// Conjunctions of single-column comparisons compile to offset-bound
 	// predicates evaluated in the tight kernels. Any other predicate shape
-	// (disjunctions, expression comparisons) still partitions across
+	// (disjunctions, expression comparisons) still fans out across
 	// goroutines: each worker evaluates the interpreted predicate against
-	// its row range through a group-bound accessor, so disjunctive filters
+	// its segment through a group-bound accessor, so disjunctive filters
 	// get intra-query parallelism instead of falling back to the serial
 	// generic operator.
 	preds, splittable := SplitConjunction(q.Where)
-	var bound []GroupPred
 	var generic expr.Pred
-	if splittable {
-		b, ok := BindPreds(g, preds)
-		if !ok {
-			return ExecRow(g, q) // surfaces the binding error
-		}
-		bound = b
-	} else {
+	if !splittable {
 		generic = q.Where
-		for _, a := range q.WhereAttrs() {
-			if _, ok := g.Offset(a); !ok {
-				return ExecRow(g, q) // surfaces the binding error
-			}
-		}
 	}
 
-	partials := make([]*partial, workers)
-	var wg sync.WaitGroup
-	per := (g.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > g.Rows {
-			hi = g.Rows
-		}
-		if lo >= hi {
-			partials[w] = &partial{}
+	// Plan per segment: covering group, bound predicates, prunability.
+	tasks := make([]segTask, 0, len(rel.Segments))
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
 			continue
 		}
+		g := bestCoveringGroupSeg(seg, q)
+		if g == nil {
+			return ExecRowRel(rel, q, stats) // surfaces the coverage error
+		}
+		if splittable {
+			if len(preds) > 0 && segPruned(seg, preds) {
+				if stats != nil {
+					stats.SegmentsPruned++
+				}
+				continue
+			}
+			bound, ok := BindPreds(g, preds)
+			if !ok {
+				return ExecRowRel(rel, q, stats) // surfaces the binding error
+			}
+			tasks = append(tasks, segTask{seg: seg, g: g, bound: bound})
+		} else {
+			covered := true
+			for _, a := range q.WhereAttrs() {
+				if _, ok := g.Offset(a); !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				return ExecRowRel(rel, q, stats) // surfaces the binding error
+			}
+			tasks = append(tasks, segTask{seg: seg, g: g})
+		}
+	}
+	for i := range tasks {
+		tasks[i].hi = tasks[i].seg.Rows
+	}
+	// Fewer segments than workers (small relations, heavy pruning): sub-split
+	// each segment into contiguous row ranges so Parallelism still buys
+	// intra-segment parallelism. Ranges stay in (segment, row) order, which
+	// keeps the merged result and the limit's prefix property intact.
+	if n := len(tasks); n > 0 && n < workers {
+		chunks := (workers + n - 1) / n
+		split := make([]segTask, 0, n*chunks)
+		for _, t := range tasks {
+			per := (t.hi + chunks - 1) / chunks
+			if per < 1 {
+				per = 1
+			}
+			for lo := 0; lo < t.hi; lo += per {
+				hi := lo + per
+				if hi > t.hi {
+					hi = t.hi
+				}
+				split = append(split, segTask{seg: t.seg, g: t.g, bound: t.bound, lo: lo, hi: hi})
+			}
+		}
+		tasks = split
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		return execRowTasksSerial(out, q, tasks, stats)
+	}
+
+	limit := int64(limitFor(out, q))
+	partials := make([]*partial, len(tasks))
+	var next atomic.Int64
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			partials[w] = scanRange(g, out, bound, generic, lo, hi)
-		}(w, lo, hi)
+			for {
+				// Stop claiming segments once the contiguous prefix already
+				// dispatched can satisfy the limit: every segment below the
+				// claim counter is (being) scanned, so the first q.Limit
+				// rows of the ordered concatenation are final.
+				if limit > 0 && produced.Load() >= limit {
+					return
+				}
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				t := tasks[ti]
+				if t.lo == 0 {
+					t.seg.Touch() // once per segment, not per sub-range
+				}
+				p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
+				partials[ti] = p
+				if limit > 0 && p.rows > 0 {
+					produced.Add(int64(p.rows))
+				}
+			}
+		}()
 	}
 	wg.Wait()
 
-	// Merge in partition order.
-	res := &Result{Cols: out.Labels}
-	switch out.Kind {
-	case OutAggregates, OutAggExpression:
-		states := newStates(out)
-		for _, p := range partials {
-			for i, st := range p.states {
-				states[i].Merge(st)
+	compact := make([]*partial, 0, len(partials))
+	for ti, p := range partials {
+		if p != nil {
+			if stats != nil && tasks[ti].lo == 0 {
+				stats.SegmentsScanned++
 			}
+			compact = append(compact, p)
 		}
-		return aggResult(out.Labels, states), nil
-	default:
-		total := 0
-		for _, p := range partials {
-			total += len(p.data)
-		}
-		res.Data = make([]data.Value, 0, total)
-		for _, p := range partials {
-			res.Data = append(res.Data, p.data...)
-			res.Rows += p.rows
-		}
-		return res, nil
 	}
+	return mergePartials(out, compact), nil
 }
 
-// partial is one partition's contribution.
+// segTask is one planned unit of segment-parallel work: the segment, its
+// covering group, the predicates bound to that group's offsets and the row
+// range [lo, hi) to scan — the whole segment normally, a sub-range when
+// segments are scarcer than workers.
+type segTask struct {
+	seg    *storage.Segment
+	g      *storage.ColumnGroup
+	bound  []GroupPred
+	lo, hi int
+}
+
+// execRowTasksSerial scans planned segment tasks serially, preserving the
+// early-exit semantics of the parallel path.
+func execRowTasksSerial(out Outputs, q *query.Query, tasks []segTask, stats *StrategyStats) (*Result, error) {
+	var generic expr.Pred
+	if _, splittable := SplitConjunction(q.Where); !splittable {
+		generic = q.Where
+	}
+	limit := limitFor(out, q)
+	partials := make([]*partial, 0, len(tasks))
+	rows := 0
+	for _, t := range tasks {
+		if t.lo == 0 {
+			t.seg.Touch()
+			if stats != nil {
+				stats.SegmentsScanned++
+			}
+		}
+		p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
+		partials = append(partials, p)
+		rows += p.rows
+		if limit > 0 && rows >= limit {
+			break
+		}
+	}
+	return mergePartials(out, partials), nil
+}
+
+// partial is one segment's contribution.
 type partial struct {
 	states []*expr.AggState
 	data   []data.Value
 	rows   int
 }
 
-// rangeFilter evaluates one partition's filter. The compiled path (bound
+// rangeFilter evaluates one segment's filter. The compiled path (bound
 // offset predicates) is the common case and stays branch-free per row; the
 // generic path re-binds the interpreted predicate to the group once per
-// partition — one accessor closure per partition, not per row — so
+// segment — one accessor closure per segment, not per row — so
 // disjunctions and other non-splittable shapes still scan in parallel.
 type rangeFilter struct {
 	bound   []GroupPred
@@ -157,8 +253,9 @@ func (f *rangeFilter) passes(base int) bool {
 	return passes(f.d, base, f.bound)
 }
 
-// scanRange is the fused row scan over rows [lo, hi): the per-partition body
-// of ExecRowParallel, sharing the kernels and shapes of ExecRow.
+// scanRange is the fused row scan over rows [lo, hi) of one group: the
+// per-segment body of ExecRowRel and ExecRowParallel, sharing the kernels
+// and shapes of the paper's Figure 5 operator.
 func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, generic expr.Pred, lo, hi int) *partial {
 	d, stride := g.Data, g.Stride
 	flt := newRangeFilter(g, bound, generic)

@@ -9,20 +9,26 @@ import (
 	"h2o/internal/storage"
 )
 
-// TestParallelMatchesSerial: the partitioned scan must be bit-identical to
-// the serial one for every template, predicate shape and worker count,
-// including worker counts that do not divide the row count.
+// parallelFixture builds a row-major relation split into many small
+// segments, so segment-parallel scans actually fan out at test scale.
+func parallelFixture(t *testing.T) (*data.Table, *storage.Relation) {
+	t.Helper()
+	tb := data.Generate(data.SyntheticSchema("R", testAttrs), testRows, 77)
+	return tb, storage.BuildRowMajorSeg(tb, false, 256) // 8 segments
+}
+
+// TestParallelMatchesSerial: the segment-parallel scan must be bit-identical
+// to the serial one for every template, predicate shape and worker count,
+// including worker counts that exceed the segment count.
 func TestParallelMatchesSerial(t *testing.T) {
-	tb, _, row, _ := fixture(t)
-	_ = tb
-	g := row.Groups[0]
+	_, row := parallelFixture(t)
 	for qi, q := range queriesUnderTest() {
-		want, err := ExecRow(g, q)
+		want, err := ExecRowRel(row, q, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 7, 16, testRows + 5} {
-			got, err := ExecRowParallel(g, q, workers)
+			got, err := ExecRowParallel(row, q, workers, nil)
 			if err != nil {
 				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
 			}
@@ -34,25 +40,24 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestParallelDefaultsToNumCPU(t *testing.T) {
-	_, _, row, _ := fixture(t)
+	_, row := parallelFixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
-	got, err := ExecRowParallel(row.Groups[0], q, 0)
+	got, err := ExecRowParallel(row, q, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := ExecRow(row.Groups[0], q)
+	want, _ := ExecRowRel(row, q, nil)
 	if !got.Equal(want) {
 		t.Fatal("workers=0 (NumCPU) result differs")
 	}
 }
 
 // TestParallelDisjunction: non-splittable predicates (disjunctions) no
-// longer fall back to the serial generic operator — each partition evaluates
-// the interpreted predicate over its row range. The result must match the
-// generic operator's bit for bit, for worker counts that do and do not
-// divide the row count.
+// longer fall back to the serial generic operator — each segment's worker
+// evaluates the interpreted predicate over its rows. The result must match
+// the generic operator's bit for bit, for several worker counts.
 func TestParallelDisjunction(t *testing.T) {
-	_, _, row, _ := fixture(t)
+	_, row := parallelFixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	for qi, q := range []*query.Query{
 		query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or),
@@ -64,7 +69,7 @@ func TestParallelDisjunction(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 7, 16} {
-			got, err := ExecRowParallel(row.Groups[0], q, workers)
+			got, err := ExecRowParallel(row, q, workers, nil)
 			if err != nil {
 				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
 			}
@@ -76,24 +81,45 @@ func TestParallelDisjunction(t *testing.T) {
 }
 
 func TestParallelUnsupportedShape(t *testing.T) {
-	_, _, row, _ := fixture(t)
+	_, row := parallelFixture(t)
 	// A select clause mixing an aggregate with a plain column is outside
 	// every template (OutOther): only the generic operator covers it.
 	q := &query.Query{Table: "R", Items: []query.SelectItem{
 		{Agg: &expr.Agg{Op: expr.AggMax, Arg: &expr.Col{ID: 0}}},
 		{Expr: &expr.Col{ID: 1}},
 	}}
-	if _, err := ExecRowParallel(row.Groups[0], q, 4); err != ErrUnsupported {
+	if _, err := ExecRowParallel(row, q, 4, nil); err != ErrUnsupported {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
 
 func TestParallelCoverageError(t *testing.T) {
-	tb, col, _, _ := fixture(t)
-	_ = tb
+	_, col, _, _ := fixture(t)
 	q := query.Projection("R", []data.AttrID{0, 1}, nil)
-	if _, err := ExecRowParallel(col.Groups[0], q, 4); err == nil {
-		t.Fatal("non-covering group accepted")
+	if _, err := ExecRowParallel(col, q, 4, nil); err == nil {
+		t.Fatal("relation without a covering group per segment accepted")
+	}
+}
+
+// TestParallelLimitEarlyExit: with a limit, the parallel scan must still
+// produce the first N rows of the segment-ordered scan, and it must not
+// claim segments far beyond the ones needed.
+func TestParallelLimitEarlyExit(t *testing.T) {
+	tb, row := parallelFixture(t)
+	q := query.Projection("R", []data.AttrID{0, 1}, nil)
+	q.Limit = 100
+	got, err := ExecRowParallel(row, q, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows < 100 {
+		t.Fatalf("parallel limit produced %d rows, want >= 100", got.Rows)
+	}
+	// Engine-side truncation semantics: first 100 rows match the table.
+	for r := 0; r < 100; r++ {
+		if got.At(r, 0) != tb.Value(r, 0) || got.At(r, 1) != tb.Value(r, 1) {
+			t.Fatalf("row %d differs from scan order", r)
+		}
 	}
 }
 
@@ -138,11 +164,11 @@ func TestAggStateMergeRejectsMixedOps(t *testing.T) {
 
 func BenchmarkParallelRowScan(b *testing.B) {
 	tb := data.Generate(data.SyntheticSchema("R", 50), benchRows, 42)
-	row := storage.BuildRowMajor(tb, false)
+	row := storage.BuildRowMajorSeg(tb, false, 8192)
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecRowParallel(row.Groups[0], q, 0); err != nil {
+		if _, err := ExecRowParallel(row, q, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,40 +7,96 @@ import (
 	"h2o/internal/storage"
 )
 
-// ExecReorg answers q while materializing a new column group over attrs in
-// the same pass — the paper's online data reorganization (§3.2): "blocks
-// from R1 and R2 are read and stitched together ... then, for each new
-// tuple, the predicates in the where clause are evaluated and if the tuple
-// qualifies the arithmetic expression in the select is computed. The early
-// materialization strategy allows H2O to generate the data layout and
-// compute the query result without scanning the relation twice."
+// ExecReorg answers q while materializing new segment-local column groups
+// over attrs in the same pass — the paper's online data reorganization
+// (§3.2): "blocks from R1 and R2 are read and stitched together ... then,
+// for each new tuple, the predicates in the where clause are evaluated and
+// if the tuple qualifies the arithmetic expression in the select is
+// computed. The early materialization strategy allows H2O to generate the
+// data layout and compute the query result without scanning the relation
+// twice."
 //
-// attrs must cover every attribute the query touches. The new group is
-// returned alongside the result; the caller (the Data Layout Manager)
-// registers it.
-func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID) (*storage.ColumnGroup, *Result, error) {
+// Reorganization is *incremental*: only segments for which hot[si] is true
+// (nil hot means every segment) are stitched; the remaining segments answer
+// the query from their existing layout — pruned entirely when their zone
+// maps rule the predicates out — and keep that layout, so a single call
+// costs O(hot segments), not O(relation). The returned slice holds one new
+// group per segment (nil entries for segments left untouched); the caller
+// (the Data Layout Manager) registers them with the matching segments.
+//
+// attrs must cover every attribute the query touches.
+func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool) ([]*storage.ColumnGroup, *Result, error) {
 	norm := data.SortedUnique(attrs)
-	_, assign, err := rel.CoveringGroups(norm)
-	if err != nil {
-		return nil, nil, err
-	}
 	out := Classify(q)
 	preds, splittable := SplitConjunction(q.Where)
 	if out.Kind == OutOther || !splittable || !data.ContainsAll(norm, q.AllAttrs()) {
-		// Shape outside the reorganizing template: build the layout with the
-		// plain stitch and answer via the generic operator (two passes).
-		g, err := storage.Stitch(rel, norm)
-		if err != nil {
-			return nil, nil, err
+		// Shape outside the reorganizing template: build the layouts with the
+		// plain per-segment stitch and answer via the generic operator
+		// (two passes over the hot segments).
+		newGroups := make([]*storage.ColumnGroup, len(rel.Segments))
+		for si, seg := range rel.Segments {
+			if hot != nil && !hot[si] {
+				continue
+			}
+			if _, exists := seg.ExactGroup(norm); exists {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, norm)
+			if err != nil {
+				return nil, nil, err
+			}
+			newGroups[si] = g
 		}
 		res, err := ExecGeneric(rel, q)
 		if err != nil {
 			return nil, nil, err
 		}
-		return g, res, nil
+		return newGroups, res, nil
 	}
 
-	dst := storage.NewGroup(norm, rel.Rows)
+	newGroups := make([]*storage.ColumnGroup, len(rel.Segments))
+	states := newStates(out)
+	res := &Result{Cols: out.Labels}
+	for si, seg := range rel.Segments {
+		isHot := hot == nil || hot[si]
+		if _, exists := seg.ExactGroup(norm); exists {
+			isHot = false // already adapted: nothing to stitch
+		}
+		if isHot && seg.Rows > 0 {
+			g, err := reorgScanSegment(seg, out, preds, norm, states, res)
+			if err != nil {
+				return nil, nil, err
+			}
+			seg.Touch()
+			newGroups[si] = g
+			continue
+		}
+		// Cold (or already-adapted, or empty) segment: answer from the
+		// existing layout, skipping it entirely when zone maps allow.
+		if seg.Rows == 0 || (len(preds) > 0 && segPruned(seg, preds)) {
+			continue
+		}
+		seg.Touch()
+		if err := hybridScanSegment(seg, q, out, preds, states, res, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return newGroups, aggResult(out.Labels, states), nil
+	}
+	return newGroups, res, nil
+}
+
+// reorgScanSegment stitches one segment's new group while answering the
+// query over the freshly built mini-tuples — the fused copy-and-evaluate
+// loop of Fig. 13, at segment granularity. Aggregates fold into the shared
+// states; materialized rows append to res in segment order.
+func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm []data.AttrID, states []*expr.AggState, res *Result) (*storage.ColumnGroup, error) {
+	_, assign, err := seg.CoveringGroups(norm)
+	if err != nil {
+		return nil, err
+	}
+	dst := storage.NewGroup(norm, seg.Rows)
 
 	// Source copy plan: for each destination offset, the source buffer,
 	// stride and offset to read from.
@@ -68,12 +124,10 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID) (*sto
 	case OutExpression, OutAggExpression:
 		exprOffs = mustOffsets(dst, out.ExprAttrs)
 	}
-	states := newStates(out)
 
-	res := &Result{Cols: out.Labels}
 	dd, dStride := dst.Data, dst.Stride
 	base := 0
-	for r := 0; r < rel.Rows; r++ {
+	for r := 0; r < seg.Rows; r++ {
 		// Stitch: materialize the new mini-tuple.
 		for i := range srcs {
 			s := &srcs[i]
@@ -108,10 +162,8 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID) (*sto
 		}
 		base += dStride
 	}
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return dst, aggResult(out.Labels, states), nil
-	}
-	return dst, res, nil
+	dst.BuildZones(0)
+	return dst, nil
 }
 
 func newStates(out Outputs) []*expr.AggState {

@@ -16,9 +16,87 @@ import (
 // generated code to its interpreter.
 var ErrUnsupported = errors.New("exec: query shape not supported by this strategy")
 
+// StrategyStats accumulates observability counters for one execution.
+type StrategyStats struct {
+	IntermediateWords int // values materialized into intermediates
+	SegmentsScanned   int // segments the strategy actually read
+	SegmentsPruned    int // segments skipped entirely via their zone maps
+}
+
+// segPruned reports whether the conjunction of preds cannot match any row
+// of seg, per the segment's zone maps: the whole segment is skippable when
+// some term is unsatisfiable over the segment's value bounds.
+func segPruned(seg *storage.Segment, preds []ColPred) bool {
+	for i := range preds {
+		p := &preds[i]
+		if !seg.MayMatch(p.Attr, p.Op, p.Val) {
+			return true
+		}
+	}
+	return false
+}
+
+// QueryTouchesSegment reports whether executing q would read seg: false
+// only when the query's conjunctive predicates are ruled out by the
+// segment's zone maps. Non-splittable predicate shapes conservatively
+// report true. The engine uses it to treat the triggering query's segments
+// as hot during incremental reorganization.
+func QueryTouchesSegment(seg *storage.Segment, q *query.Query) bool {
+	if seg.Rows == 0 {
+		return false
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable || len(preds) == 0 {
+		return true
+	}
+	return !segPruned(seg, preds)
+}
+
+// limitFor returns the early-exit row target: q.Limit for shapes that
+// materialize one output row per qualifying tuple, 0 (no early exit) for
+// aggregates, which must consume every segment.
+func limitFor(out Outputs, q *query.Query) int {
+	if out.Kind == OutProjection || out.Kind == OutExpression {
+		return q.Limit
+	}
+	return 0
+}
+
+// scanSegments is the shared per-segment driver behind the serial
+// strategies: empty segments are skipped, segments whose zone maps rule
+// out the conjunction preds are pruned without touching a row, scanned
+// segments are marked read and counted, and iteration stops once rows()
+// reaches limit (0 = no early exit). Strategies supply only the per-
+// segment scan body, so the pruning and limit policies live in one place.
+func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, limit int, rows func() int, scan func(*storage.Segment) error) error {
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if len(preds) > 0 && segPruned(seg, preds) {
+			if stats != nil {
+				stats.SegmentsPruned++
+			}
+			continue
+		}
+		seg.Touch()
+		if stats != nil {
+			stats.SegmentsScanned++
+		}
+		if err := scan(seg); err != nil {
+			return err
+		}
+		if limit > 0 && rows() >= limit {
+			break
+		}
+	}
+	return nil
+}
+
 // ExecRow executes q with the volcano-style row strategy over a single group
 // g that must store every attribute the query touches: one fused
-// tuple-at-a-time loop with predicate push-down (paper Figure 5).
+// tuple-at-a-time loop with predicate push-down (paper Figure 5). It is the
+// per-group kernel; ExecRowRel drives it across a relation's segments.
 func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
 	if !g.HasAll(q.AllAttrs()) {
 		return nil, fmt.Errorf("exec: group %v does not cover query attributes %v", g.Attrs, q.AllAttrs())
@@ -35,86 +113,96 @@ func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: predicate attributes missing from group %v", g.Attrs)
 	}
+	p := scanRange(g, out, bound, nil, 0, g.Rows)
+	return mergePartials(out, []*partial{p}), nil
+}
 
-	d, stride, rows := g.Data, g.Stride, g.Rows
-	switch out.Kind {
-	case OutProjection:
-		offs := mustOffsets(g, out.ProjAttrs)
-		w := len(offs)
-		res := &Result{Cols: out.Labels}
-		base := 0
-		for r := 0; r < rows; r++ {
-			if passes(d, base, bound) {
-				for _, o := range offs {
-					res.Data = append(res.Data, d[base+o])
-				}
-				res.Rows++
-			}
-			base += stride
-		}
-		_ = w
-		return res, nil
-
-	case OutAggregates:
-		offs := mustOffsets(g, out.AggAttrs)
-		states := make([]*expr.AggState, len(offs))
-		for i, op := range out.AggOps {
-			states[i] = expr.NewAggState(op)
-		}
-		base := 0
-		for r := 0; r < rows; r++ {
-			if passes(d, base, bound) {
-				for i, o := range offs {
-					states[i].Add(d[base+o])
-				}
-			}
-			base += stride
-		}
-		return aggResult(out.Labels, states), nil
-
-	case OutExpression:
-		offs := mustOffsets(g, out.ExprAttrs)
-		res := &Result{Cols: out.Labels}
-		base := 0
-		for r := 0; r < rows; r++ {
-			if passes(d, base, bound) {
-				var acc data.Value
-				for _, o := range offs {
-					acc += d[base+o]
-				}
-				res.Data = append(res.Data, acc)
-				res.Rows++
-			}
-			base += stride
-		}
-		return res, nil
-
-	case OutAggExpression:
-		offs := mustOffsets(g, out.ExprAttrs)
-		state := expr.NewAggState(out.ExprAgg)
-		base := 0
-		for r := 0; r < rows; r++ {
-			if passes(d, base, bound) {
-				var acc data.Value
-				for _, o := range offs {
-					acc += d[base+o]
-				}
-				state.Add(acc)
-			}
-			base += stride
-		}
-		return aggResult(out.Labels, []*expr.AggState{state}), nil
+// ExecRowRel executes q with the fused row strategy segment by segment:
+// each segment must have a single group covering every attribute the query
+// touches (segments may differ in which group that is). Segments whose zone
+// maps rule out the predicates are skipped without touching a row, and
+// materializing queries stop consuming segments once q.Limit rows are
+// selected.
+func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
 	}
-	return nil, ErrUnsupported
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+	limit := limitFor(out, q)
+	partials := make([]*partial, 0, len(rel.Segments))
+	rows := 0
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		g := bestCoveringGroupSeg(seg, q)
+		if g == nil {
+			return nil, fmt.Errorf("exec: no single group of a segment covers query attributes %v", q.AllAttrs())
+		}
+		if len(preds) > 0 && segPruned(seg, preds) {
+			if stats != nil {
+				stats.SegmentsPruned++
+			}
+			continue
+		}
+		bound, ok := BindPreds(g, preds)
+		if !ok {
+			return nil, fmt.Errorf("exec: predicate attributes missing from group %v", g.Attrs)
+		}
+		seg.Touch()
+		if stats != nil {
+			stats.SegmentsScanned++
+		}
+		p := scanRange(g, out, bound, nil, 0, seg.Rows)
+		partials = append(partials, p)
+		rows += p.rows
+		if limit > 0 && rows >= limit {
+			break
+		}
+	}
+	return mergePartials(out, partials), nil
+}
+
+// mergePartials combines per-segment partials in segment order: aggregate
+// states merge associatively, materialized rows concatenate.
+func mergePartials(out Outputs, partials []*partial) *Result {
+	switch out.Kind {
+	case OutAggregates, OutAggExpression:
+		states := newStates(out)
+		for _, p := range partials {
+			for i, st := range p.states {
+				states[i].Merge(st)
+			}
+		}
+		return aggResult(out.Labels, states)
+	default:
+		res := &Result{Cols: out.Labels}
+		total := 0
+		for _, p := range partials {
+			total += len(p.data)
+		}
+		res.Data = make([]data.Value, 0, total)
+		for _, p := range partials {
+			res.Data = append(res.Data, p.data...)
+			res.Rows += p.rows
+		}
+		return res
+	}
 }
 
 // ExecColumn executes q with the column-at-a-time, late-materialization
-// strategy (paper §2.1): predicates produce selection vectors one column at
-// a time, qualifying values are materialized into intermediate columns, and
-// multi-column outputs pay tuple reconstruction.
+// strategy (paper §2.1), segment by segment: within each unpruned segment,
+// predicates produce selection vectors one column at a time, qualifying
+// values are materialized into intermediate columns, and multi-column
+// outputs pay tuple reconstruction. Aggregates fold into states shared
+// across segments so the merged result is exact.
 //
 // Stats, when non-nil, receives the volume of intermediate results the
-// strategy materialized.
+// strategy materialized and the segment skip counters.
 func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	out := Classify(q)
 	if out.Kind == OutOther {
@@ -124,19 +212,36 @@ func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	if !splittable {
 		return nil, ErrUnsupported
 	}
+	states := newStates(out)
+	res := &Result{Cols: out.Labels}
+	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
+		func(seg *storage.Segment) error {
+			return columnScanSegment(seg, out, preds, states, res, stats)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return aggResult(out.Labels, states), nil
+	}
+	return res, nil
+}
 
+// columnScanSegment runs the late-materialization pipeline over one segment,
+// appending materialized rows to res and folding aggregates into states.
+func columnScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, stats *StrategyStats) error {
 	// Phase 1: predicate evaluation, one column at a time.
 	var sel []int32
 	haveSel := false
 	for i, p := range preds {
-		g, err := rel.GroupFor(p.Attr)
+		g, err := seg.GroupFor(p.Attr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		off, _ := g.Offset(p.Attr)
 		gp := []GroupPred{{Off: off, Op: p.Op, Val: p.Val}}
 		if !haveSel {
-			sel = FilterGroup(g, gp, 0, g.Rows, make([]int32, 0, g.Rows/4+16))
+			sel = FilterGroup(g, gp, 0, seg.Rows, make([]int32, 0, seg.Rows/4+16))
 			haveSel = true
 			continue
 		}
@@ -162,40 +267,41 @@ func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	// Phase 2: compute outputs.
 	switch out.Kind {
 	case OutAggregates:
-		vals := make([]data.Value, len(out.AggAttrs))
 		for i, a := range out.AggAttrs {
-			g, err := rel.GroupFor(a)
+			g, err := seg.GroupFor(a)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			off, _ := g.Offset(a)
 			if haveSel {
-				vals[i] = AggColumnSel(g, off, out.AggOps[i], sel)
+				foldSel(states[i], g, off, sel)
 			} else {
-				vals[i] = AggColumnAll(g, off, out.AggOps[i])
+				foldRange(states[i], g, off, 0, seg.Rows)
 			}
 		}
-		return &Result{Cols: out.Labels, Rows: 1, Data: vals}, nil
+		return nil
 
 	case OutProjection:
-		cols, n, err := gatherOutputColumns(rel, out.ProjAttrs, sel, haveSel, stats)
+		cols, n, err := gatherOutputColumns(seg, out.ProjAttrs, sel, haveSel, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Tuple reconstruction: stitch the intermediate columns row-major.
-		res := &Result{Cols: out.Labels, Rows: n, Data: make([]data.Value, n*len(cols))}
 		w := len(cols)
+		base := len(res.Data)
+		res.Data = append(res.Data, make([]data.Value, n*w)...)
 		for j, col := range cols {
 			for i, v := range col {
-				res.Data[i*w+j] = v
+				res.Data[base+i*w+j] = v
 			}
 		}
-		return res, nil
+		res.Rows += n
+		return nil
 
 	case OutExpression, OutAggExpression:
-		cols, n, err := gatherOutputColumns(rel, out.ExprAttrs, sel, haveSel, stats)
+		cols, n, err := gatherOutputColumns(seg, out.ExprAttrs, sel, haveSel, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Pairwise materialization (§3.3): a+b+c produces an intermediate
 		// column per addition. A single arena backs all intermediates — the
@@ -221,25 +327,30 @@ func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 			}
 		}
 		if out.Kind == OutExpression {
-			return &Result{Cols: out.Labels, Rows: n, Data: final}, nil
+			res.Data = append(res.Data, final...)
+			res.Rows += n
+			return nil
 		}
-		return &Result{Cols: out.Labels, Rows: 1, Data: []data.Value{AggVector(final, out.ExprAgg)}}, nil
+		for _, v := range final {
+			states[0].Add(v)
+		}
+		return nil
 	}
-	return nil, ErrUnsupported
+	return ErrUnsupported
 }
 
 // gatherOutputColumns materializes one intermediate column per needed
-// attribute, filtered through sel when haveSel is true. All columns share a
-// single arena allocation.
-func gatherOutputColumns(rel *storage.Relation, attrs []data.AttrID, sel []int32, haveSel bool, stats *StrategyStats) ([][]data.Value, int, error) {
-	n := rel.Rows
+// attribute of one segment, filtered through sel when haveSel is true. All
+// columns share a single arena allocation.
+func gatherOutputColumns(seg *storage.Segment, attrs []data.AttrID, sel []int32, haveSel bool, stats *StrategyStats) ([][]data.Value, int, error) {
+	n := seg.Rows
 	if haveSel {
 		n = len(sel)
 	}
 	arena := make([]data.Value, len(attrs)*n)
 	cols := make([][]data.Value, len(attrs))
 	for i, a := range attrs {
-		g, err := rel.GroupFor(a)
+		g, err := seg.GroupFor(a)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -264,10 +375,13 @@ func gatherOutputColumns(rel *storage.Relation, attrs []data.AttrID, sel []int32
 }
 
 // ExecHybrid executes q over whatever column groups currently cover its
-// attributes: predicates are evaluated fused within each group (Figure 6's
-// q1_sel_vector generalized), producing one selection vector shared across
-// groups, and outputs are written straight into the row-major result with no
-// intermediate columns.
+// attributes, segment by segment — segments may hold different layouts
+// (hot segments reorganized, cold ones not) and each is served from its own
+// covering set. Within a segment predicates are evaluated fused within each
+// group (Figure 6's q1_sel_vector generalized), producing one selection
+// vector shared across groups, and outputs are written straight into the
+// row-major result with no intermediate columns. Segments pruned by their
+// zone maps are never touched, and materializing queries stop at q.Limit.
 func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	out := Classify(q)
 	if out.Kind == OutOther {
@@ -277,9 +391,27 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	if !splittable {
 		return nil, ErrUnsupported
 	}
-	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	states := newStates(out)
+	res := &Result{Cols: out.Labels}
+	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
+		func(seg *storage.Segment) error {
+			return hybridScanSegment(seg, q, out, preds, states, res, stats)
+		})
 	if err != nil {
 		return nil, err
+	}
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return aggResult(out.Labels, states), nil
+	}
+	return res, nil
+}
+
+// hybridScanSegment runs the multi-group selection-vector strategy over one
+// segment, resolving groups against that segment's own layout.
+func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, stats *StrategyStats) error {
+	_, assign, err := seg.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return err
 	}
 
 	// Group predicates by the group that will evaluate them, preserving
@@ -307,7 +439,7 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	haveSel := len(pgs) > 0
 	for i, pg := range pgs {
 		if i == 0 {
-			sel = FilterGroup(pg.g, pg.preds, 0, pg.g.Rows, make([]int32, 0, pg.g.Rows/4+16))
+			sel = FilterGroup(pg.g, pg.preds, 0, seg.Rows, make([]int32, 0, seg.Rows/4+16))
 			if stats != nil {
 				stats.IntermediateWords += len(sel) / 2 // int32 ids, in words
 			}
@@ -318,43 +450,44 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 
 	switch out.Kind {
 	case OutAggregates:
-		vals := make([]data.Value, len(out.AggAttrs))
 		for i, a := range out.AggAttrs {
 			g := assign[a]
 			off, _ := g.Offset(a)
 			if haveSel {
-				vals[i] = AggColumnSel(g, off, out.AggOps[i], sel)
+				foldSel(states[i], g, off, sel)
 			} else {
-				vals[i] = AggColumnAll(g, off, out.AggOps[i])
+				foldRange(states[i], g, off, 0, seg.Rows)
 			}
 		}
-		return &Result{Cols: out.Labels, Rows: 1, Data: vals}, nil
+		return nil
 
 	case OutProjection:
-		n := rel.Rows
+		n := seg.Rows
 		if haveSel {
 			n = len(sel)
 		}
 		w := len(out.ProjAttrs)
-		res := &Result{Cols: out.Labels, Rows: n, Data: make([]data.Value, n*w)}
+		base := len(res.Data)
+		res.Data = append(res.Data, make([]data.Value, n*w)...)
 		for j, a := range out.ProjAttrs {
 			g := assign[a]
 			off, _ := g.Offset(a)
 			d, stride := g.Data, g.Stride
 			if haveSel {
 				for i, r := range sel {
-					res.Data[i*w+j] = d[int(r)*stride+off]
+					res.Data[base+i*w+j] = d[int(r)*stride+off]
 				}
 			} else {
 				for r := 0; r < n; r++ {
-					res.Data[r*w+j] = d[r*stride+off]
+					res.Data[base+r*w+j] = d[r*stride+off]
 				}
 			}
 		}
-		return res, nil
+		res.Rows += n
+		return nil
 
 	case OutExpression, OutAggExpression:
-		n := rel.Rows
+		n := seg.Rows
 		if haveSel {
 			n = len(sel)
 		}
@@ -384,38 +517,25 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 			}
 		}
 		if out.Kind == OutExpression {
-			return &Result{Cols: out.Labels, Rows: n, Data: acc}, nil
+			res.Data = append(res.Data, acc...)
+			res.Rows += n
+			return nil
 		}
-		return &Result{Cols: out.Labels, Rows: 1, Data: []data.Value{AggVector(acc, out.ExprAgg)}}, nil
+		for _, v := range acc {
+			states[0].Add(v)
+		}
+		return nil
 	}
-	return nil, ErrUnsupported
+	return ErrUnsupported
 }
 
 // ExecGeneric is the generic interpreted operator (paper §3.4): a
 // tuple-at-a-time loop that evaluates the predicate tree and the select
-// expressions through per-attribute accessor indirection. It handles every
-// query shape, at the interpretation overhead Figure 14 quantifies.
+// expressions through per-attribute accessor indirection, segment by
+// segment. It handles every query shape, at the interpretation overhead
+// Figure 14 quantifies. Conjunctive predicates still allow segment pruning
+// and limit early exit; other shapes scan every segment.
 func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
-	_, assign, err := rel.CoveringGroups(q.AllAttrs())
-	if err != nil {
-		return nil, err
-	}
-	type binding struct {
-		d      []data.Value
-		stride int
-		off    int
-	}
-	binds := map[data.AttrID]binding{}
-	for a, g := range assign {
-		off, _ := g.Offset(a)
-		binds[a] = binding{d: g.Data, stride: g.Stride, off: off}
-	}
-	row := 0
-	get := func(a data.AttrID) data.Value {
-		b := binds[a]
-		return b.d[row*b.stride+b.off]
-	}
-
 	hasAgg := q.HasAggregates()
 	labels := make([]string, len(q.Items))
 	states := make([]*expr.AggState, len(q.Items))
@@ -425,23 +545,60 @@ func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
 			states[i] = expr.NewAggState(it.Agg.Op)
 		}
 	}
+	// Conjunctions of single-column comparisons can prune whole segments
+	// even on the interpreted path; other shapes scan every segment.
+	prunePreds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		prunePreds = nil
+	}
+	limit := 0
+	if !hasAgg {
+		limit = q.Limit
+	}
+
 	res := &Result{Cols: labels}
-	for row = 0; row < rel.Rows; row++ {
-		if q.Where != nil && !q.Where.EvalBool(get) {
-			continue
-		}
-		if hasAgg {
-			for i, it := range q.Items {
-				if it.Agg != nil {
-					states[i].Add(it.Agg.Arg.Eval(get))
+	err := scanSegments(rel, prunePreds, nil, limit, func() int { return res.Rows },
+		func(seg *storage.Segment) error {
+			_, assign, err := seg.CoveringGroups(q.AllAttrs())
+			if err != nil {
+				return err
+			}
+			type binding struct {
+				d      []data.Value
+				stride int
+				off    int
+			}
+			binds := map[data.AttrID]binding{}
+			for a, g := range assign {
+				off, _ := g.Offset(a)
+				binds[a] = binding{d: g.Data, stride: g.Stride, off: off}
+			}
+			row := 0
+			get := func(a data.AttrID) data.Value {
+				b := binds[a]
+				return b.d[row*b.stride+b.off]
+			}
+			for row = 0; row < seg.Rows; row++ {
+				if q.Where != nil && !q.Where.EvalBool(get) {
+					continue
+				}
+				if hasAgg {
+					for i, it := range q.Items {
+						if it.Agg != nil {
+							states[i].Add(it.Agg.Arg.Eval(get))
+						}
+					}
+				} else {
+					for _, it := range q.Items {
+						res.Data = append(res.Data, it.Expr.Eval(get))
+					}
+					res.Rows++
 				}
 			}
-		} else {
-			for _, it := range q.Items {
-				res.Data = append(res.Data, it.Expr.Eval(get))
-			}
-			res.Rows++
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if hasAgg {
 		// Mixed agg/non-agg selects collapse to one row using the first
@@ -456,11 +613,6 @@ func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
 		return &Result{Cols: labels, Rows: 1, Data: vals}, nil
 	}
 	return res, nil
-}
-
-// StrategyStats accumulates observability counters for one execution.
-type StrategyStats struct {
-	IntermediateWords int // values materialized into intermediates
 }
 
 func aggResult(labels []string, states []*expr.AggState) *Result {

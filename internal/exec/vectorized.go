@@ -8,12 +8,13 @@ import (
 )
 
 // ExecVectorized executes q with the paper's §3.3 vectorized processing
-// model: the scan proceeds in chunks of vectorSize tuples, and all
+// model: each segment is scanned in chunks of vectorSize tuples, and all
 // intermediates — the selection vector and the expression vectors — stay
 // L1-resident instead of being materialized at full column length. It is
 // the chunked counterpart of ExecHybrid: fused predicate evaluation within
 // each group, one selection vector shared across groups, per-group partial
-// sums for expressions.
+// sums for expressions. Segments pruned by their zone maps are skipped
+// outright, and materializing queries stop consuming segments at q.Limit.
 //
 // vectorSize <= 0 selects the default (VectorSize = 1024 values, L1-sized).
 // The ablation-vector experiment sweeps this parameter.
@@ -29,9 +30,34 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 	if !splittable {
 		return nil, ErrUnsupported
 	}
-	_, assign, err := rel.CoveringGroups(q.AllAttrs())
+	// L1-resident scratch, reused across chunks and segments.
+	sel := make([]int32, 0, vectorSize)
+	acc := make([]data.Value, vectorSize)
+	tmp := make([]data.Value, vectorSize)
+
+	aggStates := newStates(out)
+	res := &Result{Cols: out.Labels}
+
+	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
+		func(seg *storage.Segment) error {
+			return vectorScanSegment(seg, q, out, preds, vectorSize, sel, acc, tmp, aggStates, res, stats)
+		})
 	if err != nil {
 		return nil, err
+	}
+
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		return aggResult(out.Labels, aggStates), nil
+	}
+	return res, nil
+}
+
+// vectorScanSegment runs the chunked pipeline over one segment, binding
+// predicates and outputs to that segment's own groups.
+func vectorScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, vectorSize int, sel []int32, acc, tmp []data.Value, aggStates []*expr.AggState, res *Result, stats *StrategyStats) error {
+	_, assign, err := seg.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return err
 	}
 
 	// Bind predicates per group, preserving group order of first use.
@@ -87,19 +113,10 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 		}
 	}
 
-	// L1-resident scratch, reused across chunks.
-	sel := make([]int32, 0, vectorSize)
-	acc := make([]data.Value, vectorSize)
-	tmp := make([]data.Value, vectorSize)
-
-	aggStates := newStates(out)
-	res := &Result{Cols: out.Labels}
-	w := len(out.Labels)
-
-	for start := 0; start < rel.Rows; start += vectorSize {
+	for start := 0; start < seg.Rows; start += vectorSize {
 		n := vectorSize
-		if start+n > rel.Rows {
-			n = rel.Rows - start
+		if start+n > seg.Rows {
+			n = seg.Rows - start
 		}
 		// Predicate phase for this chunk.
 		sel = sel[:0]
@@ -144,7 +161,6 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 				}
 				res.Rows += n
 			}
-			_ = w
 		case OutExpression, OutAggExpression:
 			cnt := n
 			if haveSel {
@@ -176,11 +192,7 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 			}
 		}
 	}
-
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return aggResult(out.Labels, aggStates), nil
-	}
-	return res, nil
+	return nil
 }
 
 // foldRange folds rows [start, start+n) of the attribute at off into st.

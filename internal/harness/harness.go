@@ -161,6 +161,7 @@ func experiments() []Runner {
 		{"ablation-vector", "Ablation: vectorized-executor chunk size", RunAblationVector},
 		{"ablation-bitmap", "Ablation: selection vectors vs bit-vectors", RunAblationBitmap},
 		{"ablation-zonemap", "Ablation: block-skipping zone maps on ordered vs shuffled data", RunAblationZonemap},
+		{"segments", "Segmented storage: O(segment) appends and hot-segment reorgs, segment-skipping scans", RunSegments},
 	}
 }
 

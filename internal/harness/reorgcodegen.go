@@ -55,7 +55,7 @@ func RunFig13(cfg Config) (*Table, error) {
 			}
 		})
 		online := measure(cfg.Repeats, func() {
-			if _, _, err := exec.ExecReorg(c.rel, q, attrs); err != nil {
+			if _, _, err := exec.ExecReorg(c.rel, q, attrs, nil); err != nil {
 				panic(err)
 			}
 		})
@@ -81,7 +81,11 @@ func RunFig14(cfg Config) (*Table, error) {
 	q2 := query.ArithExpression("R", attrs, where)
 
 	grp := storage.BuildGroup(tb, attrs)
-	grpRel, err := storage.NewRelation(tb.Schema, tb.Rows, append([]*storage.ColumnGroup{grp}, storage.BuildColumnMajor(tb).Groups...))
+	colGroups := make([]*storage.ColumnGroup, tb.Schema.NumAttrs())
+	for a := range colGroups {
+		colGroups[a] = storage.BuildGroup(tb, []data.AttrID{a})
+	}
+	grpRel, err := storage.NewRelation(tb.Schema, tb.Rows, append([]*storage.ColumnGroup{grp}, colGroups...))
 	if err != nil {
 		return nil, err
 	}
@@ -98,14 +102,17 @@ func RunFig14(cfg Config) (*Table, error) {
 		Title:   "fig14: generic interpreted operator vs generated (specialized fused) code",
 		Columns: []string{"case", "generic_ms", "generated_ms", "speedup"},
 	}
+	// A standalone full-length row-major group: the kernel-level comparison
+	// wants one contiguous scan, independent of the relation's segmentation.
+	rowGroup := storage.BuildGroup(tb, rangeAttrs(0, nAttrs-1))
 	cases := []struct {
 		name string
 		rel  *storage.Relation
 		g    *storage.ColumnGroup
 		q    *query.Query
 	}{
-		{"Q1-Row", rowRel, rowRel.Groups[0], q1},
-		{"Q2-Row", rowRel, rowRel.Groups[0], q2},
+		{"Q1-Row", rowRel, rowGroup, q1},
+		{"Q2-Row", rowRel, rowGroup, q2},
 		{"Q1-GroupOfColumns", grpRel, grp, q1},
 		{"Q2-GroupOfColumns", grpRel, grp, q2},
 	}
@@ -125,11 +132,10 @@ func RunFig14(cfg Config) (*Table, error) {
 }
 
 // onlyGroupRel wraps a single group as a relation restricted to that group
-// (plus coverage), so the generic operator reads the same physical layout as
-// the generated one.
+// (no schema-coverage requirement), so the generic operator reads the same
+// physical layout as the generated one.
 func onlyGroupRel(tb *data.Table, g *storage.ColumnGroup) *storage.Relation {
-	rel := &storage.Relation{Schema: tb.Schema, Rows: tb.Rows, Groups: []*storage.ColumnGroup{g}}
-	return rel
+	return storage.WrapGroups(tb.Schema, tb.Rows, []*storage.ColumnGroup{g})
 }
 
 // RunAblationWindow sweeps the initial monitoring window size on the §4.1

@@ -58,7 +58,7 @@ func runThreeLayouts(cfg Config, tb *data.Table, row, col *storage.Relation, q *
 		return nil
 	}
 	rowD = measure(cfg.Repeats, func() {
-		if err = check(exec.ExecRow(row.Groups[0], q)); err != nil {
+		if err = check(exec.ExecRowRel(row, q, nil)); err != nil {
 			panic(err)
 		}
 	})

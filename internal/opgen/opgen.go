@@ -135,12 +135,12 @@ func (g *Generator) generate(key string, s exec.Strategy, q *query.Query) (*Oper
 	switch s {
 	case exec.StrategyRow:
 		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
-			grp := exec.BestCoveringGroup(rel, q)
-			if grp == nil {
-				return nil, nil, fmt.Errorf("opgen: no single group covers %v", q.AllAttrs())
+			if !exec.RowCovered(rel, q) {
+				return nil, nil, fmt.Errorf("opgen: no single group covers %v in every segment", q.AllAttrs())
 			}
-			res, err := exec.ExecRow(grp, q)
-			return res, &exec.StrategyStats{}, err
+			var st exec.StrategyStats
+			res, err := exec.ExecRowRel(rel, q, &st)
+			return res, &st, err
 		}
 	case exec.StrategyColumn:
 		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
@@ -184,20 +184,18 @@ func (g *Generator) compileTime(q *query.Query) time.Duration {
 }
 
 // Signature computes the operator-cache key: the strategy, the query's
-// access-pattern shape and the layout signature of the groups that would
-// serve the query. Two queries differing only in predicate constants share
-// an operator, exactly as the paper's generated code does (constants are
-// runtime parameters of the generated function, see Fig. 5's val1/val2).
+// access-pattern shape and the relation's layout signature (segment-aware:
+// a partially reorganized relation keys differently from a uniform one, so
+// compile-cost accounting follows real layout changes). Two queries
+// differing only in predicate constants share an operator, exactly as the
+// paper's generated code does (constants are runtime parameters of the
+// generated function, see Fig. 5's val1/val2).
 func Signature(s exec.Strategy, rel *storage.Relation, q *query.Query) (string, error) {
 	out := exec.Classify(q)
-	groups, _, err := rel.CoveringGroups(q.AllAttrs())
-	if err != nil {
+	if _, _, err := rel.CoveringGroups(q.AllAttrs()); err != nil {
 		return "", err
 	}
-	sig := fmt.Sprintf("%v|%v|%s|", s, out.Kind, query.InfoOf(q).Pattern())
-	for _, grp := range groups {
-		sig += fmt.Sprint(grp.Attrs)
-	}
+	sig := fmt.Sprintf("%v|%v|%s|%s", s, out.Kind, query.InfoOf(q).Pattern(), rel.LayoutSignature())
 	// The predicate *shape* (operators, arity) is part of the signature;
 	// constants are not.
 	if preds, ok := exec.SplitConjunction(q.Where); ok {

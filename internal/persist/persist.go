@@ -1,23 +1,28 @@
-// Package persist serializes relations — schema, rows and the full set of
-// column groups, i.e. the layout the engine has evolved — to a compact
-// binary snapshot and restores them. A restored relation resumes with the
-// adapted physical design instead of re-learning it, which is how a
-// deployment survives restarts without losing the benefit of past
-// adaptation.
+// Package persist serializes relations — schema, segments and each
+// segment's full set of column groups, i.e. the (possibly mixed, per-
+// segment) layout the engine has evolved — to a compact binary snapshot
+// and restores them. A restored relation resumes with the adapted physical
+// design instead of re-learning it, which is how a deployment survives
+// restarts without losing the benefit of past adaptation.
 //
 // Format (all integers little-endian):
 //
-//	magic   "H2OSNAP1"
+//	magic   "H2OSNAP2"
 //	schema  name, attribute names        (uvarint-length-prefixed strings)
-//	rows    uint64
-//	groups  uint32 count, then per group:
-//	          attrs  uint32 count + uint32 ids
-//	          stride uint32
-//	          data   rows*stride int64 values
+//	rows    uint64                       total rows
+//	segcap  uint64                       segment capacity
+//	nsegs   uint32, then per segment:
+//	          rows   uint64
+//	          groups uint32 count, then per group:
+//	            attrs  uint32 count + uint32 ids
+//	            stride uint32
+//	            data   segRows*stride int64 values
 //	digest  uint64 order-independent content checksum (storage.Checksum)
 //
-// The relation version counter (storage.Relation.Version) is deliberately
-// not serialized: a restored relation draws a fresh version from the
+// Zone maps are not serialized: they are rebuilt in one pass per group at
+// load time, exactly as a reorganization rebuilds them. The relation
+// version counter (storage.Relation.Version) is deliberately not
+// serialized either: a restored relation draws a fresh version from the
 // process-wide clock, so result-cache entries (internal/server) keyed
 // against whatever relation it replaces can never be served for it.
 package persist
@@ -33,7 +38,7 @@ import (
 	"h2o/internal/storage"
 )
 
-var magic = [8]byte{'H', '2', 'O', 'S', 'N', 'A', 'P', '1'}
+var magic = [8]byte{'H', '2', 'O', 'S', 'N', 'A', 'P', '2'}
 
 // Save writes a snapshot of rel to w.
 func Save(w io.Writer, rel *storage.Relation) error {
@@ -55,23 +60,34 @@ func Save(w io.Writer, rel *storage.Relation) error {
 	if err := writeU64(bw, uint64(rel.Rows)); err != nil {
 		return err
 	}
-	if err := writeU32(bw, uint32(len(rel.Groups))); err != nil {
+	if err := writeU64(bw, uint64(rel.SegCap)); err != nil {
 		return err
 	}
-	for _, g := range rel.Groups {
-		if err := writeU32(bw, uint32(len(g.Attrs))); err != nil {
+	if err := writeU32(bw, uint32(len(rel.Segments))); err != nil {
+		return err
+	}
+	for _, seg := range rel.Segments {
+		if err := writeU64(bw, uint64(seg.Rows)); err != nil {
 			return err
 		}
-		for _, a := range g.Attrs {
-			if err := writeU32(bw, uint32(a)); err != nil {
+		if err := writeU32(bw, uint32(len(seg.Groups))); err != nil {
+			return err
+		}
+		for _, g := range seg.Groups {
+			if err := writeU32(bw, uint32(len(g.Attrs))); err != nil {
 				return err
 			}
-		}
-		if err := writeU32(bw, uint32(g.Stride)); err != nil {
-			return err
-		}
-		if err := writeValues(bw, g.Data); err != nil {
-			return err
+			for _, a := range g.Attrs {
+				if err := writeU32(bw, uint32(a)); err != nil {
+					return err
+				}
+			}
+			if err := writeU32(bw, uint32(g.Stride)); err != nil {
+				return err
+			}
+			if err := writeValues(bw, g.Data); err != nil {
+				return err
+			}
 		}
 	}
 	digest, err := storage.Checksum(rel, allAttrs(rel.Schema.NumAttrs()))
@@ -84,8 +100,8 @@ func Save(w io.Writer, rel *storage.Relation) error {
 	return bw.Flush()
 }
 
-// Load reads a snapshot and reconstructs the relation, verifying the
-// content digest.
+// Load reads a snapshot and reconstructs the relation — segment structure,
+// per-segment layouts and all — verifying the content digest.
 func Load(r io.Reader) (*storage.Relation, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var got [8]byte
@@ -120,41 +136,74 @@ func Load(r io.Reader) (*storage.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	nGroups, err := readU32(br)
+	segCap, err := readU64(br)
 	if err != nil {
 		return nil, err
 	}
-	groups := make([]*storage.ColumnGroup, 0, nGroups)
-	for gi := uint32(0); gi < nGroups; gi++ {
-		nga, err := readU32(br)
+	if segCap == 0 || segCap > 1<<31 {
+		return nil, fmt.Errorf("persist: implausible segment capacity %d", segCap)
+	}
+	nSegs, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nSegs == 0 || uint64(nSegs) > rows/segCap+2 {
+		return nil, fmt.Errorf("persist: implausible segment count %d for %d rows", nSegs, rows)
+	}
+	segGroups := make([][]*storage.ColumnGroup, nSegs)
+	var totalRows uint64
+	for si := uint32(0); si < nSegs; si++ {
+		segRows, err := readU64(br)
 		if err != nil {
 			return nil, err
 		}
-		if nga == 0 || uint64(nga) > nAttrs {
-			return nil, fmt.Errorf("persist: group %d has implausible width %d", gi, nga)
+		if segRows > segCap {
+			return nil, fmt.Errorf("persist: segment %d has %d rows, capacity %d", si, segRows, segCap)
 		}
-		ids := make([]data.AttrID, nga)
-		for i := range ids {
-			v, err := readU32(br)
+		totalRows += segRows
+		nGroups, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if nGroups == 0 || uint64(nGroups) > 4*nAttrs {
+			return nil, fmt.Errorf("persist: segment %d has implausible group count %d", si, nGroups)
+		}
+		groups := make([]*storage.ColumnGroup, 0, nGroups)
+		for gi := uint32(0); gi < nGroups; gi++ {
+			nga, err := readU32(br)
 			if err != nil {
 				return nil, err
 			}
-			ids[i] = data.AttrID(v)
+			if nga == 0 || uint64(nga) > nAttrs {
+				return nil, fmt.Errorf("persist: segment %d group %d has implausible width %d", si, gi, nga)
+			}
+			ids := make([]data.AttrID, nga)
+			for i := range ids {
+				v, err := readU32(br)
+				if err != nil {
+					return nil, err
+				}
+				ids[i] = data.AttrID(v)
+			}
+			stride, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if int(stride) < len(ids) {
+				return nil, fmt.Errorf("persist: segment %d group %d stride %d below width %d", si, gi, stride, len(ids))
+			}
+			g := storage.NewGroupPadded(ids, int(segRows), int(stride)-len(ids))
+			if err := readValues(br, g.Data); err != nil {
+				return nil, err
+			}
+			groups = append(groups, g)
 		}
-		stride, err := readU32(br)
-		if err != nil {
-			return nil, err
-		}
-		if int(stride) < len(ids) {
-			return nil, fmt.Errorf("persist: group %d stride %d below width %d", gi, stride, len(ids))
-		}
-		g := storage.NewGroupPadded(ids, int(rows), int(stride)-len(ids))
-		if err := readValues(br, g.Data); err != nil {
-			return nil, err
-		}
-		groups = append(groups, g)
+		segGroups[si] = groups
 	}
-	rel, err := storage.NewRelation(schema, int(rows), groups)
+	if totalRows != rows {
+		return nil, fmt.Errorf("persist: segment rows sum to %d, header says %d", totalRows, rows)
+	}
+	rel, err := storage.AssembleRelation(schema, int(segCap), segGroups)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}

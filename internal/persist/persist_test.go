@@ -46,8 +46,11 @@ func TestRoundTrip(t *testing.T) {
 	if got.Schema.Name != "R" || got.Schema.NumAttrs() != 8 || got.Rows != 500 {
 		t.Fatalf("metadata wrong: %v rows=%d", got.Schema, got.Rows)
 	}
-	if len(got.Groups) != len(rel.Groups) {
-		t.Fatalf("groups = %d, want %d", len(got.Groups), len(rel.Groups))
+	if len(got.Segments) != len(rel.Segments) {
+		t.Fatalf("segments = %d, want %d", len(got.Segments), len(rel.Segments))
+	}
+	if len(got.Segments[0].Groups) != len(rel.Segments[0].Groups) {
+		t.Fatalf("groups = %d, want %d", len(got.Segments[0].Groups), len(rel.Segments[0].Groups))
 	}
 	if got.LayoutSignature() != rel.LayoutSignature() {
 		t.Fatalf("layout changed: %s vs %s", got.LayoutSignature(), rel.LayoutSignature())

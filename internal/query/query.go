@@ -43,8 +43,11 @@ type Query struct {
 	Items []SelectItem
 	Where expr.Pred // nil when the query has no where clause
 	// Limit truncates the materialized result to the first N rows; 0 means
-	// no limit. The engine applies it after the scan (no early exit) — the
-	// paper's workloads bound result cardinality with aggregates instead.
+	// no limit. Non-aggregate scans honor it with an early exit at segment
+	// granularity — once N rows are selected, remaining segments are never
+	// read — and the engine trims the last segment's overshoot to exactly
+	// N. Aggregates consume every segment regardless (the limit applies to
+	// result rows, and an aggregate has one).
 	Limit int
 }
 

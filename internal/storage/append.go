@@ -7,8 +7,11 @@ import (
 )
 
 // Append adds one tuple (a full-width value slice in schema attribute
-// order) to the relation: every column group grows by one mini-tuple, so
-// all layouts stay consistent views of the same logical relation.
+// order) to the relation. Only the mutable tail segment is touched: its
+// column groups each grow by one mini-tuple and their zone maps extend
+// incrementally. When the tail reaches SegCap rows it seals and a fresh
+// tail opens with the same layout — sealed segments are never copied or
+// rescanned, so append cost is O(tail segment), not O(relation).
 //
 // H2O is a read-optimized analytical store — the paper evaluates scans, not
 // updates — so appends are the only write: densely packed, no free space,
@@ -19,21 +22,18 @@ func (r *Relation) Append(tuple []data.Value) error {
 		return fmt.Errorf("storage: tuple has %d values, schema %q has %d attributes",
 			len(tuple), r.Schema.Name, r.Schema.NumAttrs())
 	}
-	for _, g := range r.Groups {
-		base := len(g.Data)
-		g.Data = append(g.Data, make([]data.Value, g.Stride)...)
-		for i, a := range g.Attrs {
-			g.Data[base+i] = tuple[a]
-		}
-		g.Rows++
-	}
+	scratch := make([]data.Value, r.Schema.NumAttrs())
+	tail := r.tailWithRoom()
+	tail.appendTuple(tuple, scratch)
+	tail.bumpVersion()
 	r.Rows++
 	r.bumpVersion()
 	return nil
 }
 
 // AppendBatch adds many tuples; it validates all widths before mutating
-// anything, so a bad batch leaves the relation untouched.
+// anything, so a bad batch leaves the relation untouched. Batches may roll
+// over any number of segment boundaries.
 func (r *Relation) AppendBatch(tuples [][]data.Value) error {
 	if len(tuples) == 0 {
 		return nil // no mutation: keep the version (and caches keyed on it) intact
@@ -44,23 +44,53 @@ func (r *Relation) AppendBatch(tuples [][]data.Value) error {
 				i, len(tup), r.Schema.Name, r.Schema.NumAttrs())
 		}
 	}
-	for _, g := range r.Groups {
-		need := len(g.Data) + len(tuples)*g.Stride
+	scratch := make([]data.Value, r.Schema.NumAttrs())
+	for len(tuples) > 0 {
+		tail := r.tailWithRoom()
+		room := r.SegCap - tail.Rows
+		n := len(tuples)
+		if n > room {
+			n = room
+		}
+		tail.growFor(n)
+		for _, tup := range tuples[:n] {
+			tail.appendTuple(tup, scratch)
+		}
+		tail.bumpVersion()
+		r.Rows += n
+		tuples = tuples[n:]
+	}
+	r.bumpVersion()
+	return nil
+}
+
+// tailWithRoom returns the tail segment, sealing it and opening a fresh
+// one (same layout, empty groups) when it is full.
+func (r *Relation) tailWithRoom() *Segment {
+	tail := r.Tail()
+	if tail.Rows < r.SegCap {
+		return tail
+	}
+	fresh := make([]*ColumnGroup, len(tail.Groups))
+	for i, g := range tail.Groups {
+		ng := NewGroupPadded(g.Attrs, 0, g.Stride-g.Width)
+		ng.zm = NewZoneMap(ng.Width, 0)
+		fresh[i] = ng
+	}
+	next := newSegment(r, 0, fresh)
+	r.Segments = append(r.Segments, next)
+	return next
+}
+
+// growFor pre-grows each group's backing array for n more tuples so a
+// batch append within one segment reallocates at most once per group.
+func (s *Segment) growFor(n int) {
+	for _, g := range s.Groups {
+		need := len(g.Data) + n*g.Stride
 		if cap(g.Data) < need {
 			grown := make([]data.Value, len(g.Data), need)
 			copy(grown, g.Data)
 			g.Data = grown
 		}
-		for _, tup := range tuples {
-			base := len(g.Data)
-			g.Data = g.Data[:base+g.Stride]
-			for i, a := range g.Attrs {
-				g.Data[base+i] = tup[a]
-			}
-		}
-		g.Rows += len(tuples)
 	}
-	r.Rows += len(tuples)
-	r.bumpVersion()
-	return nil
 }

@@ -5,6 +5,30 @@
 // row layout is a single group covering every attribute. The package also
 // provides the offline reorganization primitives (stitch / project) that the
 // execution layer fuses into query processing for online adaptation.
+//
+// # Segments
+//
+// A Relation is horizontally partitioned into an ordered list of
+// fixed-capacity Segments (SegCap rows, DefaultSegmentCapacity unless
+// overridden). Invariants:
+//
+//   - Every segment carries its own column-group set covering the schema,
+//     its own narrowest-group index, per-group zone maps and a version.
+//     Layouts are segment-local: hot segments may be reorganized while
+//     cold ones keep their layout, so a relation can legitimately hold
+//     mixed layouts across segments.
+//   - Only the last segment (the tail) is mutable. Appends grow the tail's
+//     groups and extend their zone maps incrementally; at SegCap rows the
+//     tail seals and a fresh tail opens with the same layout. Sealed
+//     segments are never copied or rescanned by appends.
+//   - Interior segments always hold exactly SegCap rows; only the tail may
+//     be partial (or empty, right after a rollover of an exactly-full
+//     batch).
+//   - Reorganization (StitchSeg + Segment.AddGroup) reads and writes one
+//     segment: O(segment), never O(relation). Relation-level AddGroup
+//     slices a full-length group across segments without copying.
+//   - Any mutation bumps both the mutated segment's version and the
+//     relation version; result caches key on the latter.
 package storage
 
 import (
@@ -57,6 +81,13 @@ type ColumnGroup struct {
 	Data   []data.Value // len = Rows*Stride
 
 	pos map[data.AttrID]int // attr id -> offset within a mini-tuple
+
+	// zm summarizes the group for block- and segment-level predicate
+	// skipping. It is built when the group is materialized into a segment
+	// and extended incrementally on tail-segment appends; nil means "no
+	// summary" (standalone kernel-benchmark groups), which scans treat as
+	// "may match".
+	zm *ZoneMap
 }
 
 // NewGroup allocates an empty (zeroed) column group for the given attributes
@@ -104,6 +135,32 @@ func BuildGroupPadded(t *data.Table, attrs []data.AttrID, padWords int) *ColumnG
 		}
 	}
 	return g
+}
+
+// Zones returns the group's zone map, or nil when none has been built.
+func (g *ColumnGroup) Zones() *ZoneMap { return g.zm }
+
+// BuildZones (re)builds the group's zone map in one pass. block <= 0
+// selects DefaultZoneBlock.
+func (g *ColumnGroup) BuildZones(block int) { g.zm = BuildZoneMap(g, block) }
+
+// slice returns a view of rows [lo, hi) sharing the group's backing array
+// and attribute index. The view's capacity is pinned at hi, so appending to
+// a tail-segment view never scribbles over the next segment's rows. When
+// the span covers the whole group the group itself is returned, preserving
+// pointer identity for single-segment relations.
+func (g *ColumnGroup) slice(lo, hi int) *ColumnGroup {
+	if lo == 0 && hi == g.Rows {
+		return g
+	}
+	return &ColumnGroup{
+		Attrs:  g.Attrs,
+		Width:  g.Width,
+		Stride: g.Stride,
+		Rows:   hi - lo,
+		Data:   g.Data[lo*g.Stride : hi*g.Stride : hi*g.Stride],
+		pos:    g.pos,
+	}
 }
 
 // Offset returns the position of attribute a within a mini-tuple and whether

@@ -6,21 +6,22 @@ import (
 	"h2o/internal/data"
 )
 
-// Stitch materializes a new column group for attrs by reading the needed
-// values from the source groups ("blocks from R1 and R2 are read and
-// stitched together", paper §3.2). This is the *offline* reorganization path;
-// the execution layer fuses the same copy loop with predicate evaluation for
-// the online path (Fig. 13).
+// StitchSeg materializes a new column group for attrs within one segment by
+// reading the needed values from the segment's own groups ("blocks from R1
+// and R2 are read and stitched together", paper §3.2). This is the
+// *offline* reorganization primitive at segment granularity — the unit the
+// engine's incremental adaptation moves; the execution layer fuses the same
+// copy loop with predicate evaluation for the online path (Fig. 13).
 //
-// sources must collectively cover attrs; the narrowest available source is
-// used for each attribute.
-func Stitch(rel *Relation, attrs []data.AttrID) (*ColumnGroup, error) {
+// The segment's groups must collectively cover attrs; the narrowest
+// available source is used for each attribute.
+func StitchSeg(seg *Segment, attrs []data.AttrID) (*ColumnGroup, error) {
 	norm := data.SortedUnique(attrs)
-	_, assign, err := rel.CoveringGroups(norm)
+	_, assign, err := seg.CoveringGroups(norm)
 	if err != nil {
 		return nil, err
 	}
-	dst := NewGroup(norm, rel.Rows)
+	dst := NewGroup(norm, seg.Rows)
 	// Copy column-runs one source attribute at a time: each inner loop is a
 	// strided copy, the memory access pattern the paper's stitch operator has.
 	for di, a := range dst.Attrs {
@@ -28,10 +29,39 @@ func Stitch(rel *Relation, attrs []data.AttrID) (*ColumnGroup, error) {
 		so, _ := src.Offset(a)
 		sStride, dStride := src.Stride, dst.Stride
 		sData, dData := src.Data, dst.Data
-		for r := 0; r < rel.Rows; r++ {
+		for r := 0; r < seg.Rows; r++ {
 			dData[r*dStride+di] = sData[r*sStride+so]
 		}
 	}
+	dst.BuildZones(0)
+	return dst, nil
+}
+
+// Stitch materializes a full-relation-length group for attrs, stitching
+// segment by segment. Offline tools and tests use it to build a group that
+// Relation.AddGroup then slices back across the segments; the engine's
+// online path reorganizes segment-locally instead.
+func Stitch(rel *Relation, attrs []data.AttrID) (*ColumnGroup, error) {
+	norm := data.SortedUnique(attrs)
+	dst := NewGroup(norm, rel.Rows)
+	base := 0
+	for _, seg := range rel.Segments {
+		_, assign, err := seg.CoveringGroups(norm)
+		if err != nil {
+			return nil, err
+		}
+		for di, a := range dst.Attrs {
+			src := assign[a]
+			so, _ := src.Offset(a)
+			sStride, dStride := src.Stride, dst.Stride
+			sData, dData := src.Data, dst.Data
+			for r := 0; r < seg.Rows; r++ {
+				dData[(base+r)*dStride+di] = sData[r*sStride+so]
+			}
+		}
+		base += seg.Rows
+	}
+	dst.BuildZones(0)
 	return dst, nil
 }
 
@@ -54,16 +84,19 @@ func Project(src *ColumnGroup, attrs []data.AttrID) (*ColumnGroup, error) {
 			dst.Data[dBase+i] = src.Data[sBase+so]
 		}
 	}
+	dst.BuildZones(0)
 	return dst, nil
 }
 
-// TransformBytes returns the number of bytes a reorganization into a group
-// over attrs would move: bytes read from the covering source groups plus
-// bytes written to the destination. The cost model charges this volume at
-// copy bandwidth (Eq. 1's T term).
-func TransformBytes(rel *Relation, attrs []data.AttrID) (int64, error) {
+// SegTransformBytes returns the number of bytes a reorganization of one
+// segment into a group over attrs would move: bytes read from the
+// segment's covering source groups plus bytes written to the destination.
+// The cost model charges this volume at copy bandwidth (Eq. 1's T term) —
+// per segment, so the engine can decide "adapt the 3 hot segments now,
+// leave the other 97".
+func SegTransformBytes(seg *Segment, attrs []data.AttrID) (int64, error) {
 	norm := data.SortedUnique(attrs)
-	srcs, _, err := rel.CoveringGroups(norm)
+	srcs, _, err := seg.CoveringGroups(norm)
 	if err != nil {
 		return 0, err
 	}
@@ -73,31 +106,55 @@ func TransformBytes(rel *Relation, attrs []data.AttrID) (int64, error) {
 		// cache lines; charge the full group scan, as the paper's stitch does.
 		read += g.Bytes()
 	}
-	written := int64(len(norm)) * int64(rel.Rows) * 8
+	written := int64(len(norm)) * int64(seg.Rows) * 8
 	return read + written, nil
+}
+
+// TransformBytes sums SegTransformBytes over every segment that does not
+// already carry an exact group over attrs — the whole-relation upper bound
+// the advisor prices proposals with.
+func TransformBytes(rel *Relation, attrs []data.AttrID) (int64, error) {
+	norm := data.SortedUnique(attrs)
+	var total int64
+	for _, seg := range rel.Segments {
+		if _, ok := seg.ExactGroup(norm); ok {
+			continue
+		}
+		n, err := SegTransformBytes(seg, norm)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // Checksum returns an order-independent digest of the logical content of the
 // relation restricted to attrs: tests use it to verify that reorganization
-// never changes the data.
+// never changes the data. Rows are indexed globally, so the digest is
+// independent of segmentation.
 func Checksum(rel *Relation, attrs []data.AttrID) (uint64, error) {
 	norm := data.SortedUnique(attrs)
-	_, assign, err := rel.CoveringGroups(norm)
-	if err != nil {
-		return 0, err
-	}
 	var sum uint64
-	for _, a := range norm {
-		g := assign[a]
-		off, _ := g.Offset(a)
-		for r := 0; r < rel.Rows; r++ {
-			v := uint64(g.Data[r*g.Stride+off])
-			// Mix row, attribute and value so permutations are detected.
-			h := v ^ (uint64(r) * 0x9e3779b97f4a7c15) ^ (uint64(a) * 0xc2b2ae3d27d4eb4f)
-			h ^= h >> 33
-			h *= 0xff51afd7ed558ccd
-			sum += h
+	base := 0
+	for _, seg := range rel.Segments {
+		_, assign, err := seg.CoveringGroups(norm)
+		if err != nil {
+			return 0, err
 		}
+		for _, a := range norm {
+			g := assign[a]
+			off, _ := g.Offset(a)
+			for r := 0; r < seg.Rows; r++ {
+				v := uint64(g.Data[r*g.Stride+off])
+				// Mix row, attribute and value so permutations are detected.
+				h := v ^ (uint64(base+r) * 0x9e3779b97f4a7c15) ^ (uint64(a) * 0xc2b2ae3d27d4eb4f)
+				h ^= h >> 33
+				h *= 0xff51afd7ed558ccd
+				sum += h
+			}
+		}
+		base += seg.Rows
 	}
 	return sum, nil
 }

@@ -1,0 +1,329 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+// DefaultSegmentCapacity is the number of rows a segment holds before the
+// tail seals and a fresh one opens. 64K rows keeps a segment's working set
+// cache-friendly while making segment-granular reorganization and
+// parallelism meaningful on multi-million-row relations.
+const DefaultSegmentCapacity = 64 * 1024
+
+// Segment is one fixed-capacity horizontal slice of a relation, carrying
+// its own column-group set, per-group zone maps, a layout index and a
+// version. Segments are the unit of adaptation (hot segments are
+// reorganized, cold ones keep their layout — a relation legitimately holds
+// mixed layouts across segments), the unit of scan parallelism, and the
+// unit of zone-map pruning. Only the relation's last segment (the tail)
+// is mutable: appends grow it until capacity, then it seals.
+//
+// A Segment performs no locking; the engine serializes mutations against
+// reads exactly as it does for the relation. The version and read counters
+// are atomic so serving and monitoring layers can sample them lock-free.
+type Segment struct {
+	Groups []*ColumnGroup
+	Rows   int
+
+	rel *Relation // parent, for schema access and version propagation
+
+	// narrowest caches, per attribute, the narrowest group storing it.
+	narrowest []*ColumnGroup
+	// sig is the cached layout signature, recomputed on every group-set
+	// change (always under the engine's exclusive lock, so readers under
+	// the shared lock never observe a torn value).
+	sig string
+
+	// version is this segment's slice of the process-wide version clock,
+	// advanced on any mutation of the segment (appends, group add/drop).
+	version atomic.Uint64
+	// reads counts scans that actually touched this segment (pruned scans
+	// do not count) since the engine last reset it — the access-frequency
+	// signal behind hot/cold reorganization decisions.
+	reads atomic.Uint64
+}
+
+// newSegment assembles a segment from groups that all share the same row
+// count. Callers validated coverage; this wires the index and zone maps.
+func newSegment(rel *Relation, rows int, groups []*ColumnGroup) *Segment {
+	s := &Segment{Groups: groups, Rows: rows, rel: rel}
+	for _, g := range groups {
+		if g.zm == nil {
+			g.BuildZones(0)
+		}
+	}
+	s.rebuildIndex()
+	s.bumpVersion()
+	return s
+}
+
+// Version returns the segment's current version. Safe without locks.
+func (s *Segment) Version() uint64 { return s.version.Load() }
+
+func (s *Segment) bumpVersion() { s.version.Store(versionClock.Add(1)) }
+
+// Touch records one scan of the segment. Execution kernels call it when a
+// segment is actually read (not pruned); safe under the shared read lock.
+func (s *Segment) Touch() { s.reads.Add(1) }
+
+// Reads returns the scans since the last ResetReads.
+func (s *Segment) Reads() uint64 { return s.reads.Load() }
+
+// ResetReads zeroes the access counter; the engine calls it at each
+// adaptation phase so hotness reflects the current window.
+func (s *Segment) ResetReads() { s.reads.Store(0) }
+
+// schema returns the parent relation's schema.
+func (s *Segment) schema() *data.Schema { return s.rel.Schema }
+
+// Kind classifies the segment's current layout.
+func (s *Segment) Kind() LayoutKind {
+	if len(s.Groups) == 1 && s.Groups[0].Width == s.schema().NumAttrs() {
+		return KindRow
+	}
+	for _, g := range s.Groups {
+		if g.Width != 1 {
+			return KindGroup
+		}
+	}
+	return KindColumn
+}
+
+// Bytes returns the in-memory footprint of the segment's groups.
+func (s *Segment) Bytes() int64 {
+	var n int64
+	for _, g := range s.Groups {
+		n += g.Bytes()
+	}
+	return n
+}
+
+// GroupFor returns the narrowest group storing attribute a.
+func (s *Segment) GroupFor(a data.AttrID) (*ColumnGroup, error) {
+	if s.narrowest == nil {
+		s.rebuildIndex()
+	}
+	if a >= 0 && a < len(s.narrowest) {
+		if g := s.narrowest[a]; g != nil {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: no group stores attribute %s", s.schema().AttrName(a))
+}
+
+// rebuildIndex recomputes the narrowest-group cache and the cached layout
+// signature. Called on every group-set change, under the caller's
+// exclusive lock.
+func (s *Segment) rebuildIndex() {
+	s.narrowest = make([]*ColumnGroup, s.schema().NumAttrs())
+	for _, g := range s.Groups {
+		for _, a := range g.Attrs {
+			if best := s.narrowest[a]; best == nil || g.Width < best.Width {
+				s.narrowest[a] = g
+			}
+		}
+	}
+	parts := make([]string, len(s.Groups))
+	for i, g := range s.Groups {
+		parts[i] = fmt.Sprint(g.Attrs)
+	}
+	sort.Strings(parts)
+	sig := ""
+	for i, p := range parts {
+		if i > 0 {
+			sig += " | "
+		}
+		sig += p
+	}
+	s.sig = sig
+}
+
+// LayoutSignature returns a stable human-readable description of the
+// segment's partitioning.
+func (s *Segment) LayoutSignature() string {
+	if s.sig == "" && len(s.Groups) > 0 {
+		s.rebuildIndex()
+	}
+	return s.sig
+}
+
+// ExactGroup returns the group whose attribute set is exactly attrs, if any.
+func (s *Segment) ExactGroup(attrs []data.AttrID) (*ColumnGroup, bool) {
+	want := data.SortedUnique(attrs)
+	for _, g := range s.Groups {
+		if sameAttrs(g.Attrs, want) {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// CoveringGroups returns a small set of the segment's groups that together
+// store every attribute in attrs, using a greedy set cover that prefers
+// groups covering the most still-missing attributes and, on ties, the
+// narrowest group (least wasted bandwidth). The returned assignment maps
+// each requested attribute to the group chosen for it.
+func (s *Segment) CoveringGroups(attrs []data.AttrID) ([]*ColumnGroup, map[data.AttrID]*ColumnGroup, error) {
+	need := make(map[data.AttrID]bool, len(attrs))
+	for _, a := range attrs {
+		need[a] = true
+	}
+	var chosen []*ColumnGroup
+	assign := make(map[data.AttrID]*ColumnGroup, len(attrs))
+	for len(need) > 0 {
+		var best *ColumnGroup
+		bestCover := 0
+		for _, g := range s.Groups {
+			cover := 0
+			for _, a := range g.Attrs {
+				if need[a] {
+					cover++
+				}
+			}
+			if cover == 0 {
+				continue
+			}
+			if best == nil || cover > bestCover || (cover == bestCover && g.Width < best.Width) {
+				best, bestCover = g, cover
+			}
+		}
+		if best == nil {
+			missing := make([]data.AttrID, 0, len(need))
+			for a := range need {
+				missing = append(missing, a)
+			}
+			sort.Ints(missing)
+			return nil, nil, fmt.Errorf("storage: attributes %v not covered by any group of %q", missing, s.schema().Name)
+		}
+		chosen = append(chosen, best)
+		for _, a := range best.Attrs {
+			if need[a] {
+				assign[a] = best
+				delete(need, a)
+			}
+		}
+	}
+	return chosen, assign, nil
+}
+
+// AddGroup registers a new group with the segment. The group must match the
+// segment's row count. Both the segment and the relation version advance.
+func (s *Segment) AddGroup(g *ColumnGroup) error {
+	if g.Rows != s.Rows {
+		return fmt.Errorf("storage: group %v has %d rows, segment has %d", g.Attrs, g.Rows, s.Rows)
+	}
+	if g.zm == nil {
+		g.BuildZones(0)
+	}
+	s.Groups = append(s.Groups, g)
+	s.rebuildIndex()
+	s.bumpVersion()
+	s.rel.bumpVersion()
+	return nil
+}
+
+// DropGroup removes a group from the segment if removing it keeps the
+// schema covered; it reports whether the group was removed.
+func (s *Segment) DropGroup(g *ColumnGroup) bool {
+	idx := -1
+	for i, have := range s.Groups {
+		if have == g {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	if !s.coveredWithout(idx) {
+		return false
+	}
+	s.Groups = append(s.Groups[:idx], s.Groups[idx+1:]...)
+	s.rebuildIndex()
+	s.bumpVersion()
+	s.rel.bumpVersion()
+	return true
+}
+
+// coveredWithout reports whether dropping the idx-th group keeps every
+// schema attribute stored by some remaining group.
+func (s *Segment) coveredWithout(idx int) bool {
+	covered := make([]bool, s.schema().NumAttrs())
+	for i, have := range s.Groups {
+		if i == idx {
+			continue
+		}
+		for _, a := range have.Attrs {
+			covered[a] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MayMatch reports whether any row of the segment can satisfy
+// "attr op v", consulting the zone map of the narrowest group storing the
+// attribute. Unknown (no group, no zone map) conservatively reports true;
+// an empty segment reports false. A false answer lets scans skip the whole
+// segment without touching a single row.
+func (s *Segment) MayMatch(a data.AttrID, op expr.CmpOp, v data.Value) bool {
+	if s.Rows == 0 {
+		return false
+	}
+	if s.narrowest == nil || a < 0 || a >= len(s.narrowest) {
+		return true
+	}
+	g := s.narrowest[a]
+	if g == nil || g.zm == nil {
+		return true
+	}
+	off, ok := g.Offset(a)
+	if !ok {
+		return true
+	}
+	return g.zm.MayMatchAny(off, op, v)
+}
+
+// appendTuple grows every group of the segment by one mini-tuple and
+// extends their zone maps. The caller (Relation.Append*) validated the
+// tuple width and checked capacity.
+func (s *Segment) appendTuple(tuple []data.Value, scratch []data.Value) {
+	for _, g := range s.Groups {
+		base := len(g.Data)
+		g.Data = append(g.Data, make([]data.Value, g.Stride)...)
+		vals := scratch[:g.Width]
+		for i, a := range g.Attrs {
+			v := tuple[a]
+			g.Data[base+i] = v
+			vals[i] = v
+		}
+		g.Rows++
+		if g.zm == nil {
+			g.zm = NewZoneMap(g.Width, 0)
+		}
+		g.zm.ExtendRow(vals)
+	}
+	s.Rows++
+}
+
+// sameAttrs reports whether two sorted attribute sets are identical.
+func sameAttrs(a, b []data.AttrID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

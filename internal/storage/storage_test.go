@@ -216,7 +216,7 @@ func TestAddAndDropGroup(t *testing.T) {
 	if err := rel.AddGroup(extra); err != nil {
 		t.Fatal(err)
 	}
-	if len(rel.Groups) != 4 {
+	if len(rel.Segments[0].Groups) != 4 {
 		t.Fatal("AddGroup did not register the group")
 	}
 	if !rel.DropGroup(extra) {
@@ -258,7 +258,8 @@ func TestStitchMatchesSource(t *testing.T) {
 func TestStitchErrorsOnMissingAttr(t *testing.T) {
 	tb := genTable(t, 4, 10)
 	rel, _ := BuildPartitioned(tb, [][]data.AttrID{{0, 1}, {2, 3}})
-	rel.Groups = rel.Groups[:1] // break coverage deliberately
+	seg := rel.Segments[0]
+	seg.Groups = seg.Groups[:1] // break coverage deliberately
 	if _, err := Stitch(rel, []data.AttrID{3}); err == nil {
 		t.Fatal("expected error for uncovered attribute")
 	}
@@ -395,7 +396,7 @@ func TestAppend(t *testing.T) {
 	if rel.Rows != 101 {
 		t.Fatalf("rows = %d", rel.Rows)
 	}
-	for _, g := range rel.Groups {
+	for _, g := range rel.Tail().Groups {
 		if g.Rows != 101 || len(g.Data) != 101*g.Stride {
 			t.Fatalf("group %v out of sync: rows=%d len=%d", g.Attrs, g.Rows, len(g.Data))
 		}

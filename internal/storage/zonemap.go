@@ -6,11 +6,13 @@ import (
 )
 
 // ZoneMap summarizes a column group with per-block min/max values per
-// attribute, enabling scans to skip blocks that cannot satisfy a predicate.
-// This is the lightweight end of the "adaptive indexing together with
-// adaptive data layouts" direction the paper's conclusions propose: zone
-// maps are built in one pass whenever a group is created or reorganized, so
-// they ride along with layout adaptation for free.
+// attribute, enabling scans to skip blocks — and, through the whole-group
+// bounds it also maintains, entire segments — that cannot satisfy a
+// predicate. This is the lightweight end of the "adaptive indexing together
+// with adaptive data layouts" direction the paper's conclusions propose:
+// zone maps are built in one pass whenever a group is created or
+// reorganized, and extended incrementally as tuples are appended to the
+// tail segment, so they ride along with layout adaptation for free.
 //
 // Skipping only pays off when values cluster by position (e.g. append-
 // ordered timestamps); on uniformly shuffled data every block spans the
@@ -20,27 +22,44 @@ type ZoneMap struct {
 	Block int // rows per zone
 	zones int
 	width int
+	rows  int          // rows summarized so far
 	mins  []data.Value // zone*width + attrPos
 	maxs  []data.Value
+	// allMin/allMax are whole-group bounds per attribute offset, kept in
+	// sync by Build/Extend. Segment pruning consults them in O(1) instead
+	// of walking every zone.
+	allMin []data.Value
+	allMax []data.Value
 }
 
 // DefaultZoneBlock is the default rows-per-zone granularity.
 const DefaultZoneBlock = 1024
 
-// BuildZoneMap scans g once and summarizes every block. block <= 0 selects
-// DefaultZoneBlock.
-func BuildZoneMap(g *ColumnGroup, block int) *ZoneMap {
+// NewZoneMap returns an empty zone map for a group of the given width,
+// ready to be extended row by row as the tail segment absorbs appends.
+// block <= 0 selects DefaultZoneBlock.
+func NewZoneMap(width, block int) *ZoneMap {
 	if block <= 0 {
 		block = DefaultZoneBlock
 	}
-	zones := (g.Rows + block - 1) / block
-	z := &ZoneMap{
-		Block: block,
-		zones: zones,
-		width: g.Width,
-		mins:  make([]data.Value, zones*g.Width),
-		maxs:  make([]data.Value, zones*g.Width),
+	return &ZoneMap{
+		Block:  block,
+		width:  width,
+		allMin: make([]data.Value, width),
+		allMax: make([]data.Value, width),
 	}
+}
+
+// BuildZoneMap scans g once and summarizes every block. block <= 0 selects
+// DefaultZoneBlock.
+func BuildZoneMap(g *ColumnGroup, block int) *ZoneMap {
+	z := NewZoneMap(g.Width, block)
+	block = z.Block
+	zones := (g.Rows + block - 1) / block
+	z.zones = zones
+	z.rows = g.Rows
+	z.mins = make([]data.Value, zones*g.Width)
+	z.maxs = make([]data.Value, zones*g.Width)
 	d, stride := g.Data, g.Stride
 	for zi := 0; zi < zones; zi++ {
 		lo := zi * block
@@ -62,13 +81,57 @@ func BuildZoneMap(g *ColumnGroup, block int) *ZoneMap {
 			}
 			z.mins[zi*g.Width+off] = mn
 			z.maxs[zi*g.Width+off] = mx
+			if zi == 0 || mn < z.allMin[off] {
+				z.allMin[off] = mn
+			}
+			if zi == 0 || mx > z.allMax[off] {
+				z.allMax[off] = mx
+			}
 		}
 	}
 	return z
 }
 
+// ExtendRow folds one appended mini-tuple (values in the group's attribute
+// offset order, padding excluded) into the map: the last zone's min/max are
+// widened, or a fresh zone is opened at the block boundary. This keeps zone
+// maps exact under tail-segment appends without any rebuild.
+func (z *ZoneMap) ExtendRow(vals []data.Value) {
+	zi := z.rows / z.Block
+	if zi == z.zones {
+		// Crossing a block boundary: open a new zone seeded with this row.
+		z.zones++
+		z.mins = append(z.mins, vals[:z.width]...)
+		z.maxs = append(z.maxs, vals[:z.width]...)
+	} else {
+		base := zi * z.width
+		for off := 0; off < z.width; off++ {
+			v := vals[off]
+			if v < z.mins[base+off] {
+				z.mins[base+off] = v
+			}
+			if v > z.maxs[base+off] {
+				z.maxs[base+off] = v
+			}
+		}
+	}
+	for off := 0; off < z.width; off++ {
+		v := vals[off]
+		if z.rows == 0 || v < z.allMin[off] {
+			z.allMin[off] = v
+		}
+		if z.rows == 0 || v > z.allMax[off] {
+			z.allMax[off] = v
+		}
+	}
+	z.rows++
+}
+
 // Zones returns the number of blocks.
 func (z *ZoneMap) Zones() int { return z.zones }
+
+// Rows returns the number of rows the map summarizes.
+func (z *ZoneMap) Rows() int { return z.rows }
 
 // ZoneRange returns the row span of zone zi, clamped to rows.
 func (z *ZoneMap) ZoneRange(zi, rows int) (lo, hi int) {
@@ -84,8 +147,20 @@ func (z *ZoneMap) ZoneRange(zi, rows int) (lo, hi int) {
 // zone zi can satisfy "value op v". False means the whole block is safely
 // skippable.
 func (z *ZoneMap) MayMatch(zi, off int, op expr.CmpOp, v data.Value) bool {
-	mn := z.mins[zi*z.width+off]
-	mx := z.maxs[zi*z.width+off]
+	return boundsMayMatch(z.mins[zi*z.width+off], z.maxs[zi*z.width+off], op, v)
+}
+
+// MayMatchAny reports whether any row of the whole group can satisfy
+// "value op v", using the group-level bounds. False on an empty map: a
+// segment with no rows trivially has no matches.
+func (z *ZoneMap) MayMatchAny(off int, op expr.CmpOp, v data.Value) bool {
+	if z.rows == 0 {
+		return false
+	}
+	return boundsMayMatch(z.allMin[off], z.allMax[off], op, v)
+}
+
+func boundsMayMatch(mn, mx data.Value, op expr.CmpOp, v data.Value) bool {
 	switch op {
 	case expr.Lt:
 		return mn < v
