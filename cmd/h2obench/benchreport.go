@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchEntry is one benchmark's normalized result — the unit of the
+// per-commit perf trajectory CI accumulates as bench.json artifacts.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// benchReportDoc is the bench.json root object.
+type benchReportDoc struct {
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// testEvent is the subset of `go test -json` events bench parsing needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches the standard benchmark result line, e.g.
+// "BenchmarkScanSpilled-8     1    123456 ns/op". The -N CPU suffix is
+// stripped so trajectories compare across runner shapes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// emitBenchReport reads `go test -json` (or plain `go test -bench`) output
+// from r and writes the normalized bench.json document to w. `go test
+// -json` splits one benchmark result line across several output events, so
+// fragments are reassembled per package before matching; lines that are
+// neither JSON test events nor benchmark result lines are ignored, so the
+// tool tolerates interleaved build output.
+func emitBenchReport(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var entries []benchEntry
+	record := func(pkg, text string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(text))
+		if m == nil {
+			return
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return
+		}
+		entries = append(entries, benchEntry{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns})
+	}
+	partial := make(map[string]string) // package -> unterminated output fragment
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "{") {
+			record("", line) // plain `go test -bench` output
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action != "output" {
+			continue
+		}
+		acc := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(acc, '\n')
+			if nl < 0 {
+				break
+			}
+			record(ev.Package, acc[:nl])
+			acc = acc[nl+1:]
+		}
+		partial[ev.Package] = acc
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for pkg, rest := range partial {
+		record(pkg, rest)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Package != entries[j].Package {
+			return entries[i].Package < entries[j].Package
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchReportDoc{Benchmarks: entries}); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	return nil
+}

@@ -24,6 +24,19 @@
 // hot-segment reorganizations stay O(segment size) as the relation grows,
 // and selective scans over append-ordered data skip cold segments via
 // per-segment zone maps.
+//
+// -exp spill measures the tiered-storage contract: as the memory budget
+// shrinks below the relation size, selective scans stay flat (zone maps
+// prune spilled cold segments with zero disk reads) while full scans pay
+// one page-in per spilled segment they need:
+//
+//	h2obench -exp spill
+//
+// Finally, -bench-report turns `go test -bench . -benchtime=1x -json`
+// output (read on stdin) into a normalized bench.json on stdout — the
+// per-commit perf-trajectory artifact CI uploads:
+//
+//	go test -run '^$' -bench . -benchtime=1x -json ./... | h2obench -bench-report > bench.json
 package main
 
 import (
@@ -57,9 +70,18 @@ func main() {
 		clients  = flag.String("clients", "1,2,4,8", "client counts for -exp serve")
 		duration = flag.Duration("duration", time.Second, "per-point measurement time for -exp serve")
 		rowsSrv  = flag.Int("rowsserve", 50_000, "rows of the serving-sweep table")
+
+		benchReport = flag.Bool("bench-report", false, "read 'go test -bench -json' output on stdin, write normalized bench.json to stdout")
 	)
 	flag.Parse()
 
+	if *benchReport {
+		if err := emitBenchReport(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "h2obench: bench-report: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, r := range harness.Experiments() {
 			fmt.Printf("  %-18s %s\n", r.Name, r.Description)

@@ -74,6 +74,10 @@ type (
 	// ServerStats are serving-layer counters (cache hits, executions,
 	// cancellations).
 	ServerStats = server.Stats
+	// TierStats are tiered-storage counters for one table: resident vs
+	// spilled segments and bytes, page-ins, evictions, spill writes. All
+	// zero unless Options.MemoryBudgetBytes is set.
+	TierStats = core.TierStats
 )
 
 // NewSchema builds a schema; attribute names must be unique.
@@ -140,12 +144,21 @@ func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
 	return t
 }
 
-// AddTable registers an existing generated table.
+// AddTable registers an existing generated table. A table replaced under
+// the same name has its engine closed (spill files released); the result
+// cache needs no flushing because relation versions are process-unique.
+// Callers still holding the replaced *Engine must not keep using it: on a
+// budgeted table its spilled segments are gone, so stale-engine queries
+// can fail — re-fetch through db.Engine (db.Query/QueryCtx always do).
 func (db *DB) AddTable(t *Table) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	old := db.engines[t.Schema.Name]
 	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajor(t), db.opts)
 	db.schemas[t.Schema.Name] = t.Schema
+	db.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 }
 
 // Engine returns the engine behind a table, for inspection.
@@ -293,8 +306,10 @@ func (db *DB) ServeStats() ServerStats {
 }
 
 // Close shuts down the default serving layer, if QueryCtx ever started it,
-// and fences further QueryCtx calls with ErrClosed. Engines need no
-// shutdown. Servers created with Serve are closed by their owners.
+// fences further QueryCtx calls with ErrClosed, and closes every engine —
+// releasing tiered-storage spill files and temp directories. In-memory
+// engines hold no external resources and close for free. Servers created
+// with Serve are closed by their owners.
 func (db *DB) Close() {
 	db.srvMu.Lock()
 	srv := db.srv
@@ -303,6 +318,15 @@ func (db *DB) Close() {
 	db.srvMu.Unlock()
 	if srv != nil {
 		srv.Close()
+	}
+	db.mu.Lock()
+	engines := make([]*core.Engine, 0, len(db.engines))
+	for _, e := range db.engines {
+		engines = append(engines, e)
+	}
+	db.mu.Unlock()
+	for _, e := range engines {
+		e.Close()
 	}
 }
 
@@ -328,6 +352,18 @@ func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
 	return e.Execute(q)
 }
 
+// TierStats reports a table's tiered-storage counters: how much of the
+// relation is resident versus spilled to disk, and the lifetime fault /
+// eviction counts. Zero-valued unless the database was built with
+// Options.MemoryBudgetBytes set.
+func (db *DB) TierStats(table string) (TierStats, error) {
+	e, err := db.Engine(table)
+	if err != nil {
+		return TierStats{}, err
+	}
+	return e.TierStats(), nil
+}
+
 // LayoutSignature describes a table's current physical layout.
 func (db *DB) LayoutSignature(table string) (string, error) {
 	e, err := db.Engine(table)
@@ -344,15 +380,20 @@ func (db *DB) LayoutSignature(table string) (string, error) {
 
 // SaveTable snapshots a table — data plus its current adapted layout — to a
 // binary file. The snapshot is taken under the engine's read lock, so it is
-// consistent even with concurrent inserts.
+// consistent even with concurrent inserts. On a budgeted table the save
+// pages spilled segments in (the snapshot needs every byte); the memory
+// budget is re-enforced immediately afterwards rather than waiting for the
+// next query.
 func (db *DB) SaveTable(table, path string) error {
 	e, err := db.Engine(table)
 	if err != nil {
 		return err
 	}
-	return e.View(func(rel *storage.Relation) error {
+	err = e.View(func(rel *storage.Relation) error {
 		return persist.SaveFile(path, rel)
 	})
+	e.EnforceBudget()
+	return err
 }
 
 // LoadTable restores a snapshot and registers it under its stored table
@@ -365,8 +406,12 @@ func (db *DB) LoadTable(path string) (string, error) {
 	}
 	name := rel.Schema.Name
 	db.mu.Lock()
+	old := db.engines[name]
 	db.engines[name] = core.New(rel, db.opts)
 	db.schemas[name] = rel.Schema
 	db.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 	return name, nil
 }

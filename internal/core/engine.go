@@ -111,6 +111,24 @@ type Options struct {
 	// layout, so reorganization cost scales with the hot fraction of the
 	// data. 0 selects the default of 1.
 	HotSegmentReads int
+	// MemoryBudgetBytes caps the bytes of segment data this engine — i.e.
+	// this one relation — holds in memory (tiered storage): when the
+	// relation's resident footprint exceeds the budget, the engine spills
+	// the coldest sealed segments to disk and pages them back in on
+	// demand through a loader. The budget is per engine, so a catalog of
+	// N budgeted tables can keep up to N x MemoryBudgetBytes resident.
+	// Zone maps and all layout metadata stay resident, so spilled
+	// segments are still pruned for free, and residency changes never
+	// bump the relation version — cached results survive a spill/fault
+	// cycle. 0 disables spilling (everything stays in memory).
+	MemoryBudgetBytes int64
+	// SpillDir is the directory for spilled segment files; file names
+	// embed the relation name, so engines over distinct tables may share
+	// one directory. Empty with a budget set selects a fresh temporary
+	// directory, created at first spill and removed by Engine.Close. An
+	// unusable directory never fails construction: eviction is skipped
+	// and TierStats.SpillErrors counts the failures.
+	SpillDir string
 }
 
 // DefaultOptions returns the adaptive configuration used in §4.1.
@@ -142,6 +160,9 @@ type ExecInfo struct {
 	// the scan touched versus skipped outright via per-segment zone maps.
 	SegmentsScanned int
 	SegmentsPruned  int
+	// SegmentsFaulted counts spilled segments this query paged in from
+	// disk (tiered storage); zero when everything it touched was resident.
+	SegmentsFaulted int
 	// CompileTime is the simulated operator-generation cost charged to this
 	// query (zero on operator-cache hits).
 	CompileTime time.Duration
@@ -195,6 +216,9 @@ type Engine struct {
 	model *costmodel.Model
 	win   *affinity.Window
 	gen   *opgen.Generator
+	// tier enforces MemoryBudgetBytes (nil when no budget is set): it
+	// spills cold sealed segments and serves as the relation's loader.
+	tier *tierManager
 
 	// pending holds adaptation proposals not yet materialized (lazy
 	// layouts). Guarded by stateMu.
@@ -235,6 +259,9 @@ func New(rel *storage.Relation, opts Options) *Engine {
 		selEst:   make(map[string]float64),
 		lastUsed: make(map[*storage.ColumnGroup]int),
 		declined: make(map[string]struct{}),
+	}
+	if opts.MemoryBudgetBytes > 0 {
+		e.tier = newTierManager(rel, opts.MemoryBudgetBytes, opts.SpillDir)
 	}
 	return e
 }
@@ -310,6 +337,21 @@ func (e *Engine) ExecuteSQL(src string, parse func(string) (*query.Query, error)
 // them scan the relation simultaneously. Only adaptation, reorganization
 // and inserts serialize on the exclusive lock.
 func (e *Engine) Execute(q *query.Query) (*exec.Result, ExecInfo, error) {
+	res, info, err := e.execute(q)
+	// Scans and reorganizations may have paged spilled segments in;
+	// re-enforce the memory budget only after every lock execute held is
+	// released, under the shared lock — spill-file fsyncs never run under
+	// the exclusive lock and never stall concurrent readers.
+	if e.tier != nil {
+		e.mu.RLock()
+		e.tier.enforce()
+		e.mu.RUnlock()
+	}
+	return res, info, err
+}
+
+// execute is Execute without the budget-enforcement epilogue.
+func (e *Engine) execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 	start := time.Now()
 	info := query.InfoOf(q)
 	adaptive := e.opts.Mode == ModeAdaptive
@@ -389,6 +431,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 					WindowSize:      e.windowSize(),
 					SegmentsScanned: st.SegmentsScanned,
 					SegmentsPruned:  st.SegmentsPruned,
+					SegmentsFaulted: st.SegmentsFaulted,
 					Duration:        time.Since(start),
 				}, nil
 			}
@@ -431,6 +474,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 	if st != nil {
 		ei.SegmentsScanned = st.SegmentsScanned
 		ei.SegmentsPruned = st.SegmentsPruned
+		ei.SegmentsFaulted = st.SegmentsFaulted
 	}
 	if !cached {
 		ei.CompileTime = op.CompileTime
@@ -458,8 +502,22 @@ func (e *Engine) pendingCoversLocked(all []data.AttrID) bool {
 // the cost model reads live row counts.
 func (e *Engine) Insert(tuples [][]data.Value) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rel.AppendBatch(tuples)
+	err := e.rel.AppendBatch(tuples)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// A batch can seal the tail, making a fresh segment evictable; keep
+	// the resident footprint under the memory budget. Enforcement runs
+	// under the shared lock, after the exclusive one is released, so the
+	// spill-file fsyncs never stall concurrent readers behind the write
+	// lock.
+	if e.tier != nil {
+		e.mu.RLock()
+		e.tier.enforce()
+		e.mu.RUnlock()
+	}
+	return nil
 }
 
 // Explanation is the engine's plan report for one query, without executing
@@ -624,6 +682,9 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 		e.touchGroups(q)
 		e.evictIfNeeded()
 		e.recordSelectivity(info, q, res)
+		// Reorganization paged hot segments in and added new groups; the
+		// budget is re-enforced by Execute's epilogue once the exclusive
+		// lock is released.
 
 		ei := ExecInfo{
 			Strategy:            exec.StrategyReorg,
@@ -809,6 +870,13 @@ func (e *Engine) evictIfNeeded() {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
 	for _, seg := range e.rel.Segments {
+		// Spilled segments are skipped: dropping a group there would save
+		// disk, not memory, and would strand the segment's spill file (a
+		// group-set mutation bumps the version the file was written at).
+		// Mutations require residency.
+		if !seg.Resident() {
+			continue
+		}
 		for len(seg.Groups) > e.opts.MaxGroups {
 			candidates := append([]*storage.ColumnGroup(nil), seg.Groups...)
 			sort.Slice(candidates, func(i, j int) bool {

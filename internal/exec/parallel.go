@@ -119,8 +119,12 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 
 	limit := int64(limitFor(out, q))
 	partials := make([]*partial, len(tasks))
+	faulted := make([]bool, len(tasks))
 	var next atomic.Int64
 	var produced atomic.Int64
+	var failed atomic.Bool
+	var errOnce sync.Once
+	var firstErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -130,8 +134,10 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 				// Stop claiming segments once the contiguous prefix already
 				// dispatched can satisfy the limit: every segment below the
 				// claim counter is (being) scanned, so the first q.Limit
-				// rows of the ordered concatenation are final.
-				if limit > 0 && produced.Load() >= limit {
+				// rows of the ordered concatenation are final. A failed
+				// sibling also stops the claim loop — the query is lost, so
+				// faulting more spilled segments in would be wasted I/O.
+				if failed.Load() || (limit > 0 && produced.Load() >= limit) {
 					return
 				}
 				ti := int(next.Add(1)) - 1
@@ -139,10 +145,22 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 					return
 				}
 				t := tasks[ti]
+				// Pin the segment resident for the duration of the scan,
+				// faulting it in when spilled: concurrent tasks on the same
+				// segment serialize on the residency lock, so at most one
+				// fault per segment happens no matter how it was sub-split.
+				f, err := t.seg.Acquire()
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				faulted[ti] = f
 				if t.lo == 0 {
 					t.seg.Touch() // once per segment, not per sub-range
 				}
 				p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
+				t.seg.Release()
 				partials[ti] = p
 				if limit > 0 && p.rows > 0 {
 					produced.Add(int64(p.rows))
@@ -151,9 +169,15 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	compact := make([]*partial, 0, len(partials))
 	for ti, p := range partials {
+		if faulted[ti] && stats != nil {
+			stats.SegmentsFaulted++
+		}
 		if p != nil {
 			if stats != nil && tasks[ti].lo == 0 {
 				stats.SegmentsScanned++
@@ -186,13 +210,21 @@ func execRowTasksSerial(out Outputs, q *query.Query, tasks []segTask, stats *Str
 	partials := make([]*partial, 0, len(tasks))
 	rows := 0
 	for _, t := range tasks {
+		faulted, err := t.seg.Acquire()
+		if err != nil {
+			return nil, err
+		}
 		if t.lo == 0 {
 			t.seg.Touch()
 			if stats != nil {
 				stats.SegmentsScanned++
 			}
 		}
+		if faulted && stats != nil {
+			stats.SegmentsFaulted++
+		}
 		p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
+		t.seg.Release()
 		partials = append(partials, p)
 		rows += p.rows
 		if limit > 0 && rows >= limit {

@@ -63,7 +63,14 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 			isHot = false // already adapted: nothing to stitch
 		}
 		if isHot && seg.Rows > 0 {
+			// Page the segment in before stitching: a spilled hot segment
+			// is faulted back through the relation's loader, then read once
+			// for both the new layout and the query answer.
+			if _, err := seg.Acquire(); err != nil {
+				return nil, nil, err
+			}
 			g, err := reorgScanSegment(seg, out, preds, norm, states, res)
+			seg.Release()
 			if err != nil {
 				return nil, nil, err
 			}
@@ -72,12 +79,18 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 			continue
 		}
 		// Cold (or already-adapted, or empty) segment: answer from the
-		// existing layout, skipping it entirely when zone maps allow.
+		// existing layout, skipping it entirely — no page-in — when zone
+		// maps allow.
 		if seg.Rows == 0 || (len(preds) > 0 && segPruned(seg, preds)) {
 			continue
 		}
+		if _, err := seg.Acquire(); err != nil {
+			return nil, nil, err
+		}
 		seg.Touch()
-		if err := hybridScanSegment(seg, q, out, preds, states, res, nil); err != nil {
+		err := hybridScanSegment(seg, q, out, preds, states, res, nil)
+		seg.Release()
+		if err != nil {
 			return nil, nil, err
 		}
 	}

@@ -21,6 +21,7 @@ type StrategyStats struct {
 	IntermediateWords int // values materialized into intermediates
 	SegmentsScanned   int // segments the strategy actually read
 	SegmentsPruned    int // segments skipped entirely via their zone maps
+	SegmentsFaulted   int // spilled segments paged in from disk for this scan
 }
 
 // segPruned reports whether the conjunction of preds cannot match any row
@@ -64,10 +65,13 @@ func limitFor(out Outputs, q *query.Query) int {
 
 // scanSegments is the shared per-segment driver behind the serial
 // strategies: empty segments are skipped, segments whose zone maps rule
-// out the conjunction preds are pruned without touching a row, scanned
-// segments are marked read and counted, and iteration stops once rows()
-// reaches limit (0 = no early exit). Strategies supply only the per-
-// segment scan body, so the pruning and limit policies live in one place.
+// out the conjunction preds are pruned without touching a row (or disk —
+// pruning happens before the residency check, so spilled cold segments are
+// skipped without any I/O), surviving segments are pinned resident
+// (faulting spilled ones in through the relation's loader), marked read
+// and counted, and iteration stops once rows() reaches limit (0 = no early
+// exit). Strategies supply only the per-segment scan body, so the pruning,
+// residency and limit policies live in one place.
 func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, limit int, rows func() int, scan func(*storage.Segment) error) error {
 	for _, seg := range rel.Segments {
 		if seg.Rows == 0 {
@@ -79,11 +83,20 @@ func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, 
 			}
 			continue
 		}
+		faulted, err := seg.Acquire()
+		if err != nil {
+			return err
+		}
 		seg.Touch()
 		if stats != nil {
 			stats.SegmentsScanned++
+			if faulted {
+				stats.SegmentsFaulted++
+			}
 		}
-		if err := scan(seg); err != nil {
+		err = scan(seg)
+		seg.Release()
+		if err != nil {
 			return err
 		}
 		if limit > 0 && rows() >= limit {
@@ -153,11 +166,19 @@ func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 		if !ok {
 			return nil, fmt.Errorf("exec: predicate attributes missing from group %v", g.Attrs)
 		}
+		faulted, err := seg.Acquire()
+		if err != nil {
+			return nil, err
+		}
 		seg.Touch()
 		if stats != nil {
 			stats.SegmentsScanned++
+			if faulted {
+				stats.SegmentsFaulted++
+			}
 		}
 		p := scanRange(g, out, bound, nil, 0, seg.Rows)
+		seg.Release()
 		partials = append(partials, p)
 		rows += p.rows
 		if limit > 0 && rows >= limit {

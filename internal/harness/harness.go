@@ -162,6 +162,7 @@ func experiments() []Runner {
 		{"ablation-bitmap", "Ablation: selection vectors vs bit-vectors", RunAblationBitmap},
 		{"ablation-zonemap", "Ablation: block-skipping zone maps on ordered vs shuffled data", RunAblationZonemap},
 		{"segments", "Segmented storage: O(segment) appends and hot-segment reorgs, segment-skipping scans", RunSegments},
+		{"spill", "Tiered storage: scan latency vs resident fraction under a memory budget; pruned cold segments stay on disk", RunSpill},
 	}
 }
 

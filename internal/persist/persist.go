@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"h2o/internal/data"
 	"h2o/internal/storage"
@@ -40,7 +41,10 @@ import (
 
 var magic = [8]byte{'H', '2', 'O', 'S', 'N', 'A', 'P', '2'}
 
-// Save writes a snapshot of rel to w.
+// Save writes a snapshot of rel to w. Spilled segments are faulted in one
+// at a time (and stay resident afterwards): a snapshot necessarily reads
+// every byte, so callers on a memory budget should re-enforce it after
+// saving (h2o.DB.SaveTable does).
 func Save(w io.Writer, rel *storage.Relation) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -73,21 +77,8 @@ func Save(w io.Writer, rel *storage.Relation) error {
 		if err := writeU32(bw, uint32(len(seg.Groups))); err != nil {
 			return err
 		}
-		for _, g := range seg.Groups {
-			if err := writeU32(bw, uint32(len(g.Attrs))); err != nil {
-				return err
-			}
-			for _, a := range g.Attrs {
-				if err := writeU32(bw, uint32(a)); err != nil {
-					return err
-				}
-			}
-			if err := writeU32(bw, uint32(g.Stride)); err != nil {
-				return err
-			}
-			if err := writeValues(bw, g.Data); err != nil {
-				return err
-			}
+		if err := saveSegmentGroups(bw, seg); err != nil {
+			return err
 		}
 	}
 	digest, err := storage.Checksum(rel, allAttrs(rel.Schema.NumAttrs()))
@@ -221,14 +212,65 @@ func Load(r io.Reader) (*storage.Relation, error) {
 	return rel, nil
 }
 
-// SaveFile snapshots rel to path, atomically (write + rename).
+// saveSegmentGroups writes one segment's group section, holding the
+// segment pinned so a spilled segment is faulted in (and cannot be evicted)
+// for the duration of the write.
+func saveSegmentGroups(bw *bufio.Writer, seg *storage.Segment) error {
+	if _, err := seg.Acquire(); err != nil {
+		return err
+	}
+	defer seg.Release()
+	for _, g := range seg.Groups {
+		if err := writeGroupSection(bw, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeGroupSection writes one group's wire section — attribute count and
+// ids, stride, data. The H2OSNAP2 snapshot and the H2OSEG01 segment file
+// share this encoding; keep them in lockstep by changing it only here.
+func writeGroupSection(bw *bufio.Writer, g *storage.ColumnGroup) error {
+	if err := writeU32(bw, uint32(len(g.Attrs))); err != nil {
+		return err
+	}
+	for _, a := range g.Attrs {
+		if err := writeU32(bw, uint32(a)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(bw, uint32(g.Stride)); err != nil {
+		return err
+	}
+	return writeValues(bw, g.Data)
+}
+
+// SaveFile snapshots rel to path atomically: the snapshot is written to a
+// temporary file, fsynced, and renamed into place, so a crash mid-save can
+// never leave a torn snapshot at path.
 func SaveFile(path string, rel *storage.Relation) error {
+	return atomicWriteFile(path, func(f *os.File) error {
+		return Save(f, rel)
+	})
+}
+
+// atomicWriteFile writes a file via tmp + fsync + rename. On any error the
+// temporary file is removed and path is left untouched. The containing
+// directory is fsynced best-effort after the rename so the new directory
+// entry itself survives a crash.
+func atomicWriteFile(path string, write func(*os.File) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Save(f, rel); err != nil {
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -237,17 +279,31 @@ func SaveFile(path string, rel *storage.Relation) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync() // not supported on every platform; the rename is still atomic
+		d.Close()
+	}
+	return nil
 }
 
-// LoadFile restores a relation from path.
+// LoadFile restores a relation from path. The file is closed on every
+// path, success or error, so a failed load (torn or corrupt snapshot)
+// never leaks the descriptor.
 func LoadFile(path string) (*storage.Relation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	rel, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("persist: loading %s: %w", path, err)
+	}
+	return rel, nil
 }
 
 // ---- wire helpers ----

@@ -1,0 +1,204 @@
+// Segment files: the disk tier behind segment spilling. Where the H2OSNAP2
+// snapshot (persist.go) serializes a whole relation, a SegmentStore writes
+// each sealed segment as its own standalone file, so the eviction manager
+// can spill and fault segments individually. The format mirrors the
+// snapshot's per-segment section plus a header that ties the file to the
+// exact in-memory segment it was written from:
+//
+//	magic   "H2OSEG01"
+//	version uint64   segment version at write time (staleness check)
+//	rows    uint64
+//	groups  uint32 count, then per group:
+//	          attrs  uint32 count + uint32 ids
+//	          stride uint32
+//	          data   rows*stride int64 values
+//	digest  uint64   position-mixed content checksum over all group data
+//
+// Zone maps are not written: they stay resident in the segment skeleton
+// while the data is spilled, which is what keeps pruning free of I/O.
+package persist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"h2o/internal/data"
+	"h2o/internal/storage"
+)
+
+var segMagic = [8]byte{'H', '2', 'O', 'S', 'E', 'G', '0', '1'}
+
+// SegmentStore reads and writes individual sealed segments under one
+// directory. It holds no state beyond the directory path and is safe for
+// concurrent use on distinct keys; callers (the eviction manager)
+// serialize writes against reads of the same key through segment pins.
+type SegmentStore struct {
+	dir string
+}
+
+// NewSegmentStore creates (if needed) the spill directory and returns a
+// store over it.
+func NewSegmentStore(dir string) (*SegmentStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: segment store: %w", err)
+	}
+	return &SegmentStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *SegmentStore) Dir() string { return st.dir }
+
+// Path returns the file path a key maps to.
+func (st *SegmentStore) Path(key string) string {
+	return filepath.Join(st.dir, key+".h2oseg")
+}
+
+// WriteSegment persists seg's group data under key, atomically: the bytes
+// are written to a temporary file, fsynced, and renamed into place, so a
+// crash mid-spill can never leave a torn segment file that later faults a
+// scan. The caller must hold the segment resident (pinned) for the
+// duration of the write.
+func (st *SegmentStore) WriteSegment(key string, seg *storage.Segment) error {
+	return atomicWriteFile(st.Path(key), func(f *os.File) error {
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if _, err := bw.Write(segMagic[:]); err != nil {
+			return err
+		}
+		if err := writeU64(bw, seg.Version()); err != nil {
+			return err
+		}
+		if err := writeU64(bw, uint64(seg.Rows)); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(seg.Groups))); err != nil {
+			return err
+		}
+		var digest uint64
+		for gi, g := range seg.Groups {
+			if err := writeGroupSection(bw, g); err != nil {
+				return err
+			}
+			digest += segDigest(g.Data, uint64(gi))
+		}
+		if err := writeU64(bw, digest); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// ReadSegment faults key's data back into seg's groups. The on-disk
+// metadata must match the in-memory skeleton exactly — attribute sets,
+// strides, row count and the segment version recorded at spill time — and
+// the content digest must verify. Any mismatch (torn file, stale spill
+// left over from before a reorganization, bit rot) returns an error
+// without touching the segment, so a failed fault can be retried or
+// surfaced cleanly by the scan that triggered it.
+func (st *SegmentStore) ReadSegment(key string, seg *storage.Segment) error {
+	f, err := os.Open(st.Path(key))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return fmt.Errorf("persist: segment %s: reading magic: %w", key, err)
+	}
+	if got != segMagic {
+		return fmt.Errorf("persist: segment %s: not an H2O segment file (magic %q)", key, got[:])
+	}
+	ver, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if ver != seg.Version() {
+		return fmt.Errorf("persist: segment %s: spill file version %d is stale (segment at %d)", key, ver, seg.Version())
+	}
+	rows, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if rows != uint64(seg.Rows) {
+		return fmt.Errorf("persist: segment %s: file has %d rows, segment has %d", key, rows, seg.Rows)
+	}
+	nGroups, err := readU32(br)
+	if err != nil {
+		return err
+	}
+	if int(nGroups) != len(seg.Groups) {
+		return fmt.Errorf("persist: segment %s: file has %d groups, segment has %d", key, nGroups, len(seg.Groups))
+	}
+	// Read and verify everything into fresh buffers first; install only on
+	// full success so a failed fault leaves the segment untouched.
+	bufs := make([][]data.Value, len(seg.Groups))
+	var digest uint64
+	for gi, g := range seg.Groups {
+		nga, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		if int(nga) != len(g.Attrs) {
+			return fmt.Errorf("persist: segment %s group %d: file width %d, segment width %d", key, gi, nga, len(g.Attrs))
+		}
+		for i, a := range g.Attrs {
+			v, err := readU32(br)
+			if err != nil {
+				return err
+			}
+			if data.AttrID(v) != a {
+				return fmt.Errorf("persist: segment %s group %d: attribute %d is %d on disk, %d in memory", key, gi, i, v, a)
+			}
+		}
+		stride, err := readU32(br)
+		if err != nil {
+			return err
+		}
+		if int(stride) != g.Stride {
+			return fmt.Errorf("persist: segment %s group %d: file stride %d, segment stride %d", key, gi, stride, g.Stride)
+		}
+		buf := make([]data.Value, g.Rows*g.Stride)
+		if err := readValues(br, buf); err != nil {
+			return fmt.Errorf("persist: segment %s group %d: %w", key, gi, err)
+		}
+		digest += segDigest(buf, uint64(gi))
+		bufs[gi] = buf
+	}
+	want, err := readU64(br)
+	if err != nil {
+		return err
+	}
+	if digest != want {
+		return fmt.Errorf("persist: segment %s: content digest mismatch (spill file corrupt)", key)
+	}
+	for gi, g := range seg.Groups {
+		g.Data = bufs[gi]
+	}
+	return nil
+}
+
+// Remove deletes a key's spill file; a missing file is not an error.
+func (st *SegmentStore) Remove(key string) error {
+	err := os.Remove(st.Path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// segDigest folds a group's raw words (padding included) into a
+// position-mixed checksum; salt keeps identical groups at different
+// positions from cancelling.
+func segDigest(vals []data.Value, salt uint64) uint64 {
+	var sum uint64
+	for i, v := range vals {
+		h := uint64(v) ^ (uint64(i) * 0x9e3779b97f4a7c15) ^ (salt * 0xc2b2ae3d27d4eb4f)
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		sum += h
+	}
+	return sum
+}

@@ -26,6 +26,13 @@
 //     snapshot when computed) but not cached, so a stale entry can never be
 //     installed under a key that concurrent readers consider fresh.
 //
+// Tiered storage composes cleanly with the cache: segment spills and
+// page-ins (core's memory-budget eviction) are residency changes, not
+// mutations — they never advance the relation version, so cached results
+// stay addressable across a spill/fault cycle and a page-in can never
+// poison the cache or strand fresh entries. Only real mutations (inserts,
+// reorganizations) invalidate.
+//
 // The package deliberately knows nothing about SQL or the catalog: it
 // executes logical queries against a Backend (implemented by the h2o.DB
 // facade) and is reusable over any engine that can report a per-table

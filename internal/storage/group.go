@@ -223,9 +223,12 @@ func (g *ColumnGroup) Column(a data.AttrID) []data.Value {
 	return out
 }
 
-// Bytes returns the in-memory footprint of the group in bytes.
+// Bytes returns the logical footprint of the group in bytes — the size its
+// data occupies when resident. A spilled group (Data dropped by segment
+// eviction) reports the same value, so cost pricing and transform-volume
+// estimates are residency-independent.
 func (g *ColumnGroup) Bytes() int64 {
-	return int64(len(g.Data)) * 8
+	return int64(g.Rows) * int64(g.Stride) * 8
 }
 
 // Clone returns a deep copy of the group.

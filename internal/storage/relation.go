@@ -40,6 +40,11 @@ type Relation struct {
 	// Read with Version; advanced with bumpVersion under the caller's
 	// write lock.
 	version atomic.Uint64
+
+	// loader faults spilled segments back in (tiered storage, see
+	// residency.go). Installed once with SetLoader before the relation
+	// serves readers; nil means every segment is permanently resident.
+	loader Loader
 }
 
 // versionClock is the process-wide source of relation and segment versions.

@@ -21,6 +21,10 @@ func StitchSeg(seg *Segment, attrs []data.AttrID) (*ColumnGroup, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := seg.Acquire(); err != nil {
+		return nil, err
+	}
+	defer seg.Release()
 	dst := NewGroup(norm, seg.Rows)
 	// Copy column-runs one source attribute at a time: each inner loop is a
 	// strided copy, the memory access pattern the paper's stitch operator has.
@@ -50,6 +54,9 @@ func Stitch(rel *Relation, attrs []data.AttrID) (*ColumnGroup, error) {
 		if err != nil {
 			return nil, err
 		}
+		if _, err := seg.Acquire(); err != nil {
+			return nil, err
+		}
 		for di, a := range dst.Attrs {
 			src := assign[a]
 			so, _ := src.Offset(a)
@@ -59,6 +66,7 @@ func Stitch(rel *Relation, attrs []data.AttrID) (*ColumnGroup, error) {
 				dData[(base+r)*dStride+di] = sData[r*sStride+so]
 			}
 		}
+		seg.Release()
 		base += seg.Rows
 	}
 	dst.BuildZones(0)
@@ -142,6 +150,9 @@ func Checksum(rel *Relation, attrs []data.AttrID) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		if _, err := seg.Acquire(); err != nil {
+			return 0, err
+		}
 		for _, a := range norm {
 			g := assign[a]
 			off, _ := g.Offset(a)
@@ -154,6 +165,7 @@ func Checksum(rel *Relation, attrs []data.AttrID) (uint64, error) {
 				sum += h
 			}
 		}
+		seg.Release()
 		base += seg.Rows
 	}
 	return sum, nil

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"fmt"
+
+	"h2o/internal/data"
+)
+
+// Tiered storage: sealed segments are immutable, so their group data can be
+// spilled to disk and paged back on demand while every piece of metadata —
+// attribute sets, strides, zone maps, the narrowest-group index, versions
+// and read counters — stays resident. Planning, layout introspection and
+// zone-map pruning therefore never touch disk; only a scan that actually
+// needs a spilled segment's rows pays a fault.
+//
+// The residency state machine per segment:
+//
+//	SegResident --Unload()--> SegSpilled --Acquire()/loader--> SegResident
+//
+// Scans synchronize with eviction through pins: every reader of group Data
+// brackets the access with Acquire/Release, and Unload refuses pinned
+// segments. Residency transitions are NOT mutations — they never bump the
+// segment or relation version, so result-cache entries stay valid across a
+// spill/fault cycle. Mutations (appends, group add/drop) are only legal on
+// resident segments: the engine pages a segment in before reorganizing it,
+// the tail is never evictable, and offline tools operate on fully resident
+// relations.
+
+// SegState is a segment's residency state.
+type SegState int32
+
+const (
+	// SegResident means the segment's group data is in memory.
+	SegResident SegState = iota
+	// SegSpilled means the group data lives only in the segment's spill
+	// file; every group's Data is nil until a loader faults it back in.
+	SegSpilled
+)
+
+// Loader faults one spilled segment's group data back into memory. It is
+// called with the segment's residency lock held, so at most one fault per
+// segment is in flight; implementations must fill every group's Data (and
+// nothing else) or return an error leaving the segment untouched.
+type Loader func(*Segment) error
+
+// SetLoader installs the fault-in callback for spilled segments. It must be
+// called before the relation serves concurrent readers (the field is read
+// without synchronization on the scan path); nil means every segment is
+// permanently resident and Unload must not be used.
+func (r *Relation) SetLoader(fn Loader) { r.loader = fn }
+
+// Acquire pins the segment's data in memory for the duration of a scan,
+// faulting it in through the relation's loader when spilled. It reports
+// whether a fault (disk read) occurred. Pins nest; every Acquire must be
+// paired with Release. Metadata-only readers (zone maps, covering-group
+// planning) need no pin.
+func (s *Segment) Acquire() (faulted bool, err error) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.state == SegSpilled {
+		load := s.rel.loader
+		if load == nil {
+			return false, fmt.Errorf("storage: segment of %q is spilled and relation has no loader", s.rel.Schema.Name)
+		}
+		if err := load(s); err != nil {
+			return false, fmt.Errorf("storage: faulting segment of %q in: %w", s.rel.Schema.Name, err)
+		}
+		s.state = SegResident
+		s.faults++
+		faulted = true
+	}
+	s.pins++
+	return faulted, nil
+}
+
+// Release drops one pin taken by Acquire.
+func (s *Segment) Release() {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.pins <= 0 {
+		panic("storage: Segment.Release without matching Acquire")
+	}
+	s.pins--
+}
+
+// Unload spills the segment: every group's Data is dropped and the state
+// moves to SegSpilled. It refuses — returning false — when the segment is
+// pinned by a scan, already spilled, empty, or the relation's mutable tail.
+// The caller (the eviction manager) must have written a current spill file
+// before unloading; Unload itself performs no I/O. Zone maps and all other
+// metadata stay resident, and no version advances: residency is not a
+// mutation.
+func (s *Segment) Unload() bool {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.pins > 0 || s.state == SegSpilled || s.Rows == 0 || s == s.rel.Tail() {
+		return false
+	}
+	for _, g := range s.Groups {
+		g.Data = nil
+	}
+	s.state = SegSpilled
+	return true
+}
+
+// Resident reports whether the segment's data is currently in memory.
+func (s *Segment) Resident() bool {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	return s.state == SegResident
+}
+
+// Faults returns the number of page-ins this segment has served.
+func (s *Segment) Faults() uint64 {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	return s.faults
+}
+
+// ResidentBytes returns the bytes of group data currently held in memory —
+// zero for a spilled segment, Bytes() for a resident one. It takes the
+// residency lock: group Data slices are rewritten by concurrent faults.
+func (s *Segment) ResidentBytes() int64 {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	var n int64
+	for _, g := range s.Groups {
+		n += int64(len(g.Data)) * 8
+	}
+	return n
+}
+
+// ResidentBytes sums the in-memory group data across all segments — the
+// quantity an eviction manager holds under its byte budget.
+func (r *Relation) ResidentBytes() int64 {
+	var n int64
+	for _, s := range r.Segments {
+		n += s.ResidentBytes()
+	}
+	return n
+}
+
+// Compact gives every group of every segment its own exactly-sized
+// backing array. Relations built by slicing full-length groups
+// (NewRelation / wrapSegments) share one backing array across all
+// segments — fine for a purely in-memory store, but fatal for eviction:
+// unloading one segment would drop only its view while the sibling views
+// (the unevictable tail, at minimum) kept the whole shared array
+// reachable, so no memory would actually be freed. The eviction manager
+// compacts once at setup, making Unload release real bytes. Caller holds
+// the engine's exclusive access (construction time); O(relation copy).
+func (r *Relation) Compact() {
+	for _, s := range r.Segments {
+		for _, g := range s.Groups {
+			buf := make([]data.Value, len(g.Data))
+			copy(buf, g.Data)
+			g.Data = buf
+		}
+	}
+}

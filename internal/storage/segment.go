@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"h2o/internal/data"
@@ -44,8 +45,17 @@ type Segment struct {
 	version atomic.Uint64
 	// reads counts scans that actually touched this segment (pruned scans
 	// do not count) since the engine last reset it — the access-frequency
-	// signal behind hot/cold reorganization decisions.
+	// signal behind hot/cold reorganization and eviction decisions.
 	reads atomic.Uint64
+
+	// Residency (tiered storage, see residency.go): resMu serializes
+	// state transitions and pin accounting; while SegSpilled, every
+	// group's Data is nil and only metadata stays in memory. faults
+	// counts page-ins served.
+	resMu  sync.Mutex
+	pins   int
+	state  SegState
+	faults uint64
 }
 
 // newSegment assembles a segment from groups that all share the same row
@@ -94,7 +104,9 @@ func (s *Segment) Kind() LayoutKind {
 	return KindColumn
 }
 
-// Bytes returns the in-memory footprint of the segment's groups.
+// Bytes returns the logical footprint of the segment's groups — the bytes
+// the data occupies when resident, regardless of the current residency
+// state (use ResidentBytes for the in-memory portion).
 func (s *Segment) Bytes() int64 {
 	var n int64
 	for _, g := range s.Groups {
