@@ -76,8 +76,8 @@ func main() {
 				st.OpCacheHits, st.OpCacheMisses, e.WindowSize(), e.Version())
 		case line == `\cache`:
 			st := db.ServeStats()
-			fmt.Printf("submitted=%d executed=%d cache_hits=%d cache_misses=%d canceled=%d uncacheable=%d\n",
-				st.Submitted, st.Executed, st.CacheHits, st.CacheMisses, st.Canceled, st.Uncacheable)
+			fmt.Printf("submitted=%d executed=%d cache_hits=%d cache_misses=%d canceled=%d uncacheable=%d republished=%d\n",
+				st.Submitted, st.Executed, st.CacheHits, st.CacheMisses, st.Canceled, st.Uncacheable, st.Republished)
 		case strings.HasPrefix(line, `\explain `):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
 			q, err := db.Parse(src)

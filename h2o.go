@@ -74,10 +74,29 @@ type (
 	// ServerStats are serving-layer counters (cache hits, executions,
 	// cancellations).
 	ServerStats = server.Stats
+	// TouchFingerprint identifies the segments a query may read (per
+	// zone-map pruning) and their versions; the serving layer keys its
+	// result cache on it, so mutations confined to segments a query never
+	// reads leave its cached results live.
+	TouchFingerprint = core.TouchFingerprint
 	// TierStats are tiered-storage counters for one table: resident vs
 	// spilled segments and bytes, page-ins, evictions, spill writes. All
 	// zero unless Options.MemoryBudgetBytes is set.
 	TierStats = core.TierStats
+)
+
+// Execution modes for Options.Mode.
+const (
+	// ModeAdaptive is full H2O: monitoring, adaptation, lazy reorganization
+	// and cost-based strategy choice.
+	ModeAdaptive = core.ModeAdaptive
+	// ModeStaticRow pins the row layout and strategy.
+	ModeStaticRow = core.ModeStaticRow
+	// ModeStaticColumn pins the column layout and strategy.
+	ModeStaticColumn = core.ModeStaticColumn
+	// ModeFrozen keeps the current layout but disables adaptation; strategy
+	// choice stays cost-based.
+	ModeFrozen = core.ModeFrozen
 )
 
 // NewSchema builds a schema; attribute names must be unique.
@@ -94,6 +113,16 @@ func SyntheticSchema(name string, n int) *Schema {
 // deterministically from seed.
 func Generate(schema *Schema, rows int, seed int64) *Table {
 	return data.Generate(schema, rows, seed)
+}
+
+// GenerateTimeSeries builds synthetic data whose attribute 0 is a
+// monotonically increasing "timestamp" (value == row position) while the
+// rest are uniform as in Generate. Append-ordered data like this is the
+// regime where zone-map pruning — and therefore segment-precise result
+// caching — pays off: range predicates on attribute 0 touch only a
+// contiguous run of segments.
+func GenerateTimeSeries(schema *Schema, rows int, seed int64) *Table {
+	return data.GenerateTimeSeries(schema, rows, seed)
 }
 
 // DefaultOptions returns the paper's adaptive configuration.
@@ -153,7 +182,7 @@ func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
 func (db *DB) AddTable(t *Table) {
 	db.mu.Lock()
 	old := db.engines[t.Schema.Name]
-	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajor(t), db.opts)
+	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajorSeg(t, db.opts.SegmentCapacity), db.opts)
 	db.schemas[t.Schema.Name] = t.Schema
 	db.mu.Unlock()
 	if old != nil {
@@ -173,14 +202,39 @@ func (db *DB) Engine(table string) (*Engine, error) {
 }
 
 // Version returns a table's relation version: a counter that advances on
-// every insert and layout reorganization. The serving layer keys its result
-// cache on it. Together with Exec this makes DB a server.Backend.
+// every insert and layout reorganization in any segment. Coarse
+// observability — the serving layer keys its result cache on the
+// segment-precise Fingerprint instead.
 func (db *DB) Version(table string) (uint64, error) {
 	e, err := db.Engine(table)
 	if err != nil {
 		return 0, err
 	}
 	return e.Version(), nil
+}
+
+// SegmentVersions returns a table's per-segment version vector: one entry
+// per storage segment, each advancing only when *that* segment mutates
+// (tail appends, segment-local reorganization). Residency changes (tiered
+// storage spills and faults) never advance any of them.
+func (db *DB) SegmentVersions(table string) ([]uint64, error) {
+	e, err := db.Engine(table)
+	if err != nil {
+		return nil, err
+	}
+	return e.SegmentVersions(), nil
+}
+
+// Fingerprint computes a query's candidate-touch fingerprint: the digest of
+// the segments the query may read (per zone-map pruning, no data access)
+// and their versions. The serving layer calls it at admission to address
+// its result cache; together with Exec this makes DB a server.Backend.
+func (db *DB) Fingerprint(q *Query) (TouchFingerprint, error) {
+	e, err := db.Engine(q.Table)
+	if err != nil {
+		return TouchFingerprint{}, err
+	}
+	return e.QueryFingerprint(q), nil
 }
 
 // Tables lists the registered table names.
@@ -216,12 +270,14 @@ func (db *DB) Query(src string) (*Result, ExecInfo, error) {
 }
 
 // QueryCtx is Query routed through the serving layer: selects go through the
-// default server's worker pool and versioned result cache (started lazily on
-// first use; size it explicitly with Serve for dedicated deployments), and
-// honor ctx cancellation while queued. Inserts execute directly — they take
-// the engine's exclusive lock and bump the relation version, which strands
-// every cached result for the table. After Close, every QueryCtx call —
-// inserts included — fails with ErrClosed.
+// default server's worker pool and segment-precise result cache (started
+// lazily on first use; size it explicitly with Serve for dedicated
+// deployments), and honor ctx cancellation while queued. Inserts execute
+// directly — they take the engine's exclusive lock and bump the tail
+// segment's version, which strands cached results for queries that read
+// the tail; queries pinned to other segments by their predicates keep
+// hitting. After Close, every QueryCtx call — inserts included — fails
+// with ErrClosed.
 //
 // Results served from the cache are shared between clients: treat the
 // returned Result as read-only.
@@ -272,8 +328,8 @@ func (db *DB) execInsert(src string) (*Result, ExecInfo, error) {
 
 // Serve starts a new serving layer over this catalog with explicit sizing:
 // a bounded worker pool, an admission queue with context cancellation and a
-// sharded LRU result cache keyed by (table, normalized query, relation
-// version). The caller owns the returned server's lifecycle (Close it).
+// sharded LRU result cache keyed by (table, normalized query, touch
+// fingerprint). The caller owns the returned server's lifecycle (Close it).
 func (db *DB) Serve(cfg ServerConfig) *Server {
 	return server.New(db, cfg)
 }

@@ -1,0 +1,105 @@
+package h2o_test
+
+import (
+	"context"
+	"testing"
+
+	"h2o"
+)
+
+// TestSegmentPreciseInvalidationFacade is the public-API acceptance test
+// for segment-precise result caching: on a table with several sealed
+// segments of append-ordered data, a cached query over cold segments
+// survives a run of consecutive tail appends — every repetition is a cache
+// hit — while a full-scan query is invalidated by each append. Before the
+// cache was keyed on per-query touch fingerprints, every append stranded
+// *all* cached results for the table.
+func TestSegmentPreciseInvalidationFacade(t *testing.T) {
+	const (
+		segCap  = 1024
+		sealed  = 5
+		rows    = sealed*segCap + segCap/2 // 5 sealed segments + partial tail
+		appends = 8
+	)
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen // no adaptation: only appends mutate
+	opts.SegmentCapacity = segCap
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	db.AddTable(h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), rows, 42))
+
+	ctx := context.Background()
+	// a0 == row position, so "a0 < 1024" zone-map-prunes everything but
+	// segment 0; the appended rows carry huge a0 values and never match.
+	const coldQ = "select sum(a1) from R where a0 < 1024"
+	const fullQ = "select count(a0) from R"
+
+	versions, err := db.SegmentVersions("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != sealed+1 {
+		t.Fatalf("segments = %d, want %d sealed + 1 tail", len(versions), sealed+1)
+	}
+
+	coldRes, info, err := db.QueryCtx(ctx, coldQ)
+	if err != nil || info.CacheHit {
+		t.Fatalf("first cold query: err=%v hit=%v", err, info.CacheHit)
+	}
+	if len(info.SegmentsTouched) != 1 || info.SegmentsTouched[0] != 0 {
+		t.Fatalf("cold query touched segments %v, want [0]", info.SegmentsTouched)
+	}
+	if _, _, err := db.QueryCtx(ctx, fullQ); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < appends; i++ {
+		if _, _, err := db.QueryCtx(ctx, "insert into R values (90000000, 7, 7, 7)"); err != nil {
+			t.Fatal(err)
+		}
+
+		// Only the tail's version may have moved.
+		after, err := db.SegmentVersions("R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < sealed; si++ {
+			if after[si] != versions[si] {
+				t.Fatalf("append %d: sealed segment %d version moved %d -> %d", i, si, versions[si], after[si])
+			}
+		}
+		versions = after
+
+		got, infoC, err := db.QueryCtx(ctx, coldQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !infoC.CacheHit {
+			t.Fatalf("append %d: cold-segment query was invalidated by a tail append", i)
+		}
+		if !got.Equal(coldRes) {
+			t.Fatalf("append %d: cold-segment result changed across appends", i)
+		}
+
+		resF, infoF, err := db.QueryCtx(ctx, fullQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if infoF.CacheHit {
+			t.Fatalf("append %d: full scan served a stale cached count", i)
+		}
+		if want := int64(rows + i + 1); resF.At(0, 0) != want {
+			t.Fatalf("append %d: count = %d, want %d", i, resF.At(0, 0), want)
+		}
+	}
+
+	st := db.ServeStats()
+	// Cold query: 1 miss then 8 hits. Full scan: 9 misses (1 + one per
+	// append).
+	if st.CacheHits != appends {
+		t.Fatalf("CacheHits = %d, want %d (stats %+v)", st.CacheHits, appends, st)
+	}
+	if st.CacheMisses != appends+2 {
+		t.Fatalf("CacheMisses = %d, want %d (stats %+v)", st.CacheMisses, appends+2, st)
+	}
+}

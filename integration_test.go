@@ -150,7 +150,7 @@ func TestIntegrationAllStrategiesOnEvolvedLayout(t *testing.T) {
 		t.Skip("layout did not evolve at this scale")
 	}
 	probe := query.Aggregation("R", expr.AggMax, hotAttrs, query.PredGt(6, 0))
-	want, err := exec.ExecGeneric(rel, probe)
+	want, err := exec.ExecGeneric(rel, probe, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,9 +15,11 @@
 // stable layout share a read lock and run concurrently (the paper's engines
 // are "tuned to use all the available CPUs"), while inserts, adaptation
 // phases and online reorganizations take an exclusive per-relation lock.
-// Every mutation advances the relation's version counter, which the serving
-// layer (internal/server) uses to key — and implicitly invalidate — its
-// result cache.
+// Every mutation advances the version counter of each segment it touches;
+// the serving layer (internal/server) keys its result cache on per-query
+// touch fingerprints over those versions (see QueryFingerprint), so a
+// mutation implicitly invalidates exactly the cached results whose queries
+// read a mutated segment.
 //
 // Adaptation is *incremental* at segment granularity: relations are stored
 // as fixed-capacity segments (internal/storage), and a triggered
@@ -129,6 +131,12 @@ type Options struct {
 	// unusable directory never fails construction: eviction is skipped
 	// and TierStats.SpillErrors counts the failures.
 	SpillDir string
+	// SegmentCapacity is the rows-per-segment of relations built *for* this
+	// options set by the facade (h2o.DB table registration). The engine
+	// itself executes over whatever segmentation its relation already has;
+	// this knob only parameterizes construction. 0 selects
+	// storage.DefaultSegmentCapacity (64K rows).
+	SegmentCapacity int
 }
 
 // DefaultOptions returns the adaptive configuration used in §4.1.
@@ -160,6 +168,17 @@ type ExecInfo struct {
 	// the scan touched versus skipped outright via per-segment zone maps.
 	SegmentsScanned int
 	SegmentsPruned  int
+	// SegmentsTouched lists the indices of the segments the execution
+	// actually read, in ascending segment order (pruned and empty segments
+	// excluded). len(SegmentsTouched) == SegmentsScanned.
+	SegmentsTouched []int
+	// Fingerprint identifies the candidate touch set — the segments q may
+	// read per zone-map pruning — and their versions, computed under the
+	// engine lock held for the execution (after any reorganization this
+	// query performed). The serving layer keys its result cache on it:
+	// mutations confined to segments outside the set leave it unchanged,
+	// so cached results survive them.
+	Fingerprint TouchFingerprint
 	// SegmentsFaulted counts spilled segments this query paged in from
 	// disk (tiered storage); zero when everything it touched was resident.
 	SegmentsFaulted int
@@ -432,6 +451,8 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 					SegmentsScanned: st.SegmentsScanned,
 					SegmentsPruned:  st.SegmentsPruned,
 					SegmentsFaulted: st.SegmentsFaulted,
+					SegmentsTouched: st.Touched,
+					Fingerprint:     TouchFingerprintOf(e.rel, q),
 					Duration:        time.Since(start),
 				}, nil
 			}
@@ -469,12 +490,16 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 		Layout:        e.rel.Kind(),
 		EstimatedCost: estCost,
 		WindowSize:    e.windowSize(),
-		Duration:      time.Since(start),
+		// Computed under the lock the execution held, so the fingerprint
+		// matches exactly the state the result was read from.
+		Fingerprint: TouchFingerprintOf(e.rel, q),
+		Duration:    time.Since(start),
 	}
 	if st != nil {
 		ei.SegmentsScanned = st.SegmentsScanned
 		ei.SegmentsPruned = st.SegmentsPruned
 		ei.SegmentsFaulted = st.SegmentsFaulted
+		ei.SegmentsTouched = st.Touched
 	}
 	if !cached {
 		ei.CompileTime = op.CompileTime
@@ -496,10 +521,11 @@ func (e *Engine) pendingCoversLocked(all []data.AttrID) bool {
 
 // Insert appends tuples (full-width, schema attribute order) to the
 // relation. Every column group — including groups the adaptation mechanism
-// created — grows consistently, and the relation version advances so
-// result caches drop entries computed against the smaller relation. Cached
-// operators need no invalidation: they rebind the relation on each call and
-// the cost model reads live row counts.
+// created — grows consistently, and the tail segment's version advances so
+// result caches drop entries for queries that read the tail (entries
+// pinned to other segments by their predicates survive). Cached operators
+// need no invalidation: they rebind the relation on each call and the cost
+// model reads live row counts.
 func (e *Engine) Insert(tuples [][]data.Value) error {
 	e.mu.Lock()
 	err := e.rel.AppendBatch(tuples)
@@ -656,7 +682,8 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 			continue
 		}
 
-		newGroups, res, err := exec.ExecReorg(e.rel, q, p.Attrs, hot)
+		var st exec.StrategyStats
+		newGroups, res, err := exec.ExecReorg(e.rel, q, p.Attrs, hot, &st)
 		if err != nil {
 			return nil, ExecInfo{}, true, err
 		}
@@ -692,8 +719,17 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 			Reorganized:         true,
 			NewGroup:            p.Attrs,
 			SegmentsReorganized: reorged,
-			WindowSize:          e.windowSize(),
-			Duration:            time.Since(start),
+			SegmentsScanned:     st.SegmentsScanned,
+			SegmentsPruned:      st.SegmentsPruned,
+			SegmentsFaulted:     st.SegmentsFaulted,
+			SegmentsTouched:     st.Touched,
+			// Computed after the new groups were registered (and any
+			// MaxGroups eviction ran), still under the exclusive lock: the
+			// fingerprint describes the post-reorganization state the
+			// result is consistent with.
+			Fingerprint: TouchFingerprintOf(e.rel, q),
+			WindowSize:  e.windowSize(),
+			Duration:    time.Since(start),
 		}
 		return res, ei, true, nil
 	}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strconv"
+
+	"h2o/internal/exec"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// TouchFingerprint identifies the *candidate touch set* of a query against
+// one relation state: the set of segments the query may have to read — every
+// non-empty segment whose zone maps do not rule the query's predicates out —
+// together with those segments' versions. It is the unit of segment-precise
+// result caching: two executions of the same query return identical results
+// whenever their fingerprints match, because every segment that could
+// contribute rows is provably unchanged (segment versions are drawn from a
+// process-wide monotone clock and never reused), and every segment outside
+// the set is provably non-contributing (its zone maps exclude the
+// predicates). Mutations confined to segments a query never reads — tail
+// appends behind a selective predicate, reorganizations of other segments —
+// leave the fingerprint untouched, so cached results survive them.
+//
+// Computing a fingerprint reads only zone maps and atomic version counters —
+// zone maps stay resident even for spilled segments (tiered storage), so the
+// computation never touches disk. It is O(segments × predicate terms).
+type TouchFingerprint struct {
+	// Digest is an order-sensitive FNV-64 hash over the relation's
+	// immutable identity followed by each candidate segment's (index,
+	// version) pair. It is never zero for a computed fingerprint (the FNV
+	// offset basis is folded in), so the zero TouchFingerprint doubles as
+	// "not computed".
+	Digest uint64
+	// Segments is the number of candidate segments.
+	Segments int
+	// MaxVersion is the highest candidate segment version (0 when the
+	// candidate set is empty).
+	MaxVersion uint64
+}
+
+// Valid reports whether the fingerprint was actually computed against a
+// relation — the zero value (e.g. from an ExecInfo a backend never filled
+// in) is not valid and must not be used as a cache key.
+func (f TouchFingerprint) Valid() bool { return f.Digest != 0 }
+
+// Key renders the fingerprint for embedding in cache keys. The format is
+// colon-free and unambiguous: 16 hex digits of the digest, then the segment
+// count and max version in decimal, dot-separated.
+func (f TouchFingerprint) Key() string {
+	const hexDigits = "0123456789abcdef"
+	var b [16]byte
+	d := f.Digest
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[d&0xf]
+		d >>= 4
+	}
+	return string(b[:]) + "." + strconv.Itoa(f.Segments) + "." + strconv.FormatUint(f.MaxVersion, 10)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into the running FNV-1a hash, low byte
+// first.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// TouchFingerprintOf computes q's candidate-touch fingerprint against rel.
+// The caller must hold the relation stable (the engine lock, shared mode is
+// enough): the segment list and zone maps must not change underneath the
+// scan. Non-splittable predicate shapes (disjunctions, expression
+// comparisons) conservatively treat every non-empty segment as a candidate,
+// exactly as the execution strategies do.
+func TouchFingerprintOf(rel *storage.Relation, q *query.Query) TouchFingerprint {
+	// Split the conjunction once; the per-segment check is then pure
+	// zone-map lookups — the whole fingerprint is O(segments × terms) with
+	// one allocation, cheap enough for every admission.
+	preds, splittable := exec.SplitConjunction(q.Where)
+	h := fnvMix(fnvOffset64, rel.ID())
+	var fp TouchFingerprint
+	for si, seg := range rel.Segments {
+		if !exec.SegmentTouched(seg, preds, splittable) {
+			continue
+		}
+		v := seg.Version()
+		h = fnvMix(h, uint64(si))
+		h = fnvMix(h, v)
+		fp.Segments++
+		if v > fp.MaxVersion {
+			fp.MaxVersion = v
+		}
+	}
+	fp.Digest = h
+	return fp
+}
+
+// QueryFingerprint computes the candidate-touch fingerprint for q under the
+// engine's shared read lock — the admission-time snapshot of the serving
+// layer's segment-precise result cache. It reads zone maps and atomic
+// version counters only (zone maps never spill), so the cost is O(segments)
+// with no data access and no disk I/O, cheap enough to run on every query
+// admission.
+func (e *Engine) QueryFingerprint(q *query.Query) TouchFingerprint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return TouchFingerprintOf(e.rel, q)
+}
+
+// SegmentVersions snapshots the relation's per-segment version vector under
+// the shared read lock. Observability and tests use it; the serving layer
+// uses the query-specific QueryFingerprint instead.
+func (e *Engine) SegmentVersions() []uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rel.SegmentVersions()
+}

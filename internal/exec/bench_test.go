@@ -150,7 +150,7 @@ func BenchmarkStrategyGeneric(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecGeneric(row, q); err != nil {
+		if _, err := ExecGeneric(row, q, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,7 +163,7 @@ func BenchmarkExecReorgOnline(b *testing.B) {
 	b.SetBytes(int64(len(attrs)) * benchRows * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ExecReorg(col, q, attrs, nil); err != nil {
+		if _, _, err := ExecReorg(col, q, attrs, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

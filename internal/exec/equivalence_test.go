@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// Cross-strategy equivalence harness: a generator-driven property test that
+// runs randomized queries through every execution strategy on randomized
+// segmented relations — mixed per-segment layouts, partial/exact-boundary
+// tails, empty relations, 0–100% residency — and demands results identical
+// to the generic interpreter. It is the safety net the segment-precise
+// cache keying (and every future exec change) runs against: any strategy
+// that diverges on some (layout, query, residency) combination fails here
+// before it can poison a cached result.
+
+const (
+	eqSchemaWidth = 6
+	eqSegCap      = 128
+)
+
+// eqRelation builds one randomized relation: random size (including zero
+// rows and exact segment-boundary sizes), random base layout, random
+// per-segment group additions so segments legitimately disagree on layout.
+func eqRelation(t testing.TB, rng *rand.Rand) *storage.Relation {
+	t.Helper()
+	schema := data.SyntheticSchema("R", eqSchemaWidth)
+	rowChoices := []int{0, 1, eqSegCap - 1, eqSegCap, 3 * eqSegCap, 4*eqSegCap + 77}
+	rows := rowChoices[rng.Intn(len(rowChoices))]
+
+	var tb *data.Table
+	if rng.Intn(2) == 0 {
+		tb = data.GenerateTimeSeries(schema, rows, rng.Int63()) // zone-map-prunable
+	} else {
+		tb = data.Generate(schema, rows, rng.Int63())
+	}
+
+	var rel *storage.Relation
+	if rng.Intn(2) == 0 {
+		rel = storage.BuildColumnMajorSeg(tb, eqSegCap)
+	} else {
+		rel = storage.BuildRowMajorSeg(tb, false, eqSegCap)
+	}
+
+	// Mixed layouts: stitch extra groups into a random subset of segments,
+	// so covering-group resolution runs per segment, not per relation.
+	all := make([]data.AttrID, eqSchemaWidth)
+	for a := range all {
+		all[a] = a
+	}
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // keep the base layout
+		case 1: // add a full-width row group
+			if _, ok := seg.ExactGroup(all); ok {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.AddGroup(g); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // add a random narrow group (2–3 attrs)
+			attrs := query.RandomAttrs(eqSchemaWidth, 2+rng.Intn(2), rng.Intn)
+			if _, ok := seg.ExactGroup(attrs); ok {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.AddGroup(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return rel
+}
+
+// eqPredConst picks a predicate constant: for the (possibly) position-valued
+// attribute 0 a value in and around [0, rows); otherwise a draw from the
+// full synthetic domain, occasionally extreme so match-nothing and
+// match-everything predicates both occur.
+func eqPredConst(rng *rand.Rand, attr data.AttrID, rows int) data.Value {
+	switch rng.Intn(5) {
+	case 0:
+		return data.ValueLo - 1 // matches nothing for <, everything for >
+	case 1:
+		return data.ValueHi + 1
+	default:
+		if attr == 0 && rng.Intn(2) == 0 {
+			return data.Value(rng.Intn(rows + 1))
+		}
+		return data.ValueLo + data.Value(rng.Int63n(int64(data.ValueHi-data.ValueLo)))
+	}
+}
+
+// eqQuery generates one randomized query: projection / per-column
+// aggregates / arithmetic expression / aggregated expression over random
+// attributes, with a random predicate shape (none, single comparison,
+// conjunction, disjunction) and a random limit.
+func eqQuery(rng *rand.Rand, rows int) *query.Query {
+	attrs := query.RandomAttrs(eqSchemaWidth, 1+rng.Intn(3), rng.Intn)
+
+	var where expr.Pred
+	cmp := func() expr.Pred {
+		a := data.AttrID(rng.Intn(eqSchemaWidth))
+		ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge}
+		return &expr.Cmp{Op: ops[rng.Intn(len(ops))], L: &expr.Col{ID: a},
+			R: &expr.Const{V: eqPredConst(rng, a, rows)}}
+	}
+	switch rng.Intn(4) {
+	case 0: // no predicate
+	case 1:
+		where = cmp()
+	case 2:
+		where = &expr.And{Terms: []expr.Pred{cmp(), cmp()}}
+	case 3:
+		// Disjunction: non-splittable — only the generic interpreter and
+		// the parallel scan's interpreted filter support it; the rest must
+		// cleanly report ErrUnsupported, never a wrong answer.
+		where = &expr.Or{L: cmp(), R: cmp()}
+	}
+
+	var q *query.Query
+	switch rng.Intn(4) {
+	case 0:
+		q = query.Projection("R", attrs, where)
+	case 1:
+		ops := []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg}
+		q = query.Aggregation("R", ops[rng.Intn(len(ops))], attrs, where)
+	case 2:
+		q = query.ArithExpression("R", attrs, where)
+	case 3:
+		q = query.AggExpression("R", attrs, where)
+	}
+	if !q.HasAggregates() && rng.Intn(3) == 0 {
+		q.Limit = 1 + rng.Intn(2*eqSegCap)
+	}
+	return q
+}
+
+// trimLimit truncates a materialized result to q.Limit rows, mirroring the
+// engine's applyLimit: strategies stop consuming *segments* at the limit
+// but may overshoot within the last one, and the overshoot may legitimately
+// differ between strategies.
+func trimLimit(q *query.Query, r *Result) *Result {
+	if q.Limit <= 0 || r.Rows <= q.Limit {
+		return r
+	}
+	return &Result{Cols: r.Cols, Rows: q.Limit, Data: r.Data[:q.Limit*len(r.Cols)]}
+}
+
+// unloadFraction spills the given fraction of sealed, resident segments
+// (rounded up), coldest-index-first for determinism.
+func unloadFraction(rel *storage.Relation, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	sealed := make([]*storage.Segment, 0, len(rel.Segments))
+	for _, seg := range rel.Segments[:len(rel.Segments)-1] {
+		if seg.Rows > 0 {
+			sealed = append(sealed, seg)
+		}
+	}
+	n := int(frac*float64(len(sealed)) + 0.999999)
+	for i := 0; i < n && i < len(sealed); i++ {
+		sealed[i].Unload()
+	}
+}
+
+// eqStrategy is one strategy under test.
+type eqStrategy struct {
+	name string
+	// rowShape marks strategies that need a single covering group per
+	// segment; they are skipped (not failed) when the layout lacks one.
+	rowShape bool
+	run      func(rel *storage.Relation, q *query.Query) (*Result, error)
+}
+
+func eqStrategies(rng *rand.Rand) []eqStrategy {
+	return []eqStrategy{
+		{"row", true, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecRowRel(rel, q, nil)
+		}},
+		{"row-parallel", true, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecRowParallel(rel, q, 1+rng.Intn(7), nil)
+		}},
+		{"column", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecColumn(rel, q, nil)
+		}},
+		{"hybrid", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecHybrid(rel, q, nil)
+		}},
+		{"generic", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecGeneric(rel, q, nil)
+		}},
+		{"vectorized", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			sizes := []int{0, 7, 64, 1024}
+			return ExecVectorized(rel, q, sizes[rng.Intn(len(sizes))], nil)
+		}},
+		{"bitmap", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecHybridBitmap(rel, q, nil)
+		}},
+		{"reorg", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			// Random hot mask: the reorganizing executor must answer
+			// identically whichever segments it stitches, and it must not
+			// register the groups it builds (the engine does that).
+			hot := make([]bool, len(rel.Segments))
+			for i := range hot {
+				hot[i] = rng.Intn(2) == 0
+			}
+			_, res, err := ExecReorg(rel, q, q.AllAttrs(), hot, nil)
+			return res, err
+		}},
+	}
+}
+
+// checkEquivalence runs every strategy against the generic reference on one
+// (relation, query, residency) combination.
+func checkEquivalence(t *testing.T, rng *rand.Rand, rel *storage.Relation, q *query.Query, residentFrac float64) {
+	t.Helper()
+	want, err := ExecGeneric(rel, q, nil)
+	if err != nil {
+		t.Fatalf("reference execution failed for %s: %v", q, err)
+	}
+	want = trimLimit(q, want)
+
+	for _, s := range eqStrategies(rng) {
+		// Re-establish the residency mix before each strategy: the previous
+		// one faulted whatever it scanned back in.
+		unloadFraction(rel, 1-residentFrac)
+		if s.rowShape && !RowCovered(rel, q) {
+			continue
+		}
+		got, err := s.run(rel, q)
+		if err == ErrUnsupported {
+			continue // shape outside the strategy's template library
+		}
+		if err != nil {
+			t.Fatalf("strategy %s failed on %s (resident %.0f%%): %v", s.name, q, residentFrac*100, err)
+		}
+		if got = trimLimit(q, got); !got.Equal(want) {
+			t.Fatalf("strategy %s diverged on %s (resident %.0f%%):\n got %d rows %v\nwant %d rows %v",
+				s.name, q, residentFrac*100, got.Rows, got.Data, want.Rows, want.Data)
+		}
+	}
+}
+
+// TestCrossStrategyEquivalence is the harness entry point: for each
+// residency level, a fresh set of randomized relations each runs a batch of
+// randomized queries through every strategy.
+func TestCrossStrategyEquivalence(t *testing.T) {
+	const (
+		relationsPerLevel = 5
+		queriesPerRel     = 14
+	)
+	for _, residentFrac := range []float64{0, 0.5, 1} {
+		residentFrac := residentFrac
+		t.Run(fmt.Sprintf("resident=%.0f%%", residentFrac*100), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(20140622 + int64(residentFrac*100)))
+			for r := 0; r < relationsPerLevel; r++ {
+				rel := eqRelation(t, rng)
+				installSnapshotLoader(rel)
+				for i := 0; i < queriesPerRel; i++ {
+					q := eqQuery(rng, rel.Rows)
+					checkEquivalence(t, rng, rel, q, residentFrac)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEquivalenceHarness times one fixed-seed harness pass (one
+// relation, a query batch, every strategy, 50% residency). It rides in the
+// CI bench.json artifact so the perf trajectory catches a harness blowup —
+// the harness guards every exec PR, so its own cost must stay visible.
+func BenchmarkEquivalenceHarness(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	rel := eqRelation(b, rng)
+	installSnapshotLoader(rel)
+	queries := make([]*query.Query, 12)
+	for i := range queries {
+		queries[i] = eqQuery(rng, rel.Rows)
+	}
+	strategies := eqStrategies(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			for _, s := range strategies {
+				unloadFraction(rel, 0.5)
+				if s.rowShape && !RowCovered(rel, q) {
+					continue
+				}
+				if _, err := s.run(rel, q); err != nil && err != ErrUnsupported {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -51,7 +51,7 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 
 	// Plan per segment: covering group, bound predicates, prunability.
 	tasks := make([]segTask, 0, len(rel.Segments))
-	for _, seg := range rel.Segments {
+	for si, seg := range rel.Segments {
 		if seg.Rows == 0 {
 			continue
 		}
@@ -70,7 +70,7 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 			if !ok {
 				return ExecRowRel(rel, q, stats) // surfaces the binding error
 			}
-			tasks = append(tasks, segTask{seg: seg, g: g, bound: bound})
+			tasks = append(tasks, segTask{si: si, seg: seg, g: g, bound: bound})
 		} else {
 			covered := true
 			for _, a := range q.WhereAttrs() {
@@ -82,7 +82,7 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 			if !covered {
 				return ExecRowRel(rel, q, stats) // surfaces the binding error
 			}
-			tasks = append(tasks, segTask{seg: seg, g: g})
+			tasks = append(tasks, segTask{si: si, seg: seg, g: g})
 		}
 	}
 	for i := range tasks {
@@ -105,7 +105,7 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 				if hi > t.hi {
 					hi = t.hi
 				}
-				split = append(split, segTask{seg: t.seg, g: t.g, bound: t.bound, lo: lo, hi: hi})
+				split = append(split, segTask{si: t.si, seg: t.seg, g: t.g, bound: t.bound, lo: lo, hi: hi})
 			}
 		}
 		tasks = split
@@ -179,8 +179,8 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 			stats.SegmentsFaulted++
 		}
 		if p != nil {
-			if stats != nil && tasks[ti].lo == 0 {
-				stats.SegmentsScanned++
+			if tasks[ti].lo == 0 {
+				stats.touch(tasks[ti].si)
 			}
 			compact = append(compact, p)
 		}
@@ -188,11 +188,13 @@ func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *
 	return mergePartials(out, compact), nil
 }
 
-// segTask is one planned unit of segment-parallel work: the segment, its
-// covering group, the predicates bound to that group's offsets and the row
-// range [lo, hi) to scan — the whole segment normally, a sub-range when
-// segments are scarcer than workers.
+// segTask is one planned unit of segment-parallel work: the segment (and
+// its index in the relation, for the touch set), its covering group, the
+// predicates bound to that group's offsets and the row range [lo, hi) to
+// scan — the whole segment normally, a sub-range when segments are scarcer
+// than workers.
 type segTask struct {
+	si     int
 	seg    *storage.Segment
 	g      *storage.ColumnGroup
 	bound  []GroupPred
@@ -216,9 +218,7 @@ func execRowTasksSerial(out Outputs, q *query.Query, tasks []segTask, stats *Str
 		}
 		if t.lo == 0 {
 			t.seg.Touch()
-			if stats != nil {
-				stats.SegmentsScanned++
-			}
+			stats.touch(t.si)
 		}
 		if faulted && stats != nil {
 			stats.SegmentsFaulted++

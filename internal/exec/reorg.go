@@ -24,8 +24,10 @@ import (
 // group per segment (nil entries for segments left untouched); the caller
 // (the Data Layout Manager) registers them with the matching segments.
 //
-// attrs must cover every attribute the query touches.
-func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool) ([]*storage.ColumnGroup, *Result, error) {
+// attrs must cover every attribute the query touches. Stats, when non-nil,
+// receives the segment skip counters and the touch set (segments read for
+// the answer — stitched hot segments included).
+func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool, stats *StrategyStats) ([]*storage.ColumnGroup, *Result, error) {
 	norm := data.SortedUnique(attrs)
 	out := Classify(q)
 	preds, splittable := SplitConjunction(q.Where)
@@ -47,7 +49,7 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 			}
 			newGroups[si] = g
 		}
-		res, err := ExecGeneric(rel, q)
+		res, err := ExecGeneric(rel, q, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -66,8 +68,12 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 			// Page the segment in before stitching: a spilled hot segment
 			// is faulted back through the relation's loader, then read once
 			// for both the new layout and the query answer.
-			if _, err := seg.Acquire(); err != nil {
+			faulted, err := seg.Acquire()
+			if err != nil {
 				return nil, nil, err
+			}
+			if faulted && stats != nil {
+				stats.SegmentsFaulted++
 			}
 			g, err := reorgScanSegment(seg, out, preds, norm, states, res)
 			seg.Release()
@@ -75,23 +81,35 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 				return nil, nil, err
 			}
 			seg.Touch()
+			stats.touch(si)
 			newGroups[si] = g
 			continue
 		}
 		// Cold (or already-adapted, or empty) segment: answer from the
 		// existing layout, skipping it entirely — no page-in — when zone
 		// maps allow.
-		if seg.Rows == 0 || (len(preds) > 0 && segPruned(seg, preds)) {
+		if seg.Rows == 0 {
 			continue
 		}
-		if _, err := seg.Acquire(); err != nil {
-			return nil, nil, err
+		if len(preds) > 0 && segPruned(seg, preds) {
+			if stats != nil {
+				stats.SegmentsPruned++
+			}
+			continue
 		}
-		seg.Touch()
-		err := hybridScanSegment(seg, q, out, preds, states, res, nil)
-		seg.Release()
+		faulted, err := seg.Acquire()
 		if err != nil {
 			return nil, nil, err
+		}
+		if faulted && stats != nil {
+			stats.SegmentsFaulted++
+		}
+		seg.Touch()
+		stats.touch(si)
+		scanErr := hybridScanSegment(seg, q, out, preds, states, res, nil)
+		seg.Release()
+		if scanErr != nil {
+			return nil, nil, scanErr
 		}
 	}
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {

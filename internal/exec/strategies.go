@@ -22,6 +22,20 @@ type StrategyStats struct {
 	SegmentsScanned   int // segments the strategy actually read
 	SegmentsPruned    int // segments skipped entirely via their zone maps
 	SegmentsFaulted   int // spilled segments paged in from disk for this scan
+	// Touched lists the indices of the segments the strategy actually read
+	// (pruned and empty segments excluded), in ascending segment order —
+	// the touch set behind segment-precise result caching and invalidation
+	// tests. len(Touched) == SegmentsScanned.
+	Touched []int
+}
+
+// touch records one actually-scanned segment.
+func (st *StrategyStats) touch(si int) {
+	if st == nil {
+		return
+	}
+	st.SegmentsScanned++
+	st.Touched = append(st.Touched, si)
 }
 
 // segPruned reports whether the conjunction of preds cannot match any row
@@ -41,12 +55,21 @@ func segPruned(seg *storage.Segment, preds []ColPred) bool {
 // only when the query's conjunctive predicates are ruled out by the
 // segment's zone maps. Non-splittable predicate shapes conservatively
 // report true. The engine uses it to treat the triggering query's segments
-// as hot during incremental reorganization.
+// as hot during incremental reorganization. Callers checking many segments
+// should split the predicate once and use SegmentTouched instead.
 func QueryTouchesSegment(seg *storage.Segment, q *query.Query) bool {
+	preds, splittable := SplitConjunction(q.Where)
+	return SegmentTouched(seg, preds, splittable)
+}
+
+// SegmentTouched is QueryTouchesSegment with the conjunction pre-split:
+// preds and splittable come from one SplitConjunction(q.Where) call hoisted
+// out of the caller's per-segment loop (fingerprinting runs this check once
+// per segment on every cache admission).
+func SegmentTouched(seg *storage.Segment, preds []ColPred, splittable bool) bool {
 	if seg.Rows == 0 {
 		return false
 	}
-	preds, splittable := SplitConjunction(q.Where)
 	if !splittable || len(preds) == 0 {
 		return true
 	}
@@ -73,7 +96,7 @@ func limitFor(out Outputs, q *query.Query) int {
 // exit). Strategies supply only the per-segment scan body, so the pruning,
 // residency and limit policies live in one place.
 func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, limit int, rows func() int, scan func(*storage.Segment) error) error {
-	for _, seg := range rel.Segments {
+	for si, seg := range rel.Segments {
 		if seg.Rows == 0 {
 			continue
 		}
@@ -88,11 +111,9 @@ func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, 
 			return err
 		}
 		seg.Touch()
-		if stats != nil {
-			stats.SegmentsScanned++
-			if faulted {
-				stats.SegmentsFaulted++
-			}
+		stats.touch(si)
+		if stats != nil && faulted {
+			stats.SegmentsFaulted++
 		}
 		err = scan(seg)
 		seg.Release()
@@ -148,7 +169,7 @@ func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	limit := limitFor(out, q)
 	partials := make([]*partial, 0, len(rel.Segments))
 	rows := 0
-	for _, seg := range rel.Segments {
+	for si, seg := range rel.Segments {
 		if seg.Rows == 0 {
 			continue
 		}
@@ -171,11 +192,9 @@ func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 			return nil, err
 		}
 		seg.Touch()
-		if stats != nil {
-			stats.SegmentsScanned++
-			if faulted {
-				stats.SegmentsFaulted++
-			}
+		stats.touch(si)
+		if stats != nil && faulted {
+			stats.SegmentsFaulted++
 		}
 		p := scanRange(g, out, bound, nil, 0, seg.Rows)
 		seg.Release()
@@ -555,8 +574,9 @@ func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 // expressions through per-attribute accessor indirection, segment by
 // segment. It handles every query shape, at the interpretation overhead
 // Figure 14 quantifies. Conjunctive predicates still allow segment pruning
-// and limit early exit; other shapes scan every segment.
-func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
+// and limit early exit; other shapes scan every segment. Stats, when
+// non-nil, receives the segment skip counters and the touch set.
+func ExecGeneric(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	hasAgg := q.HasAggregates()
 	labels := make([]string, len(q.Items))
 	states := make([]*expr.AggState, len(q.Items))
@@ -578,7 +598,7 @@ func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
 	}
 
 	res := &Result{Cols: labels}
-	err := scanSegments(rel, prunePreds, nil, limit, func() int { return res.Rows },
+	err := scanSegments(rel, prunePreds, stats, limit, func() int { return res.Rows },
 		func(seg *storage.Segment) error {
 			_, assign, err := seg.CoveringGroups(q.AllAttrs())
 			if err != nil {

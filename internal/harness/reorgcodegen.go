@@ -55,7 +55,7 @@ func RunFig13(cfg Config) (*Table, error) {
 			}
 		})
 		online := measure(cfg.Repeats, func() {
-			if _, _, err := exec.ExecReorg(c.rel, q, attrs, nil); err != nil {
+			if _, _, err := exec.ExecReorg(c.rel, q, attrs, nil, nil); err != nil {
 				panic(err)
 			}
 		})
@@ -118,7 +118,7 @@ func RunFig14(cfg Config) (*Table, error) {
 	}
 	for _, c := range cases {
 		genericD := measure(cfg.Repeats, func() {
-			if _, err := exec.ExecGeneric(onlyGroupRel(tb, c.g), c.q); err != nil {
+			if _, err := exec.ExecGeneric(onlyGroupRel(tb, c.g), c.q, nil); err != nil {
 				panic(err)
 			}
 		})

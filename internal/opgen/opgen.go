@@ -159,8 +159,9 @@ func (g *Generator) generate(key string, s exec.Strategy, q *query.Query) (*Oper
 		// exists and compiles to nothing.
 		op.CompileTime = 0
 		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
-			res, err := exec.ExecGeneric(rel, q)
-			return res, &exec.StrategyStats{}, err
+			var st exec.StrategyStats
+			res, err := exec.ExecGeneric(rel, q, &st)
+			return res, &st, err
 		}
 	default:
 		return nil, fmt.Errorf("opgen: no template for strategy %v", s)

@@ -12,10 +12,19 @@ import (
 // cacheKey builds the composite cache key. The query text comes from
 // query.Query.String(), which renders the parsed logical query in canonical
 // form — two SQL strings differing only in whitespace or keyword case
-// normalize to the same key. The version is baked into the key, so a bump
-// strands every older entry for the table.
-func cacheKey(table, normQuery string, version uint64) string {
-	return table + "\x00" + strconv.FormatUint(version, 10) + "\x00" + normQuery
+// normalize to the same key. The touch fingerprint — the digest of the
+// segments the query may read and their versions — is baked into the key,
+// so a mutation of any candidate segment strands every older entry for the
+// (table, query) pair, while mutations confined to segments the query never
+// reads leave its entries addressable.
+//
+// The encoding is injective: the table name is length-prefixed (it is the
+// only component that could contain the delimiters), the fingerprint
+// renders to a fixed colon-free format, and the query text is the
+// unambiguous remainder. FuzzCacheKey holds this property under arbitrary
+// inputs.
+func cacheKey(table, normQuery string, fp core.TouchFingerprint) string {
+	return strconv.Itoa(len(table)) + ":" + table + ":" + fp.Key() + ":" + normQuery
 }
 
 // entry is one cached result. The Result pointer is shared between the

@@ -65,14 +65,20 @@ func TestCacheShardRounding(t *testing.T) {
 	}
 }
 
-func TestCacheKeySeparatesTableVersionQuery(t *testing.T) {
+func TestCacheKeySeparatesTableFingerprintQuery(t *testing.T) {
+	fp1 := core.TouchFingerprint{Digest: 1, Segments: 1, MaxVersion: 1}
+	fp2 := core.TouchFingerprint{Digest: 2, Segments: 1, MaxVersion: 2}
 	keys := map[string]bool{
-		cacheKey("t1", "select x", 1): true,
-		cacheKey("t1", "select x", 2): true,
-		cacheKey("t2", "select x", 1): true,
-		cacheKey("t1", "select y", 1): true,
+		cacheKey("t1", "select x", fp1): true,
+		cacheKey("t1", "select x", fp2): true,
+		cacheKey("t2", "select x", fp1): true,
+		cacheKey("t1", "select y", fp1): true,
+		// Delimiter abuse: a table name containing the separator must not
+		// collide with a (table, query) split at a different point.
+		cacheKey("t1:1", "select x", fp1):  true,
+		cacheKey("t1", ":1:select x", fp1): true,
 	}
-	if len(keys) != 4 {
+	if len(keys) != 6 {
 		t.Fatalf("cache keys collide: %v", keys)
 	}
 }

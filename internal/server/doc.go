@@ -12,29 +12,50 @@
 //     costs nothing — the worker skips canceled jobs.
 //
 //   - A sharded LRU result cache keyed by (table, normalized query text,
-//     relation version). The relation version — see storage.Relation.Version —
-//     advances on every insert and every layout reorganization, so a
-//     mutation implicitly invalidates every cached result for the table: the
-//     old entries simply stop being addressable and age out of the LRU.
-//     There is no explicit eviction pass and no coordination between writers
-//     and the cache. Sharding keeps lock contention on the hot lookup path
-//     negligible next to query execution.
+//     touch fingerprint). The fingerprint (core.TouchFingerprint) is
+//     segment-precise: at admission the backend prunes the query's
+//     predicates against each segment's zone maps — no data access, no
+//     disk I/O even when segments are spilled, O(segments) atomic version
+//     reads — and digests the surviving candidate set together with those
+//     segments' versions. A cached entry is addressable exactly while
+//     every segment that could contribute rows to the result is unchanged.
+//     Invalidation is therefore proportional to what a mutation actually
+//     touched: a tail append strands only entries whose queries read the
+//     tail — queries pinned to cold segments by their predicates keep
+//     hitting — and an incremental reorganization strands only entries
+//     over the reorganized segments. There is no explicit eviction pass
+//     and no coordination between writers and the cache: stale entries
+//     simply stop being addressable and age out of the LRU.
 //
-//   - A version re-check before publishing. A worker records the relation
-//     version before executing and re-reads it after: if a mutation landed
-//     mid-flight, the result is returned to the caller (it was a consistent
-//     snapshot when computed) but not cached, so a stale entry can never be
-//     installed under a key that concurrent readers consider fresh.
+//   - Publish-time fingerprint comparison. A worker publishes its result
+//     under the fingerprint the execution observed (computed by the engine
+//     while it still held the lock the scan ran under). If no relevant
+//     mutation landed since admission the two fingerprints coincide and
+//     the entry lands under the admission key. If a mutation touched
+//     candidate segments mid-flight, the result — a consistent snapshot of
+//     the newer state — is republished under the execution-time key, where
+//     the very next identical query finds it (Stats.Republished). This is
+//     the vector-comparison generalization of the old whole-relation
+//     version re-check, which discarded the result on any version bump;
+//     only results with no fingerprint at all (Stats.Uncacheable) go
+//     unpublished.
 //
-// Tiered storage composes cleanly with the cache: segment spills and
-// page-ins (core's memory-budget eviction) are residency changes, not
-// mutations — they never advance the relation version, so cached results
-// stay addressable across a spill/fault cycle and a page-in can never
-// poison the cache or strand fresh entries. Only real mutations (inserts,
-// reorganizations) invalidate.
+// What still invalidates globally: mutations that advance every candidate
+// segment at once — relation-wide group add/drop by offline tools — and
+// table replacement. Segment and relation versions are drawn from one
+// process-wide monotone clock and each relation carries a process-unique
+// identity mixed into every fingerprint, so replacing a table (reload,
+// re-registration) can never resurrect entries cached against its
+// predecessor, even for degenerate queries whose candidate set is empty.
+//
+// Tiered storage composes cleanly: segment spills and page-ins (core's
+// memory-budget eviction) are residency changes, not mutations — they never
+// advance any version, so cached results stay addressable across a
+// spill/fault cycle, and fingerprinting itself never faults anything in
+// (zone maps stay resident).
 //
 // The package deliberately knows nothing about SQL or the catalog: it
 // executes logical queries against a Backend (implemented by the h2o.DB
-// facade) and is reusable over any engine that can report a per-table
-// version.
+// facade) and is reusable over any engine that can report per-query touch
+// fingerprints.
 package server

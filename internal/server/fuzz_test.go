@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+
+	"h2o/internal/core"
+	"h2o/internal/data"
+	"h2o/internal/sql"
+)
+
+// FuzzCacheKey holds the cache-key encoding's injectivity under arbitrary
+// inputs: two (table, fingerprint, normalized-query) triples map to the
+// same key if and only if they are identical. Distinct queries — or the
+// same query against different segment states — must never collide, no
+// matter what bytes the table name or query text contain (the table name is
+// the component that could smuggle delimiters; it is length-prefixed for
+// exactly this reason).
+func FuzzCacheKey(f *testing.F) {
+	f.Add("R", "select a0 from R", uint64(1), 1, uint64(1),
+		"R", "select a0 from R", uint64(1), 1, uint64(1))
+	f.Add("R", "select a0 from R", uint64(1), 1, uint64(1),
+		"R", "select a1 from R", uint64(1), 1, uint64(1))
+	f.Add("R", "select a0 from R", uint64(7), 2, uint64(9),
+		"R", "select a0 from R", uint64(8), 2, uint64(9))
+	// Delimiter abuse: table/query pairs whose concatenations coincide.
+	f.Add("t:1", "select x", uint64(3), 1, uint64(3),
+		"t", ":1:select x", uint64(3), 1, uint64(3))
+	f.Add("a\x00b", "q", uint64(1), 0, uint64(0),
+		"a", "\x00b:q", uint64(1), 0, uint64(0))
+	f.Fuzz(func(t *testing.T, tA, qA string, dA uint64, cA int, vA uint64,
+		tB, qB string, dB uint64, cB int, vB uint64) {
+		fpA := core.TouchFingerprint{Digest: dA, Segments: cA, MaxVersion: vA}
+		fpB := core.TouchFingerprint{Digest: dB, Segments: cB, MaxVersion: vB}
+		kA := cacheKey(tA, qA, fpA)
+		kB := cacheKey(tB, qB, fpB)
+		same := tA == tB && qA == qB && fpA == fpB
+		if (kA == kB) != same {
+			t.Fatalf("cache-key injectivity violated:\n (%q, %q, %+v) -> %q\n (%q, %q, %+v) -> %q",
+				tA, qA, fpA, kA, tB, qB, fpB, kB)
+		}
+	})
+}
+
+// FuzzQueryNormalization holds the two cache-addressing properties of SQL
+// normalization: equivalent query texts (whitespace, keyword case,
+// mirrored comparisons) must collide on one key — normalization is
+// idempotent, so the canonical rendering re-parses to itself — and queries
+// with distinct canonical forms must never collide.
+func FuzzQueryNormalization(f *testing.F) {
+	f.Add("select a0 from r", "SELECT   a0   FROM r")
+	f.Add("select a0, a1 from r where a0 < 5 and a1 > 3",
+		"select a0,a1 from r where 5 > a0 and 3 < a1")
+	f.Add("select max(a0) from r where a1 between 2 and 9",
+		"select max(a0) from r where a1 >= 2 and a1 <= 9")
+	f.Add("select a0 + a1 from r where (a0 < 1 or a1 > 2) limit 3",
+		"select sum(a0 + a1) from r")
+	f.Add("select count(a3) from r limit 4", "select count(a3) from r")
+	f.Fuzz(func(t *testing.T, srcA, srcB string) {
+		schemas := sql.SchemaMap{"r": data.SyntheticSchema("r", 8)}
+		qA, errA := sql.Parse(srcA, schemas)
+		qB, errB := sql.Parse(srcB, schemas)
+		if errA != nil || errB != nil {
+			t.Skip() // not valid SQL for this schema: nothing to normalize
+		}
+		fp := core.TouchFingerprint{Digest: 42, Segments: 3, MaxVersion: 17}
+		sA, sB := qA.String(), qB.String()
+		kA := cacheKey(qA.Table, sA, fp)
+		kB := cacheKey(qB.Table, sB, fp)
+		if (kA == kB) != (qA.Table == qB.Table && sA == sB) {
+			t.Fatalf("normalized-key collision mismatch:\n %q -> %q\n %q -> %q", srcA, kA, srcB, kB)
+		}
+		// Idempotence: the canonical form must re-parse to itself, so every
+		// input in an equivalence class lands on the same key, and a
+		// canonical form can never drift to a second key.
+		qA2, err := sql.Parse(sA, schemas)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", sA, srcA, err)
+		}
+		if got := qA2.String(); got != sA {
+			t.Fatalf("normalization not idempotent: %q -> %q -> %q", srcA, sA, got)
+		}
+	})
+}

@@ -17,14 +17,20 @@ import (
 // that has been shut down.
 var ErrClosed = errors.New("server: closed")
 
-// Backend executes logical queries and reports per-table versions. The
-// h2o.DB facade implements it; tests implement it with stubs.
+// Backend executes logical queries and reports per-query touch
+// fingerprints. The h2o.DB facade implements it; tests implement it with
+// stubs.
 type Backend interface {
-	// Exec runs one logical query to completion.
+	// Exec runs one logical query to completion. The returned
+	// ExecInfo.Fingerprint must describe the relation state the result was
+	// computed against (the engine fills it in under the lock the
+	// execution held); a zero fingerprint marks the result uncacheable.
 	Exec(q *query.Query) (*exec.Result, core.ExecInfo, error)
-	// Version returns the named table's current relation version. It must
-	// be cheap (an atomic load) and safe to call concurrently with Exec.
-	Version(table string) (uint64, error)
+	// Fingerprint computes q's candidate-touch fingerprint against the
+	// table's current state: the set of segments q may read — zone-map
+	// pruning only, no data access — and their versions. It must be cheap
+	// (O(segments), no I/O) and safe to call concurrently with Exec.
+	Fingerprint(q *query.Query) (core.TouchFingerprint, error)
 }
 
 // Config sizes the serving layer. Zero values select defaults.
@@ -75,18 +81,24 @@ type Stats struct {
 	// Canceled counts queries abandoned by their context — while queued,
 	// while waiting for a worker, or before admission.
 	Canceled uint64
-	// Uncacheable counts results not published because the relation version
-	// moved during execution.
+	// Uncacheable counts results not published at all: the backend
+	// reported no valid execution fingerprint to key them under.
 	Uncacheable uint64
+	// Republished counts results published under their execution-time
+	// fingerprint because a mutation of candidate segments landed between
+	// admission and execution. The result is still cached — it is
+	// consistent with the state the execution observed — just not under
+	// the key admission looked up. Mutations confined to segments the
+	// query never reads change neither fingerprint and do not count.
+	Republished uint64
 }
 
 // job is one admitted query.
 type job struct {
-	ctx     context.Context
-	q       *query.Query
-	key     string // cache key, empty when caching is off
-	version uint64 // relation version read at admission
-	done    chan outcome
+	ctx  context.Context
+	q    *query.Query
+	key  string // admission-time cache key, empty when caching is off
+	done chan outcome
 }
 
 type outcome struct {
@@ -114,6 +126,7 @@ type Server struct {
 	cacheMisses atomic.Uint64
 	canceled    atomic.Uint64
 	uncacheable atomic.Uint64
+	republished atomic.Uint64
 }
 
 // New starts a server over backend and returns it running; callers own the
@@ -153,6 +166,7 @@ func (s *Server) Stats() Stats {
 		CacheMisses: s.cacheMisses.Load(),
 		Canceled:    s.canceled.Load(),
 		Uncacheable: s.uncacheable.Load(),
+		Republished: s.republished.Load(),
 	}
 }
 
@@ -165,10 +179,11 @@ func (s *Server) CacheSize() int {
 	return s.cache.size()
 }
 
-// Query serves one logical query: answered from the result cache when a
-// fresh-version entry exists, otherwise admitted to the worker pool and
-// executed. It blocks until the result is ready, ctx is canceled, or the
-// server closes. A cache hit sets ExecInfo.CacheHit, reports the hit's own
+// Query serves one logical query: answered from the result cache when an
+// entry exists for the query's current touch fingerprint — every segment
+// the query may read is unchanged — otherwise admitted to the worker pool
+// and executed. It blocks until the result is ready, ctx is canceled, or
+// the server closes. A cache hit sets ExecInfo.CacheHit, reports the hit's own
 // (sub-millisecond) latency in ExecInfo.Duration, and costs no queue slot.
 //
 // Results may be shared: a cached *exec.Result is handed to every client
@@ -192,14 +207,20 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 	default:
 	}
 
-	version, err := s.backend.Version(q.Table)
-	if err != nil {
-		return nil, core.ExecInfo{}, err
-	}
-
 	var key string
 	if s.cache != nil {
-		key = cacheKey(q.Table, q.String(), version)
+		// Admission: fingerprint the candidate touch set — the segments q
+		// may read per zone-map pruning, with their versions — and look the
+		// cache up under it. A cached entry is addressable exactly while
+		// every segment that could contribute to the result is unchanged;
+		// mutations confined to other segments (a tail append behind a
+		// selective predicate, a reorg of segments this query never reads)
+		// leave the entry live.
+		fp, err := s.backend.Fingerprint(q)
+		if err != nil {
+			return nil, core.ExecInfo{}, err
+		}
+		key = cacheKey(q.Table, q.String(), fp)
 		if res, info, ok := s.cache.get(key); ok {
 			s.cacheHits.Add(1)
 			info.CacheHit = true
@@ -213,7 +234,7 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 		s.cacheMisses.Add(1)
 	}
 
-	j := &job{ctx: ctx, q: q, key: key, version: version, done: make(chan outcome, 1)}
+	j := &job{ctx: ctx, q: q, key: key, done: make(chan outcome, 1)}
 
 	// Admission: block for a queue slot, but never past cancellation or
 	// shutdown.
@@ -262,13 +283,26 @@ func (s *Server) serve(j *job) {
 	res, info, err := s.backend.Exec(j.q)
 	s.executed.Add(1)
 	if err == nil && s.cache != nil && j.key != "" {
-		// Publish only if no mutation landed while we executed: the result
-		// is still correct for the caller (it was a consistent snapshot),
-		// but caching it under the admission-time version would let later
-		// readers of that version see data the version no longer describes.
-		if v2, verr := s.backend.Version(j.q.Table); verr == nil && v2 == j.version {
-			s.cache.put(j.key, res, info)
+		// Publish under the fingerprint the execution observed (computed by
+		// the engine under the lock the scan held), not blindly under the
+		// admission-time key: if a mutation of candidate segments landed
+		// between admission and execution, the admission key now names a
+		// state that no longer exists, while the execution key names
+		// exactly the state the result was read from — later identical
+		// queries admit against that state and hit. This is the
+		// vector-comparison generalization of the old whole-relation
+		// version re-check: a bump confined to segments the query never
+		// reads changes neither fingerprint, so the keys coincide and the
+		// result publishes normally instead of being discarded.
+		if fp := info.Fingerprint; fp.Valid() {
+			pubKey := cacheKey(j.q.Table, j.q.String(), fp)
+			s.cache.put(pubKey, res, info)
+			if pubKey != j.key {
+				s.republished.Add(1)
+			}
 		} else {
+			// No fingerprint, no safe key: the backend could not tie the
+			// result to a relation state.
 			s.uncacheable.Add(1)
 		}
 	}

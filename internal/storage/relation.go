@@ -41,6 +41,13 @@ type Relation struct {
 	// write lock.
 	version atomic.Uint64
 
+	// id is the relation's immutable process-unique identity, drawn from
+	// the version clock at construction. Cache fingerprints mix it in so
+	// that two relations whose candidate segment sets are both empty (every
+	// segment pruned, or no rows yet) still key apart — replacing a table
+	// can never make an old empty-set entry addressable again.
+	id uint64
+
 	// loader faults spilled segments back in (tiered storage, see
 	// residency.go). Installed once with SetLoader before the relation
 	// serves readers; nil means every segment is permanently resident.
@@ -57,6 +64,24 @@ var versionClock atomic.Uint64
 // Version returns the relation's current version. It is safe to call
 // without external locking.
 func (r *Relation) Version() uint64 { return r.version.Load() }
+
+// ID returns the relation's immutable process-unique identity. Unlike
+// Version it never changes after construction; serving layers mix it into
+// segment-set fingerprints (see the field comment). Safe without locks.
+func (r *Relation) ID() uint64 { return r.id }
+
+// SegmentVersions snapshots every segment's current version in segment
+// order — the relation-wide version vector behind segment-precise result
+// caching. The per-segment loads are atomic, but the segment *list* grows
+// under appends, so callers must hold the engine lock (shared is enough)
+// for a consistent snapshot.
+func (r *Relation) SegmentVersions() []uint64 {
+	out := make([]uint64, len(r.Segments))
+	for i, s := range r.Segments {
+		out[i] = s.Version()
+	}
+	return out
+}
 
 // bumpVersion advances the relation to a fresh process-unique version.
 // Callers hold the exclusive lock that serializes the mutation itself.
@@ -130,6 +155,7 @@ func wrapSegments(schema *data.Schema, rows int, groups []*ColumnGroup, segCap i
 	// Start at a fresh process-unique version so this relation's cache keys
 	// can never collide with those of a relation it replaces.
 	r.bumpVersion()
+	r.id = versionClock.Add(1)
 	return r
 }
 
@@ -177,6 +203,7 @@ func AssembleRelation(schema *data.Schema, segCap int, segGroups [][]*ColumnGrou
 		r.Rows += rows
 	}
 	r.bumpVersion()
+	r.id = versionClock.Add(1)
 	return r, nil
 }
 
