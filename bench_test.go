@@ -142,6 +142,42 @@ func BenchmarkServeCacheHit(b *testing.B) {
 	})
 }
 
+// BenchmarkServeDeltaRepair measures the repair tier of the serving layer:
+// each iteration appends one row (stranding the cached full-relation
+// aggregate) and re-runs the aggregate, which is answered by rescanning
+// only the changed tail segment and re-combining with the cached
+// per-segment partials. Compare with BenchmarkServeReadOnly at the same
+// scale to see the O(changed segments) vs O(relation) gap; cmd/h2obench
+// -exp repair prints the gap as a sweep over relation sizes.
+func BenchmarkServeDeltaRepair(b *testing.B) {
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen // only the appends mutate
+	opts.SegmentCapacity = 4096
+	db := h2o.NewDBWith(opts)
+	db.CreateTableFrom(h2o.SyntheticSchema("events", 8), 64*1024, 17) // 16 segments
+	srv := db.Serve(h2o.ServerConfig{Workers: 2})
+	defer srv.Close()
+	q, err := db.Parse("select sum(a1), sum(a2) from events")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := srv.Query(ctx, q); err != nil { // seed the partials
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.Query("insert into events values (1, 2, 3, 4, 5, 6, 7, 8)"); err != nil {
+			b.Fatal(err)
+		}
+		if _, info, err := srv.Query(ctx, q); err != nil {
+			b.Fatal(err)
+		} else if i > 0 && info.RepairedSegments == 0 {
+			b.Fatal("repair tier not exercised")
+		}
+	}
+}
+
 // BenchmarkServeReadOnly measures concurrent execution with the cache
 // disabled: every query scans under the engine's shared read lock. Scaling
 // with -cpu here demonstrates that read-only queries no longer serialize

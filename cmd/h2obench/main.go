@@ -32,6 +32,14 @@
 //
 //	h2obench -exp spill
 //
+// -exp repair measures partial-result reuse: a repeated full-relation
+// aggregate under tail appends is delta-repaired (only the changed tail
+// segment is rescanned, the rest comes from cached per-segment partials),
+// so its cost stays flat as the relation doubles while full recomputation
+// grows with the segment count:
+//
+//	h2obench -exp repair
+//
 // Finally, -bench-report turns `go test -bench . -benchtime=1x -json`
 // output (read on stdin) into a normalized bench.json on stdout — the
 // per-commit perf-trajectory artifact CI uploads:

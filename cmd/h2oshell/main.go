@@ -76,8 +76,9 @@ func main() {
 				st.OpCacheHits, st.OpCacheMisses, e.WindowSize(), e.Version())
 		case line == `\cache`:
 			st := db.ServeStats()
-			fmt.Printf("submitted=%d executed=%d cache_hits=%d cache_misses=%d canceled=%d uncacheable=%d republished=%d\n",
-				st.Submitted, st.Executed, st.CacheHits, st.CacheMisses, st.Canceled, st.Uncacheable, st.Republished)
+			fmt.Printf("submitted=%d executed=%d cache_hits=%d cache_misses=%d canceled=%d uncacheable=%d republished=%d repaired=%d repaired_segments=%d memo_hits=%d\n",
+				st.Submitted, st.Executed, st.CacheHits, st.CacheMisses, st.Canceled, st.Uncacheable, st.Republished,
+				st.Repaired, st.RepairedSegments, st.MemoHits)
 		case strings.HasPrefix(line, `\explain `):
 			src := strings.TrimSpace(strings.TrimPrefix(line, `\explain `))
 			q, err := db.Parse(src)

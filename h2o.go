@@ -79,6 +79,10 @@ type (
 	// result cache on it, so mutations confined to segments a query never
 	// reads leave its cached results live.
 	TouchFingerprint = core.TouchFingerprint
+	// DeltaScan is the product of one delta-repair scan: fresh partials
+	// for the changed candidate segments, the indices whose cached
+	// partials remain exact, and the fingerprint of the observed state.
+	DeltaScan = core.DeltaScan
 	// TierStats are tiered-storage counters for one table: resident vs
 	// spilled segments and bytes, page-ins, evictions, spill writes. All
 	// zero unless Options.MemoryBudgetBytes is set.
@@ -237,6 +241,22 @@ func (db *DB) Fingerprint(q *Query) (TouchFingerprint, error) {
 	return e.QueryFingerprint(q), nil
 }
 
+// ExecDelta answers a repairable aggregate query by rescanning only the
+// candidate segments whose versions differ from have (nil rescans all of
+// them), under the table engine's read lock. It implements the serving
+// layer's server.DeltaBackend capability — the tier between an exact cache
+// hit and a full execution: repeat aggregates over a tail-append workload
+// are re-answered at O(changed segments) cost. ok=false means the engine
+// chose the full Execute path (not repairable, or an adaptation phase is
+// pending).
+func (db *DB) ExecDelta(q *Query, have map[int]uint64) (*DeltaScan, bool, error) {
+	e, err := db.Engine(q.Table)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.QueryDelta(q, have)
+}
+
 // Tables lists the registered table names.
 func (db *DB) Tables() []string {
 	db.mu.RLock()
@@ -276,8 +296,10 @@ func (db *DB) Query(src string) (*Result, ExecInfo, error) {
 // directly — they take the engine's exclusive lock and bump the tail
 // segment's version, which strands cached results for queries that read
 // the tail; queries pinned to other segments by their predicates keep
-// hitting. After Close, every QueryCtx call — inserts included — fails
-// with ErrClosed.
+// hitting, and repeat aggregate queries are *delta-repaired* — only the
+// changed segments are rescanned and re-combined with cached per-segment
+// partials (ExecInfo.RepairedSegments reports how many). After Close,
+// every QueryCtx call — inserts included — fails with ErrClosed.
 //
 // Results served from the cache are shared between clients: treat the
 // returned Result as read-only.
@@ -327,10 +349,17 @@ func (db *DB) execInsert(src string) (*Result, ExecInfo, error) {
 }
 
 // Serve starts a new serving layer over this catalog with explicit sizing:
-// a bounded worker pool, an admission queue with context cancellation and a
+// a bounded worker pool, an admission queue with context cancellation, a
 // sharded LRU result cache keyed by (table, normalized query, touch
-// fingerprint). The caller owns the returned server's lifecycle (Close it).
+// fingerprint), a byte-budgeted partial-aggregate cache behind delta
+// repair, and an admission fingerprint memo. The caller owns the returned
+// server's lifecycle (Close it). A zero cfg.PartialCacheBytes inherits
+// Options.PartialCacheBytes from the catalog before the server default
+// applies.
 func (db *DB) Serve(cfg ServerConfig) *Server {
+	if cfg.PartialCacheBytes == 0 {
+		cfg.PartialCacheBytes = db.opts.PartialCacheBytes
+	}
 	return server.New(db, cfg)
 }
 
@@ -343,7 +372,7 @@ func (db *DB) defaultServer() *Server {
 		return nil
 	}
 	if db.srv == nil {
-		db.srv = server.New(db, ServerConfig{})
+		db.srv = server.New(db, ServerConfig{PartialCacheBytes: db.opts.PartialCacheBytes})
 	}
 	return db.srv
 }

@@ -1,0 +1,109 @@
+package h2o_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"h2o"
+)
+
+// TestDeltaRepairFacade is the public-API acceptance test for
+// partial-result reuse: on a table with several sealed segments, a repeated
+// full-relation aggregate over a tail-append workload is answered by delta
+// repair — only the changed tail segment is rescanned per append
+// (ExecInfo.RepairedSegments == 1, not the relation's segment count), the
+// serving stats count each repair, and every repaired result equals a cold
+// full scan through the direct (cache-free) execution path.
+func TestDeltaRepairFacade(t *testing.T) {
+	const (
+		segCap  = 1024
+		sealed  = 5
+		rows    = sealed*segCap + segCap/2 // 5 sealed segments + partial tail
+		appends = 8
+	)
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen // no adaptation: only appends mutate
+	opts.SegmentCapacity = segCap
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	db.AddTable(h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), rows, 42))
+
+	ctx := context.Background()
+	const aggQ = "select sum(a1), count(a1), max(a2) from R"
+
+	// Cold miss seeds the partials payload; nothing is repaired yet.
+	if _, info, err := db.QueryCtx(ctx, aggQ); err != nil || info.CacheHit || info.RepairedSegments != 0 {
+		t.Fatalf("seed: err=%v hit=%v repaired=%d", err, info.CacheHit, info.RepairedSegments)
+	}
+
+	for i := 0; i < appends; i++ {
+		ins := fmt.Sprintf("insert into R values (%d, %d, %d, 7)", 90_000_000+i, i, -i)
+		if _, _, err := db.QueryCtx(ctx, ins); err != nil {
+			t.Fatal(err)
+		}
+
+		got, info, err := db.QueryCtx(ctx, aggQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.CacheHit {
+			t.Fatalf("append %d: stale cached aggregate served", i)
+		}
+		if info.RepairedSegments != 1 {
+			t.Fatalf("append %d: RepairedSegments = %d, want 1 — repair must rescan the changed tail only, not the %d-segment relation",
+				i, info.RepairedSegments, sealed+1)
+		}
+		// The repaired answer must be indistinguishable from recomputing
+		// from scratch: db.Query bypasses the serving layer entirely.
+		want, _, err := db.Query(aggQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("append %d: repaired %v, cold full scan %v", i, got.Data, want.Data)
+		}
+	}
+
+	st := db.ServeStats()
+	if st.Repaired != appends {
+		t.Fatalf("ServerStats.Repaired = %d, want %d (stats %+v)", st.Repaired, appends, st)
+	}
+	if st.RepairedSegments != appends {
+		t.Fatalf("ServerStats.RepairedSegments = %d, want %d — one tail rescan per append (stats %+v)",
+			st.RepairedSegments, appends, st)
+	}
+}
+
+// TestPartialCacheDisabled: a negative Options.PartialCacheBytes switches
+// delta repair off at the facade level; the workload still answers
+// correctly through full executions.
+func TestPartialCacheDisabled(t *testing.T) {
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen
+	opts.SegmentCapacity = 256
+	opts.PartialCacheBytes = -1
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	db.AddTable(h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), 1024, 1))
+
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := db.QueryCtx(ctx, "insert into R values (1000000, 1, 2, 3)"); err != nil {
+			t.Fatal(err)
+		}
+		res, info, err := db.QueryCtx(ctx, "select count(a0) from R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.RepairedSegments != 0 {
+			t.Fatalf("repair ran with partial caching disabled: %+v", info)
+		}
+		if want := int64(1024 + i + 1); res.At(0, 0) != want {
+			t.Fatalf("count = %d, want %d", res.At(0, 0), want)
+		}
+	}
+	if st := db.ServeStats(); st.Repaired != 0 {
+		t.Fatalf("Repaired = %d with partial caching disabled", st.Repaired)
+	}
+}

@@ -137,6 +137,13 @@ type Options struct {
 	// this knob only parameterizes construction. 0 selects
 	// storage.DefaultSegmentCapacity (64K rows).
 	SegmentCapacity int
+	// PartialCacheBytes budgets the serving layer's per-segment partial
+	// aggregate payloads (delta repair): the facade passes it through to
+	// every server it builds over this catalog. The engine itself never
+	// reads it — like the server sizing knobs, it parameterizes the layers
+	// above. 0 selects the server default (4 MiB); negative disables
+	// partial caching and with it delta repair.
+	PartialCacheBytes int64
 }
 
 // DefaultOptions returns the adaptive configuration used in §4.1.
@@ -182,6 +189,12 @@ type ExecInfo struct {
 	// SegmentsFaulted counts spilled segments this query paged in from
 	// disk (tiered storage); zero when everything it touched was resident.
 	SegmentsFaulted int
+	// RepairedSegments counts the candidate segments a serving-layer delta
+	// repair rescanned for this query — the segments whose versions moved
+	// since the cached partials were computed, not the relation's segment
+	// count. Zero for exact cache hits and full executions; set by the
+	// serving layer (internal/server), never by the engine.
+	RepairedSegments int
 	// CompileTime is the simulated operator-generation cost charged to this
 	// query (zero on operator-cache hits).
 	CompileTime time.Duration

@@ -20,6 +20,12 @@ const (
 	StrategyGeneric
 	// StrategyReorg fuses layout creation with query answering.
 	StrategyReorg
+	// StrategyDelta answers a repairable aggregate query by rescanning only
+	// the segments that changed since its partials were cached, merging with
+	// the retained cold-segment partials (ExecDelta). The serving layer
+	// reports it on delta-repaired queries; the cost-based chooser never
+	// selects it directly.
+	StrategyDelta
 )
 
 // String names the strategy.
@@ -35,6 +41,8 @@ func (s Strategy) String() string {
 		return "generic"
 	case StrategyReorg:
 		return "online-reorg"
+	case StrategyDelta:
+		return "delta-repair"
 	default:
 		return "unknown"
 	}

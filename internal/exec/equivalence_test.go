@@ -282,6 +282,127 @@ func TestCrossStrategyEquivalence(t *testing.T) {
 	}
 }
 
+// eqMutate applies a batch of randomized mutations to rel: tail appends
+// (possibly rolling the tail over into a fresh segment) and segment-local
+// reorganizations (a stitched group added to a random non-empty segment,
+// bumping its version exactly as incremental adaptation does).
+func eqMutate(t testing.TB, rng *rand.Rand, rel *storage.Relation) {
+	t.Helper()
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		switch rng.Intn(3) {
+		case 0, 1: // appends, occasionally a burst that seals the tail
+			count := 1 + rng.Intn(2*eqSegCap/3)
+			for i := 0; i < count; i++ {
+				tuple := make([]data.Value, eqSchemaWidth)
+				tuple[0] = data.Value(rel.Rows) // keep attr 0 append-ordered
+				for a := 1; a < eqSchemaWidth; a++ {
+					tuple[a] = data.ValueLo + data.Value(rng.Int63n(int64(data.ValueHi-data.ValueLo)))
+				}
+				if err := rel.Append(tuple); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 2: // segment-local reorg
+			var nonEmpty []*storage.Segment
+			for _, seg := range rel.Segments {
+				if seg.Rows > 0 {
+					nonEmpty = append(nonEmpty, seg)
+				}
+			}
+			if len(nonEmpty) == 0 {
+				continue
+			}
+			seg := nonEmpty[rng.Intn(len(nonEmpty))]
+			attrs := query.RandomAttrs(eqSchemaWidth, 2+rng.Intn(2), rng.Intn)
+			if _, ok := seg.ExactGroup(attrs); ok {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.AddGroup(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestDeltaRepairEquivalence extends the harness to the partial-result
+// layer: every randomized query that classifies as repairable has its
+// partials cached, the relation is mutated by random appends and
+// segment-local reorgs, and the query is then answered via cached partials
+// plus a delta rescan of only the changed candidates — the repaired result
+// must equal a fresh full scan of the mutated state, and the rescan set
+// must be disjoint from the version-matched reuse set.
+func TestDeltaRepairEquivalence(t *testing.T) {
+	const (
+		relations       = 8
+		queriesPerRel   = 10
+		mutationsPerRel = 4
+	)
+	rng := rand.New(rand.NewSource(20260730))
+	for r := 0; r < relations; r++ {
+		rel := eqRelation(t, rng)
+		installSnapshotLoader(rel)
+
+		// Collect repairable randomized queries (aggregate shapes; the
+		// generator never puts limits on them) and seed their partials.
+		type seeded struct {
+			q     *query.Query
+			prior *PartialResult
+		}
+		var qs []seeded
+		for len(qs) < queriesPerRel {
+			q := eqQuery(rng, rel.Rows)
+			if !Repairable(q) {
+				continue
+			}
+			prior, err := ExecPartials(rel, q, nil)
+			if err != nil {
+				t.Fatalf("seed %s: %v", q, err)
+			}
+			qs = append(qs, seeded{q, prior})
+		}
+
+		for m := 0; m < mutationsPerRel; m++ {
+			eqMutate(t, rng, rel)
+			for i := range qs {
+				q, prior := qs[i].q, qs[i].prior
+				have := prior.Versions()
+				// Random worker counts: serial and fanned-out rescans must
+				// produce identical partials.
+				fresh, reused, err := ExecDelta(rel, q, have, 1+rng.Intn(4), nil)
+				if err != nil {
+					t.Fatalf("delta %s: %v", q, err)
+				}
+				for _, si := range reused {
+					if v := rel.Segments[si].Version(); v != have[si] {
+						t.Fatalf("%s: reused segment %d at version %d, cached %d", q, si, v, have[si])
+					}
+				}
+				for si := range fresh.Segs {
+					if hv, ok := have[si]; ok && hv == rel.Segments[si].Version() {
+						t.Fatalf("%s: rescanned segment %d whose version never moved", q, si)
+					}
+				}
+				repaired := Repaired(prior, fresh, reused)
+				want, err := ExecGeneric(rel, q, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := repaired.Result(); !got.Equal(want) {
+					t.Fatalf("repair diverged on %s after mutation %d:\n got %v\nwant %v",
+						q, m, got.Data, want.Data)
+				}
+				// The repaired payload becomes the next round's cache, just
+				// as the serving layer republishes it.
+				qs[i].prior = repaired
+			}
+		}
+	}
+}
+
 // BenchmarkEquivalenceHarness times one fixed-seed harness pass (one
 // relation, a query batch, every strategy, 50% residency). It rides in the
 // CI bench.json artifact so the perf trajectory catches a harness blowup —

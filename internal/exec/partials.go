@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// This file is the partial-result layer behind the serving layer's delta
+// repair: queries whose outputs are decomposable aggregates can be answered
+// from per-segment partial aggregate states, and — because segments are
+// disjoint, immutable-once-sealed partitions — maintained incrementally by
+// rescanning only the segments that changed since the partials were
+// computed and re-combining with the retained cold-segment partials.
+//
+// The partials contract:
+//
+//   - A query is *repairable* (see Repairable) when every select item is an
+//     aggregate and it carries no LIMIT. All five aggregate operators
+//     decompose over disjoint partitions: count and sum combine by
+//     addition, min and max by comparison, and avg by carrying (sum, count)
+//     pairs — exactly what expr.AggState.Merge implements. The same merge
+//     law extends to grouped aggregates (a map of group key → AggState
+//     vector merged key-wise) when GROUP BY lands in the query language.
+//   - LIMIT disqualifies repair even though it is a no-op on one-row
+//     aggregate results: for every other output shape the limit makes the
+//     result a prefix artifact of scan order rather than a pure function of
+//     per-partition contributions, so the classifier excludes it uniformly
+//     instead of special-casing the vacuous aggregate case.
+//   - Projections and bare expressions are never repairable: their results
+//     concatenate rows in segment order, so a changed segment shifts every
+//     later row — there is nothing to retain.
+//
+// A SegPartial is valid exactly as long as its segment's version is
+// unchanged: segment versions come from a process-wide monotone clock and
+// bump on every mutation of that segment (tail appends, segment-local
+// reorganization), while residency changes (tiered-storage spill/fault)
+// never bump them — cached partials survive a spill cycle just as cached
+// results do. A segment whose version matches can also never have changed
+// its *candidacy*: zone maps only move under version-bumping mutations, so
+// an unchanged segment is a candidate for a query now iff it was when the
+// partial was computed.
+
+// SegPartial is one segment's contribution to a repairable query: the
+// per-item aggregate states folded over the segment's qualifying rows, and
+// the segment version they were computed at. Treat published SegPartials as
+// immutable — they are shared between the partials cache and every repair
+// that retains them; combining always merges into fresh states.
+type SegPartial struct {
+	// Version is the segment's version at scan time; the partial is
+	// reusable exactly while the live segment still reports it.
+	Version uint64
+	// States holds one accumulator per select item, in item order.
+	States []*expr.AggState
+}
+
+// PartialResult is the per-segment decomposition of a repairable query's
+// result: one SegPartial per candidate segment, keyed by segment index.
+// Segment indices are stable identities here — segments are only ever
+// appended, never merged or removed — so a version-vector diff by index is
+// sound.
+type PartialResult struct {
+	// Labels are the output column labels, in select-item order.
+	Labels []string
+	// Ops are the per-item aggregate operators; Result uses them to build
+	// the fresh accumulators the per-segment states merge into.
+	Ops []expr.AggOp
+	// Segs maps segment index to that segment's partial.
+	Segs map[int]*SegPartial
+}
+
+// Repairable reports whether q's result can be maintained by delta repair:
+// every select item must be an aggregate (count/sum/min/max/avg over any
+// argument expression — all decomposable over disjoint segments) and the
+// query must carry no LIMIT. See the partials contract at the top of this
+// file for why the two conditions are exactly these.
+func Repairable(q *query.Query) bool {
+	if q == nil || q.Limit != 0 || len(q.Items) == 0 {
+		return false
+	}
+	for _, it := range q.Items {
+		if it.Agg == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// newPartialResult builds the empty partials container for q. Callers have
+// already checked Repairable(q), so every item has an aggregate.
+func newPartialResult(q *query.Query) *PartialResult {
+	p := &PartialResult{
+		Labels: make([]string, len(q.Items)),
+		Ops:    make([]expr.AggOp, len(q.Items)),
+		Segs:   make(map[int]*SegPartial),
+	}
+	for i, it := range q.Items {
+		p.Labels[i] = it.String()
+		p.Ops[i] = it.Agg.Op
+	}
+	return p
+}
+
+// Merge overlays o's segment partials into p (o wins on a shared segment
+// index). Repairs use it to fold freshly rescanned segments over retained
+// ones; it never mutates the SegPartials themselves.
+func (p *PartialResult) Merge(o *PartialResult) {
+	if o == nil {
+		return
+	}
+	for si, sp := range o.Segs {
+		p.Segs[si] = sp
+	}
+}
+
+// Result combines every segment partial into the final one-row aggregate
+// result. Aggregate merging is commutative and associative, so map
+// iteration order does not matter. The inputs are not mutated: each item
+// gets a fresh accumulator the per-segment states merge into.
+func (p *PartialResult) Result() *Result {
+	states := make([]*expr.AggState, len(p.Ops))
+	for i, op := range p.Ops {
+		states[i] = expr.NewAggState(op)
+	}
+	for _, sp := range p.Segs {
+		for i, st := range sp.States {
+			states[i].Merge(st)
+		}
+	}
+	return aggResult(p.Labels, states)
+}
+
+// Versions snapshots the segment-version vector the partials were computed
+// at, keyed by segment index — the `have` argument of a later ExecDelta.
+func (p *PartialResult) Versions() map[int]uint64 {
+	out := make(map[int]uint64, len(p.Segs))
+	for si, sp := range p.Segs {
+		out[si] = sp.Version
+	}
+	return out
+}
+
+// Bytes estimates the payload's memory footprint for cache budgeting: map
+// bookkeeping plus one accumulator per (segment, item). It is a sizing
+// estimate, not an exact heap measurement.
+func (p *PartialResult) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	const (
+		segOverhead   = 64 // map slot + SegPartial header + states slice header
+		stateOverhead = 48 // AggState struct + pointer
+	)
+	return int64(len(p.Segs)) * (segOverhead + stateOverhead*int64(len(p.Ops)))
+}
+
+// Repaired assembles the post-repair partials payload: the retained
+// segments' partials from prior plus every freshly rescanned partial. prior
+// may be nil (a cold seed has nothing to retain). The result shares
+// SegPartials with its inputs; none of them are mutated.
+func Repaired(prior, fresh *PartialResult, reused []int) *PartialResult {
+	out := &PartialResult{
+		Labels: fresh.Labels,
+		Ops:    fresh.Ops,
+		Segs:   make(map[int]*SegPartial, len(reused)+len(fresh.Segs)),
+	}
+	if prior != nil {
+		for _, si := range reused {
+			if sp, ok := prior.Segs[si]; ok {
+				out.Segs[si] = sp
+			}
+		}
+	}
+	for si, sp := range fresh.Segs {
+		out.Segs[si] = sp
+	}
+	return out
+}
+
+// ExecPartials scans every candidate segment of rel for the repairable
+// query q and returns the per-segment partials. It is ExecDelta with
+// nothing to reuse; the merged Result() equals what any full strategy
+// computes.
+func ExecPartials(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*PartialResult, error) {
+	fresh, _, err := ExecDelta(rel, q, nil, 1, stats)
+	return fresh, err
+}
+
+// deltaTask is one segment ExecDelta must rescan.
+type deltaTask struct {
+	si  int
+	seg *storage.Segment
+	v   uint64
+}
+
+// ExecDelta is the delta-repair scan: it walks rel's segments exactly like
+// the fingerprint computation does — empty segments skipped, segments whose
+// zone maps rule the conjunction out pruned — and, for each surviving
+// candidate, either *reuses* the caller's prior partial (the segment's
+// version matches have[si], so neither its rows nor its candidacy can have
+// changed) or *rescans* it into a fresh SegPartial. It returns the fresh
+// partials and the indices of the reused candidates; combining
+// Repaired(prior, fresh, reused).Result() equals a cold full scan of the
+// current state.
+//
+// have is the version vector of the caller's cached partials (nil reuses
+// nothing — a full partial scan). workers > 1 fans the rescans out one
+// goroutine task per segment, exactly as ExecRowParallel does — partials
+// are per-segment and order-independent, so the usual case of one changed
+// tail stays serial while a cold seed of a large relation uses every core.
+// The caller must hold the relation stable (the engine's read lock
+// suffices). Non-repairable queries return ErrUnsupported. Stats, when
+// non-nil, receives the scan counters: only rescanned segments count as
+// scanned/touched.
+func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, workers int, stats *StrategyStats) (fresh *PartialResult, reused []int, err error) {
+	if !Repairable(q) {
+		return nil, nil, ErrUnsupported
+	}
+	out := Classify(q)
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		preds = nil
+	}
+
+	// Phase 1: classify segments — prune, reuse, or plan a rescan. Under
+	// the caller's read lock no version can move between this read and the
+	// scan below (mutations hold the exclusive lock).
+	var tasks []deltaTask
+	for si, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if len(preds) > 0 && segPruned(seg, preds) {
+			if stats != nil {
+				stats.SegmentsPruned++
+			}
+			continue
+		}
+		v := seg.Version()
+		if have != nil {
+			if hv, ok := have[si]; ok && hv == v {
+				reused = append(reused, si)
+				continue
+			}
+		}
+		tasks = append(tasks, deltaTask{si: si, seg: seg, v: v})
+	}
+
+	// Phase 2: rescan the planned segments, serially or fanned out.
+	fresh = newPartialResult(q)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			sp, faulted, err := scanDeltaTask(t, q, out, preds, splittable)
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.touch(t.si)
+			if stats != nil && faulted {
+				stats.SegmentsFaulted++
+			}
+			fresh.Segs[t.si] = sp
+		}
+		return fresh, reused, nil
+	}
+
+	partials := make([]*SegPartial, len(tasks))
+	faulted := make([]bool, len(tasks))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var errOnce sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// A failed sibling stops the claim loop: the scan is lost,
+				// so faulting more spilled segments in would be wasted I/O.
+				if failed.Load() {
+					return
+				}
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) {
+					return
+				}
+				sp, f, err := scanDeltaTask(tasks[ti], q, out, preds, splittable)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				partials[ti], faulted[ti] = sp, f
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	for ti, sp := range partials {
+		stats.touch(tasks[ti].si)
+		if stats != nil && faulted[ti] {
+			stats.SegmentsFaulted++
+		}
+		fresh.Segs[tasks[ti].si] = sp
+	}
+	return fresh, reused, nil
+}
+
+// scanDeltaTask pins one planned segment, scans its partial and stamps the
+// version read during classification.
+func scanDeltaTask(t deltaTask, q *query.Query, out Outputs, preds []ColPred, splittable bool) (*SegPartial, bool, error) {
+	faulted, err := t.seg.Acquire()
+	if err != nil {
+		return nil, false, err
+	}
+	t.seg.Touch()
+	sp, err := scanSegmentPartial(t.seg, q, out, preds, splittable)
+	t.seg.Release()
+	if err != nil {
+		return nil, false, err
+	}
+	sp.Version = t.v
+	return sp, faulted, nil
+}
+
+// scanSegmentPartial computes one pinned segment's aggregate states. The
+// fused row kernel serves segments with a single covering group (the common
+// case, including non-splittable predicates via the interpreted filter);
+// everything else — multi-group layouts, mixed aggregate shapes outside the
+// template library — falls back to the per-segment generic interpreter with
+// fresh states, so every repairable query has a partial path on every
+// layout.
+func scanSegmentPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, splittable bool) (*SegPartial, error) {
+	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
+		if g := bestCoveringGroupSeg(seg, q); g != nil {
+			if splittable {
+				if bound, ok := BindPreds(g, preds); ok {
+					p := scanRange(g, out, bound, nil, 0, seg.Rows)
+					return &SegPartial{States: p.states}, nil
+				}
+			} else {
+				p := scanRange(g, out, nil, q.Where, 0, seg.Rows)
+				return &SegPartial{States: p.states}, nil
+			}
+		}
+	}
+	states := make([]*expr.AggState, len(q.Items))
+	for i, it := range q.Items {
+		states[i] = expr.NewAggState(it.Agg.Op)
+	}
+	if err := genericSegmentScan(seg, q, true, states, nil); err != nil {
+		return nil, err
+	}
+	return &SegPartial{States: states}, nil
+}

@@ -10,6 +10,25 @@
 // All strategies materialize their output row-major in a contiguous block,
 // as the paper requires ("all execution strategies materialize the output
 // results in memory using contiguous memory blocks in a row-major layout").
+//
+// # Segments and partial results
+//
+// Every strategy iterates the relation segment by segment: empty segments
+// are skipped, segments whose zone maps rule the (conjunctive) predicates
+// out are pruned without touching a row or disk, surviving segments are
+// pinned resident (faulting spilled ones in through the relation's loader),
+// and materializing queries stop consuming segments at q.Limit. Within a
+// segment, aggregate items fold into per-segment accumulator states that
+// merge associatively across segments — the property the parallel scan uses
+// to fan out one task per segment, and that the partial-result layer
+// (partials.go) makes durable: for *repairable* queries (every select item
+// a decomposable aggregate, no LIMIT — see Repairable), ExecPartials keeps
+// each candidate segment's states as a versioned SegPartial, and ExecDelta
+// later rescans only the segments whose versions moved, re-combining with
+// the retained partials. The serving layer's delta repair, and the
+// O(changed segments) repair cost it buys, rest entirely on that contract;
+// the partials contract at the top of partials.go spells out which
+// aggregates decompose and why LIMIT disqualifies repair.
 package exec
 
 import (

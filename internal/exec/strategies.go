@@ -600,43 +600,7 @@ func ExecGeneric(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*
 	res := &Result{Cols: labels}
 	err := scanSegments(rel, prunePreds, stats, limit, func() int { return res.Rows },
 		func(seg *storage.Segment) error {
-			_, assign, err := seg.CoveringGroups(q.AllAttrs())
-			if err != nil {
-				return err
-			}
-			type binding struct {
-				d      []data.Value
-				stride int
-				off    int
-			}
-			binds := map[data.AttrID]binding{}
-			for a, g := range assign {
-				off, _ := g.Offset(a)
-				binds[a] = binding{d: g.Data, stride: g.Stride, off: off}
-			}
-			row := 0
-			get := func(a data.AttrID) data.Value {
-				b := binds[a]
-				return b.d[row*b.stride+b.off]
-			}
-			for row = 0; row < seg.Rows; row++ {
-				if q.Where != nil && !q.Where.EvalBool(get) {
-					continue
-				}
-				if hasAgg {
-					for i, it := range q.Items {
-						if it.Agg != nil {
-							states[i].Add(it.Agg.Arg.Eval(get))
-						}
-					}
-				} else {
-					for _, it := range q.Items {
-						res.Data = append(res.Data, it.Expr.Eval(get))
-					}
-					res.Rows++
-				}
-			}
-			return nil
+			return genericSegmentScan(seg, q, hasAgg, states, res)
 		})
 	if err != nil {
 		return nil, err
@@ -654,6 +618,53 @@ func ExecGeneric(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*
 		return &Result{Cols: labels, Rows: 1, Data: vals}, nil
 	}
 	return res, nil
+}
+
+// genericSegmentScan is the per-segment body of the generic interpreter: a
+// tuple-at-a-time loop over one pinned segment, evaluating the predicate
+// tree and select expressions through per-attribute accessor indirection.
+// Aggregate items fold into states (one per select item, in item order);
+// non-aggregate outputs append to res. The partial-result layer reuses it
+// with fresh per-segment states to compute SegPartials on layouts or query
+// shapes the fused kernels cannot serve.
+func genericSegmentScan(seg *storage.Segment, q *query.Query, hasAgg bool, states []*expr.AggState, res *Result) error {
+	_, assign, err := seg.CoveringGroups(q.AllAttrs())
+	if err != nil {
+		return err
+	}
+	type binding struct {
+		d      []data.Value
+		stride int
+		off    int
+	}
+	binds := map[data.AttrID]binding{}
+	for a, g := range assign {
+		off, _ := g.Offset(a)
+		binds[a] = binding{d: g.Data, stride: g.Stride, off: off}
+	}
+	row := 0
+	get := func(a data.AttrID) data.Value {
+		b := binds[a]
+		return b.d[row*b.stride+b.off]
+	}
+	for row = 0; row < seg.Rows; row++ {
+		if q.Where != nil && !q.Where.EvalBool(get) {
+			continue
+		}
+		if hasAgg {
+			for i, it := range q.Items {
+				if it.Agg != nil {
+					states[i].Add(it.Agg.Arg.Eval(get))
+				}
+			}
+		} else {
+			for _, it := range q.Items {
+				res.Data = append(res.Data, it.Expr.Eval(get))
+			}
+			res.Rows++
+		}
+	}
+	return nil
 }
 
 func aggResult(labels []string, states []*expr.AggState) *Result {

@@ -79,15 +79,29 @@ func (s *shard) put(key string, res *exec.Result, info core.ExecInfo) {
 	e.last.Store(s.tick.Add(1))
 	s.items[key] = e
 	for len(s.items) > s.cap {
-		var oldestKey string
-		oldest := ^uint64(0)
-		for k, cand := range s.items {
-			if t := cand.last.Load(); t <= oldest {
-				oldest, oldestKey = t, k
-			}
-		}
-		delete(s.items, oldestKey)
+		delete(s.items, oldestKey(s.items, func(e *entry) uint64 { return e.last.Load() }, ""))
 	}
+}
+
+// oldestKey returns the key of the entry with the smallest access tick —
+// exact LRU by O(n) scan, shared by every cache in this package (result
+// entries, partials payloads, fingerprint memos). The scan only runs on
+// inserts that overflow a budget, which also paid at least a full
+// fingerprint walk. skip is excluded from consideration (a byte-budgeted
+// put must never evict what it just installed); "" is returned only when
+// no other entry exists.
+func oldestKey[E any](items map[string]*E, last func(*E) uint64, skip string) string {
+	var oldest string
+	min := ^uint64(0)
+	for k, e := range items {
+		if k == skip {
+			continue
+		}
+		if t := last(e); t <= min {
+			min, oldest = t, k
+		}
+	}
+	return oldest
 }
 
 func (s *shard) len() int {

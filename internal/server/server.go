@@ -33,6 +33,31 @@ type Backend interface {
 	Fingerprint(q *query.Query) (core.TouchFingerprint, error)
 }
 
+// DeltaBackend is the optional capability behind delta repair. A Backend
+// that also implements it lets the server answer repairable aggregate
+// queries by rescanning only the segments that changed since their
+// partials were cached; a Backend without it (the test stubs, any engine
+// that cannot scan segment subsets) simply never repairs — every miss
+// takes the full Exec path.
+type DeltaBackend interface {
+	// ExecDelta rescans the candidate segments of a repairable query whose
+	// versions differ from have (nil = all of them), under the same lock as
+	// the returned fingerprint. ok=false tells the server to fall back to
+	// Exec — the query is not repairable, or the backend's adaptive
+	// machinery needs the full path this round.
+	ExecDelta(q *query.Query, have map[int]uint64) (*core.DeltaScan, bool, error)
+}
+
+// VersionBackend is the optional capability behind admission-time
+// fingerprint memoization: a cheap (atomic-read) per-table relation
+// version that bumps on every mutation. With it, hot query patterns skip
+// the O(segments × predicate terms) zone-map walk on admission — the memo
+// is exact while the version is unchanged, and versions are never reused,
+// so a bump invalidates for free. The h2o.DB facade implements it.
+type VersionBackend interface {
+	Version(table string) (uint64, error)
+}
+
 // Config sizes the serving layer. Zero values select defaults.
 type Config struct {
 	// Workers is the number of goroutines executing queries. Default:
@@ -50,6 +75,17 @@ type Config struct {
 	// CacheEntries is the total result-cache capacity in entries. Default:
 	// 4096. Negative disables caching entirely.
 	CacheEntries int
+	// PartialCacheBytes budgets the per-segment partial-aggregate payloads
+	// kept alongside cached results for delta repair. Default: 4 MiB.
+	// Negative disables partial caching (and with it delta repair); it is
+	// also off whenever the backend does not implement DeltaBackend or the
+	// result cache is disabled.
+	PartialCacheBytes int64
+	// MemoEntries bounds the admission fingerprint memo (per (table,
+	// normalized query) at a relation version). Default: 4096. Negative
+	// disables memoization; it is also off whenever the backend does not
+	// implement VersionBackend or the result cache is disabled.
+	MemoEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
+	}
+	if c.PartialCacheBytes == 0 {
+		c.PartialCacheBytes = 4 << 20
+	}
+	if c.MemoEntries == 0 {
+		c.MemoEntries = 4096
 	}
 	return c
 }
@@ -91,6 +133,21 @@ type Stats struct {
 	// the key admission looked up. Mutations confined to segments the
 	// query never reads change neither fingerprint and do not count.
 	Republished uint64
+	// Repaired counts queries answered by delta repair: at least one
+	// cached per-segment partial was reused, so the scan covered only the
+	// changed candidate segments instead of the whole candidate set.
+	// Repaired queries also count as Executed and CacheMisses.
+	Repaired uint64
+	// RepairedSegments totals the candidate segments delta repairs
+	// rescanned — the changed-segment counts, summed over Repaired
+	// queries. Repaired > 0 with a low RepairedSegments/Repaired ratio is
+	// the payoff signature: repeat aggregates over a tail-append workload
+	// cost O(1 segment) each.
+	RepairedSegments uint64
+	// MemoHits counts admissions whose fingerprint came from the
+	// per-(table, query) memo at an unchanged relation version, skipping
+	// the O(segments × predicate terms) zone-map walk.
+	MemoHits uint64
 }
 
 // job is one admitted query.
@@ -98,7 +155,15 @@ type job struct {
 	ctx  context.Context
 	q    *query.Query
 	key  string // admission-time cache key, empty when caching is off
+	norm string // normalized query text, rendered once at admission
 	done chan outcome
+
+	// pkey routes the job through the delta-repair tier: the
+	// partials-cache key (empty when this query cannot repair). The
+	// worker reads the payload at execution time, not admission time, so
+	// identical queries queued together benefit from the first one's
+	// publish instead of each redoing the full partial scan.
+	pkey string
 }
 
 type outcome struct {
@@ -115,18 +180,30 @@ type Server struct {
 	cfg     Config
 	cache   *resultCache // nil when caching is disabled
 
+	// delta and partials enable the repair tier; both nil unless the
+	// backend implements DeltaBackend, caching is on and the partial
+	// budget is positive. ver and memo likewise gate fingerprint
+	// memoization on VersionBackend.
+	delta    DeltaBackend
+	partials *partialCache
+	ver      VersionBackend
+	memo     *fpMemo
+
 	queue chan *job
 	done  chan struct{} // closed by Close
 	wg    sync.WaitGroup
 	once  sync.Once
 
-	submitted   atomic.Uint64
-	executed    atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	canceled    atomic.Uint64
-	uncacheable atomic.Uint64
-	republished atomic.Uint64
+	submitted    atomic.Uint64
+	executed     atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	canceled     atomic.Uint64
+	uncacheable  atomic.Uint64
+	republished  atomic.Uint64
+	repaired     atomic.Uint64
+	repairedSegs atomic.Uint64
+	memoHits     atomic.Uint64
 }
 
 // New starts a server over backend and returns it running; callers own the
@@ -141,6 +218,14 @@ func New(backend Backend, cfg Config) *Server {
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheShards, cfg.CacheEntries)
+		if d, ok := backend.(DeltaBackend); ok && cfg.PartialCacheBytes > 0 {
+			s.delta = d
+			s.partials = newPartialCache(cfg.PartialCacheBytes)
+		}
+		if v, ok := backend.(VersionBackend); ok && cfg.MemoEntries > 0 {
+			s.ver = v
+			s.memo = newFpMemo(cfg.MemoEntries)
+		}
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -160,13 +245,16 @@ func (s *Server) Close() {
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Submitted:   s.submitted.Load(),
-		Executed:    s.executed.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		CacheMisses: s.cacheMisses.Load(),
-		Canceled:    s.canceled.Load(),
-		Uncacheable: s.uncacheable.Load(),
-		Republished: s.republished.Load(),
+		Submitted:        s.submitted.Load(),
+		Executed:         s.executed.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		Canceled:         s.canceled.Load(),
+		Uncacheable:      s.uncacheable.Load(),
+		Republished:      s.republished.Load(),
+		Repaired:         s.repaired.Load(),
+		RepairedSegments: s.repairedSegs.Load(),
+		MemoHits:         s.memoHits.Load(),
 	}
 }
 
@@ -207,34 +295,51 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 	default:
 	}
 
-	var key string
+	var key, norm, pkey string
 	if s.cache != nil {
-		// Admission: fingerprint the candidate touch set — the segments q
-		// may read per zone-map pruning, with their versions — and look the
-		// cache up under it. A cached entry is addressable exactly while
-		// every segment that could contribute to the result is unchanged;
-		// mutations confined to other segments (a tail append behind a
-		// selective predicate, a reorg of segments this query never reads)
-		// leave the entry live.
-		fp, err := s.backend.Fingerprint(q)
+		// Admission tier 1 — exact hit. Fingerprint the candidate touch set
+		// — the segments q may read per zone-map pruning, with their
+		// versions — and look the cache up under it. A cached entry is
+		// addressable exactly while every segment that could contribute to
+		// the result is unchanged; mutations confined to other segments (a
+		// tail append behind a selective predicate, a reorg of segments
+		// this query never reads) leave the entry live.
+		norm = q.String()
+		// The (table, normalized query) composite addresses both the
+		// fingerprint memo and the partials cache; build it once.
+		tqKey := partialKey(q.Table, norm)
+		fp, err := s.fingerprint(q, tqKey)
 		if err != nil {
 			return nil, core.ExecInfo{}, err
 		}
-		key = cacheKey(q.Table, q.String(), fp)
+		key = cacheKey(q.Table, norm, fp)
 		if res, info, ok := s.cache.get(key); ok {
 			s.cacheHits.Add(1)
 			info.CacheHit = true
 			// Report the hit's latency, not the original execution's scan
 			// time, so per-query latency accounting reflects what the
-			// caller actually waited.
+			// caller actually waited; likewise a hit rescanned nothing,
+			// even when the stored entry was published by a repair.
 			info.Duration = time.Since(start)
 			info.CompileTime = 0
+			info.RepairedSegments = 0
 			return res, info, nil
 		}
 		s.cacheMisses.Add(1)
+		// Admission tier 2 — delta repair. The exact entry is gone (a
+		// candidate segment mutated, or the LRU recycled it), but for
+		// repairable aggregate queries the partials payload cached under
+		// the fingerprint-less (table, query) key may still hold exact
+		// per-segment contributions; the worker will rescan only the
+		// segments whose versions moved (or seed the payload with a full
+		// partial scan when there is none). Tier 3 — the full Exec path —
+		// is what everything else takes.
+		if s.partials != nil && exec.Repairable(q) {
+			pkey = tqKey
+		}
 	}
 
-	j := &job{ctx: ctx, q: q, key: key, done: make(chan outcome, 1)}
+	j := &job{ctx: ctx, q: q, key: key, norm: norm, done: make(chan outcome, 1), pkey: pkey}
 
 	// Admission: block for a queue slot, but never past cancellation or
 	// shutdown.
@@ -273,6 +378,31 @@ func (s *Server) worker() {
 	}
 }
 
+// fingerprint computes q's admission fingerprint, memoized under the
+// caller's (table, normalized query) composite key at the backend's
+// relation version when the backend exposes one. The version is read
+// *before* the walk it guards: see fpMemo for why that order is what makes
+// a racing mutation harmless.
+func (s *Server) fingerprint(q *query.Query, tqKey string) (core.TouchFingerprint, error) {
+	if s.memo == nil {
+		return s.backend.Fingerprint(q)
+	}
+	ver, err := s.ver.Version(q.Table)
+	if err != nil {
+		return core.TouchFingerprint{}, err
+	}
+	if fp, ok := s.memo.get(tqKey, ver); ok {
+		s.memoHits.Add(1)
+		return fp, nil
+	}
+	fp, err := s.backend.Fingerprint(q)
+	if err != nil {
+		return core.TouchFingerprint{}, err
+	}
+	s.memo.put(tqKey, ver, fp)
+	return fp, nil
+}
+
 // serve executes one admitted job and publishes the result.
 func (s *Server) serve(j *job) {
 	// The client may have left while the job sat in the queue; skip the scan.
@@ -280,31 +410,98 @@ func (s *Server) serve(j *job) {
 		j.done <- outcome{err: err}
 		return
 	}
+	if j.pkey != "" {
+		if done := s.serveDelta(j); done {
+			return
+		}
+		// The backend declined the delta path this round (adaptation due,
+		// shape it cannot scan incrementally): fall through to full Exec.
+	}
 	res, info, err := s.backend.Exec(j.q)
 	s.executed.Add(1)
 	if err == nil && s.cache != nil && j.key != "" {
-		// Publish under the fingerprint the execution observed (computed by
-		// the engine under the lock the scan held), not blindly under the
-		// admission-time key: if a mutation of candidate segments landed
-		// between admission and execution, the admission key now names a
-		// state that no longer exists, while the execution key names
-		// exactly the state the result was read from — later identical
-		// queries admit against that state and hit. This is the
-		// vector-comparison generalization of the old whole-relation
-		// version re-check: a bump confined to segments the query never
-		// reads changes neither fingerprint, so the keys coincide and the
-		// result publishes normally instead of being discarded.
-		if fp := info.Fingerprint; fp.Valid() {
-			pubKey := cacheKey(j.q.Table, j.q.String(), fp)
-			s.cache.put(pubKey, res, info)
-			if pubKey != j.key {
-				s.republished.Add(1)
-			}
-		} else {
-			// No fingerprint, no safe key: the backend could not tie the
-			// result to a relation state.
-			s.uncacheable.Add(1)
-		}
+		s.publish(j, res, info)
 	}
 	j.done <- outcome{res: res, info: info, err: err}
+}
+
+// publish caches one execution's result under the fingerprint the
+// execution observed (computed by the engine under the lock the scan
+// held), not blindly under the admission-time key: if a mutation of
+// candidate segments landed between admission and execution, the admission
+// key now names a state that no longer exists, while the execution key
+// names exactly the state the result was read from — later identical
+// queries admit against that state and hit. This is the vector-comparison
+// generalization of the old whole-relation version re-check: a bump
+// confined to segments the query never reads changes neither fingerprint,
+// so the keys coincide and the result publishes normally instead of being
+// discarded. Shared by the full and delta paths so the republish and
+// uncacheable accounting can never drift between them.
+func (s *Server) publish(j *job, res *exec.Result, info core.ExecInfo) {
+	if fp := info.Fingerprint; fp.Valid() {
+		pubKey := cacheKey(j.q.Table, j.norm, fp)
+		s.cache.put(pubKey, res, info)
+		if pubKey != j.key {
+			s.republished.Add(1)
+		}
+	} else {
+		// No fingerprint, no safe key: the backend could not tie the
+		// result to a relation state.
+		s.uncacheable.Add(1)
+	}
+}
+
+// serveDelta answers one repairable job through the backend's delta scan:
+// rescan only the candidate segments whose versions differ from the cached
+// partials (all of them when there is no payload — the cold seed), combine
+// with the retained partials, and publish both the result (under the
+// fingerprint the scan observed, with the same republish accounting as the
+// full path) and the refreshed payload. The payload is read here, at
+// execution time: identical queries that queued up behind a cold seed find
+// the first worker's publish and shrink to the changed set. Returns false
+// when the backend declined, telling the caller to run the full Exec path
+// instead.
+func (s *Server) serveDelta(j *job) bool {
+	start := time.Now()
+	prior := s.partials.get(j.pkey)
+	var have map[int]uint64
+	if prior != nil {
+		have = prior.Versions()
+	}
+	ds, ok, err := s.delta.ExecDelta(j.q, have)
+	if err != nil {
+		s.executed.Add(1)
+		j.done <- outcome{err: err}
+		return true
+	}
+	if !ok {
+		return false
+	}
+	s.executed.Add(1)
+	merged := exec.Repaired(prior, ds.Fresh, ds.Reused)
+	res := merged.Result()
+	info := core.ExecInfo{
+		Strategy:        exec.StrategyDelta,
+		Layout:          ds.Layout,
+		Fingerprint:     ds.Fingerprint,
+		SegmentsScanned: ds.Stats.SegmentsScanned,
+		SegmentsPruned:  ds.Stats.SegmentsPruned,
+		SegmentsFaulted: ds.Stats.SegmentsFaulted,
+		SegmentsTouched: ds.Stats.Touched,
+		Duration:        time.Since(start),
+	}
+	// A repair proper reused at least one cached partial; a cold seed (or a
+	// payload whose every candidate changed) is a full partial scan and
+	// counts as neither repaired nor rescued work.
+	if len(ds.Reused) > 0 {
+		info.RepairedSegments = len(ds.Fresh.Segs)
+		s.repaired.Add(1)
+		s.repairedSegs.Add(uint64(len(ds.Fresh.Segs)))
+	}
+	s.publish(j, res, info)
+	if ds.Fingerprint.Valid() {
+		s.partials.put(j.pkey, merged)
+	}
+	j.done <- outcome{res: res, info: info}
+	return true
 }

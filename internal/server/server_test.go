@@ -38,6 +38,24 @@ func (b *engineBackend) Fingerprint(q *query.Query) (core.TouchFingerprint, erro
 	return b.e.QueryFingerprint(q), nil
 }
 
+// ExecDelta and Version make engineBackend a DeltaBackend and a
+// VersionBackend, as the facade is: repairable aggregate queries take the
+// delta tier and admissions memoize their fingerprints, so the serving
+// tests exercise the production admission path end to end.
+func (b *engineBackend) ExecDelta(q *query.Query, have map[int]uint64) (*core.DeltaScan, bool, error) {
+	if q.Table != b.table {
+		return nil, false, fmt.Errorf("unknown table %q", q.Table)
+	}
+	return b.e.QueryDelta(q, have)
+}
+
+func (b *engineBackend) Version(table string) (uint64, error) {
+	if table != b.table {
+		return 0, fmt.Errorf("unknown table %q", table)
+	}
+	return b.e.Version(), nil
+}
+
 func newTestBackend(t testing.TB, rows int) *engineBackend {
 	t.Helper()
 	tb := data.Generate(data.SyntheticSchema("R", 8), rows, 5)
