@@ -40,6 +40,14 @@
 //
 //	h2obench -exp repair
 //
+// -exp groupby extends the repair sweep to GROUP BY: a repeated grouped
+// aggregate under tail appends is repaired by merging the cached
+// per-segment group maps with a rescan of only the appended tail, so its
+// cost stays flat as the relation doubles while full re-aggregation
+// rebuilds every segment's groups:
+//
+//	h2obench -exp groupby
+//
 // Finally, -bench-report turns `go test -bench . -benchtime=1x -json`
 // output (read on stdin) into a normalized bench.json on stdout — the
 // per-commit perf-trajectory artifact CI uploads:

@@ -4,6 +4,7 @@
 //
 //	h2oshell -attrs 50 -rows 100000
 //	h2o> select max(a1), max(a5) from R where a0 < 0
+//	h2o> select a3, sum(a1) from R group by a3 limit 10
 //	h2o> \layout        # current column groups
 //	h2o> \stats         # adaptations, reorganizations, operator cache
 //	h2o> \cache         # serving layer: result cache hits, executions
@@ -181,19 +182,45 @@ func replay(db *h2o.DB, path string, maxRows int) {
 	_ = maxRows
 }
 
+// printResult renders the result as an aligned table: header, rule, then up
+// to maxRows rows. Column widths come from the displayed cells, so grouped
+// output (one row per key, the key columns leading) lines up readably.
 func printResult(res *h2o.Result, maxRows int) {
-	fmt.Println(strings.Join(res.Cols, " | "))
 	n := res.Rows
 	truncated := false
 	if n > maxRows {
 		n, truncated = maxRows, true
 	}
+	w := res.Width()
+	widths := make([]int, w)
+	rows := make([][]string, n)
+	for j, c := range res.Cols {
+		widths[j] = len(c)
+	}
 	for i := 0; i < n; i++ {
-		cells := make([]string, res.Width())
-		for j := range cells {
-			cells[j] = fmt.Sprint(res.At(i, j))
+		rows[i] = make([]string, w)
+		for j := 0; j < w; j++ {
+			rows[i][j] = fmt.Sprint(res.At(i, j))
+			if len(rows[i][j]) > widths[j] {
+				widths[j] = len(rows[i][j])
+			}
 		}
-		fmt.Println(strings.Join(cells, " | "))
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for j, c := range cells {
+			parts[j] = fmt.Sprintf("%*s", widths[j], c)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	line(res.Cols)
+	rule := make([]string, w)
+	for j := range rule {
+		rule[j] = strings.Repeat("-", widths[j])
+	}
+	fmt.Println(strings.Join(rule, "-+-"))
+	for _, r := range rows {
+		line(r)
 	}
 	if truncated {
 		fmt.Printf("... (%d more)\n", res.Rows-maxRows)

@@ -75,6 +75,73 @@ func TestDeltaRepairFacade(t *testing.T) {
 	}
 }
 
+// TestGroupedDeltaRepairFacade is the public-API acceptance test for GROUP
+// BY with delta repair: a grouped aggregate parsed from SQL rides the same
+// serving tiers as scalar aggregates — per-append repairs rescan only the
+// changed tail segment, the repaired group rows (one per key, ascending)
+// equal a cache-free full scan, and the serving stats record the repairs.
+func TestGroupedDeltaRepairFacade(t *testing.T) {
+	const (
+		segCap  = 1024
+		sealed  = 4
+		rows    = sealed*segCap + segCap/3
+		appends = 6
+	)
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen
+	opts.SegmentCapacity = segCap
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	db.AddTable(h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), rows, 7))
+
+	ctx := context.Background()
+	const groupQ = "select a3, sum(a1), count(a2) from R group by a3"
+
+	if _, info, err := db.QueryCtx(ctx, groupQ); err != nil || info.CacheHit || info.RepairedSegments != 0 {
+		t.Fatalf("seed: err=%v hit=%v repaired=%d", err, info.CacheHit, info.RepairedSegments)
+	}
+
+	for i := 0; i < appends; i++ {
+		// Alternate between a recycled key (extends a group the repairs
+		// created) and a fresh one (adds a group the cached payload has
+		// never seen).
+		ins := fmt.Sprintf("insert into R values (%d, %d, %d, %d)", 90_000_000+i, i+1, -i, i%2)
+		if _, _, err := db.QueryCtx(ctx, ins); err != nil {
+			t.Fatal(err)
+		}
+
+		got, info, err := db.QueryCtx(ctx, groupQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.CacheHit {
+			t.Fatalf("append %d: stale cached groups served", i)
+		}
+		if info.RepairedSegments != 1 {
+			t.Fatalf("append %d: RepairedSegments = %d, want 1 — grouped repair must rescan the changed tail only",
+				i, info.RepairedSegments)
+		}
+		want, _, err := db.Query(groupQ) // bypasses the serving layer: cache-free
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows < 2 {
+			t.Fatalf("append %d: grouped result has %d rows, want several groups", i, got.Rows)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("append %d: repaired groups %v, cold full scan %v", i, got.Data, want.Data)
+		}
+	}
+
+	st := db.ServeStats()
+	if st.Repaired != appends {
+		t.Fatalf("ServerStats.Repaired = %d, want %d (stats %+v)", st.Repaired, appends, st)
+	}
+	if st.RepairedSegments != appends {
+		t.Fatalf("ServerStats.RepairedSegments = %d, want %d (stats %+v)", st.RepairedSegments, appends, st)
+	}
+}
+
 // TestPartialCacheDisabled: a negative Options.PartialCacheBytes switches
 // delta repair off at the facade level; the workload still answers
 // correctly through full executions.

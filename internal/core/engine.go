@@ -853,7 +853,9 @@ func (e *Engine) estimateSelectivity(info query.Info, q *query.Query) float64 {
 // prefix artifact, not the pattern's true selectivity (and the pattern key
 // is shared with unlimited queries).
 func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Result) {
-	if q.Where == nil || q.HasAggregates() || q.Limit > 0 || e.rel.Rows == 0 {
+	// Grouped queries are skipped like aggregates: their result cardinality
+	// is the number of distinct key vectors, not the qualifying row count.
+	if q.Where == nil || q.HasAggregates() || len(q.GroupBy) > 0 || q.Limit > 0 || e.rel.Rows == 0 {
 		return
 	}
 	sel := float64(res.Rows) / float64(e.rel.Rows)
@@ -865,7 +867,10 @@ func (e *Engine) recordSelectivity(info query.Info, q *query.Query, res *exec.Re
 // applyLimit truncates a materialized result to q.Limit rows. Aggregate
 // results (one row) are unaffected. The scan itself already stops consuming
 // segments once the limit is reached (see the exec drivers); this trims the
-// overshoot within the last scanned segment to exactly N rows.
+// overshoot within the last scanned segment to exactly N rows. Grouped
+// results scan every candidate segment regardless (the limit applies to
+// groups, not rows), then trim here to the first N groups in key order —
+// deterministic because every strategy emits groups ordered by key vector.
 func applyLimit(q *query.Query, res *exec.Result) {
 	if q.Limit <= 0 || res.Rows <= q.Limit {
 		return

@@ -151,12 +151,12 @@ func foldColumnBitmap(st *expr.AggState, g *storage.ColumnGroup, off int, bm *Bi
 }
 
 // ExecHybridBitmap is ExecHybrid's aggregate path with bitmaps instead of
-// selection vectors, used by the bitmap ablation. It supports the
-// aggregation template only; segments are processed one at a time with a
-// segment-sized bitmap, skipping segments their zone maps rule out.
+// selection vectors, used by the bitmap ablation. It supports the plain and
+// grouped aggregation templates only; segments are processed one at a time
+// with a segment-sized bitmap, skipping segments their zone maps rule out.
 func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	out := Classify(q)
-	if out.Kind != OutAggregates {
+	if out.Kind != OutAggregates && out.Kind != OutGrouped {
 		return nil, ErrUnsupported
 	}
 	preds, splittable := SplitConjunction(q.Where)
@@ -164,6 +164,10 @@ func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStat
 		return nil, ErrUnsupported
 	}
 	states := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
 	err := scanSegments(rel, preds, stats, 0, func() int { return 0 },
 		func(seg *storage.Segment) error {
 			_, assign, err := seg.CoveringGroups(q.AllAttrs())
@@ -196,6 +200,28 @@ func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStat
 				}
 			}
 
+			if out.Kind == OutGrouped {
+				folder, err := newSegGroupedFolder(seg, groupedScanAttrs(out), out)
+				if err != nil {
+					return err
+				}
+				if bm != nil {
+					for wi, w := range bm.words {
+						base := wi << 6
+						for w != 0 {
+							bit := bits.TrailingZeros64(w)
+							w &= w - 1
+							folder.fold(ga, base+bit)
+						}
+					}
+				} else {
+					for r := 0; r < seg.Rows; r++ {
+						folder.fold(ga, r)
+					}
+				}
+				return nil
+			}
+
 			for i, a := range out.AggAttrs {
 				g := assign[a]
 				off, _ := g.Offset(a)
@@ -209,6 +235,9 @@ func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStat
 		})
 	if err != nil {
 		return nil, err
+	}
+	if out.Kind == OutGrouped {
+		return groupedResult(out, ga), nil
 	}
 	return aggResult(out.Labels, states), nil
 }

@@ -22,6 +22,12 @@ const (
 	OutExpression
 	// OutAggExpression: select sum(a + b + c) — the §4.1 mix.
 	OutAggExpression
+	// OutGrouped: select k1, ..., agg(e), ... from R group by k1, ... —
+	// every item is either a decomposable aggregate or a bare group-key
+	// column. The result has one row per distinct key vector, ordered
+	// ascending by key vector, so every strategy and the delta-repair path
+	// produce bit-identical output.
+	OutGrouped
 	// OutOther: any other select-clause shape; only the generic operator
 	// covers it.
 	OutOther
@@ -38,6 +44,8 @@ func (k OutKind) String() string {
 		return "expression"
 	case OutAggExpression:
 		return "agg-expression"
+	case OutGrouped:
+		return "grouped"
 	default:
 		return "other"
 	}
@@ -55,6 +63,15 @@ type Outputs struct {
 
 	ExprAttrs []data.AttrID // OutExpression/OutAggExpression: summed columns
 	ExprAgg   expr.AggOp    // OutAggExpression: outer aggregate
+
+	// OutGrouped fields. GroupBy holds the group-key attribute ids in
+	// GROUP BY order (deduplicated). ItemKey maps each select item to its
+	// index in GroupBy, or -1 for aggregate items. GroupOps/GroupArgs hold
+	// the aggregate items' ops and arguments in select-item order.
+	GroupBy   []data.AttrID
+	ItemKey   []int
+	GroupOps  []expr.AggOp
+	GroupArgs []expr.Expr
 }
 
 // SumLeaves flattens e if it is a pure sum of column references (the paper's
@@ -92,6 +109,9 @@ func Classify(q *query.Query) Outputs {
 	if len(q.Items) == 0 {
 		out.Kind = OutOther
 		return out
+	}
+	if len(q.GroupBy) > 0 {
+		return classifyGrouped(q, out)
 	}
 
 	allPlainCols := true
@@ -143,5 +163,41 @@ func Classify(q *query.Query) Outputs {
 	default:
 		out.Kind = OutOther
 	}
+	return out
+}
+
+// classifyGrouped validates the grouped select shape: every item must be an
+// aggregate or a bare reference to a group-by key. Any other shape is
+// OutOther, which no strategy executes (ExecGeneric reports a clean error).
+func classifyGrouped(q *query.Query, out Outputs) Outputs {
+	keys := q.GroupIDs()
+	keyIdx := make(map[data.AttrID]int, len(keys))
+	for i, a := range keys {
+		if _, dup := keyIdx[a]; !dup {
+			keyIdx[a] = i
+		}
+	}
+	out.ItemKey = make([]int, len(q.Items))
+	for i, it := range q.Items {
+		if it.Agg != nil {
+			out.ItemKey[i] = -1
+			out.GroupOps = append(out.GroupOps, it.Agg.Op)
+			out.GroupArgs = append(out.GroupArgs, it.Agg.Arg)
+			continue
+		}
+		c, ok := it.Expr.(*expr.Col)
+		if !ok {
+			out.Kind = OutOther
+			return out
+		}
+		ki, ok := keyIdx[c.ID]
+		if !ok {
+			out.Kind = OutOther
+			return out
+		}
+		out.ItemKey[i] = ki
+	}
+	out.Kind = OutGrouped
+	out.GroupBy = keys
 	return out
 }

@@ -107,9 +107,11 @@ func eqPredConst(rng *rand.Rand, attr data.AttrID, rows int) data.Value {
 }
 
 // eqQuery generates one randomized query: projection / per-column
-// aggregates / arithmetic expression / aggregated expression over random
-// attributes, with a random predicate shape (none, single comparison,
-// conjunction, disjunction) and a random limit.
+// aggregates / arithmetic expression / aggregated expression / grouped
+// aggregation (mixed per-item ops, occasionally expression arguments or
+// unselected keys) / key-only grouping over random attributes, with a random
+// predicate shape (none, single comparison, conjunction, disjunction) and a
+// random limit.
 func eqQuery(rng *rand.Rand, rows int) *query.Query {
 	attrs := query.RandomAttrs(eqSchemaWidth, 1+rng.Intn(3), rng.Intn)
 
@@ -134,7 +136,7 @@ func eqQuery(rng *rand.Rand, rows int) *query.Query {
 	}
 
 	var q *query.Query
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0:
 		q = query.Projection("R", attrs, where)
 	case 1:
@@ -144,9 +146,47 @@ func eqQuery(rng *rand.Rand, rows int) *query.Query {
 		q = query.ArithExpression("R", attrs, where)
 	case 3:
 		q = query.AggExpression("R", attrs, where)
+	case 4:
+		// Grouped aggregation: random keys, a mixed aggregate op per item,
+		// occasionally an expression argument, occasionally a key left out of
+		// the select list (legal: grouping still runs over the full key
+		// vector, the output just omits that column).
+		keys := query.RandomAttrs(eqSchemaWidth, 1+rng.Intn(2), rng.Intn)
+		gb := make([]expr.Col, len(keys))
+		items := make([]query.SelectItem, 0, len(keys)+len(attrs))
+		for i, k := range keys {
+			gb[i] = expr.Col{ID: k}
+			if len(keys) == 1 || rng.Intn(4) != 0 {
+				items = append(items, query.SelectItem{Expr: &expr.Col{ID: k}})
+			}
+		}
+		ops := []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg}
+		for _, a := range attrs {
+			var arg expr.Expr = &expr.Col{ID: a}
+			if rng.Intn(4) == 0 {
+				arg = expr.SumCols(query.RandomAttrs(eqSchemaWidth, 2, rng.Intn))
+			}
+			items = append(items, query.SelectItem{Agg: &expr.Agg{Op: ops[rng.Intn(len(ops))], Arg: arg}})
+		}
+		q = &query.Query{Table: "R", Items: items, Where: where, GroupBy: gb}
+	case 5:
+		// Key-only grouping (DISTINCT-like): groups with no aggregates.
+		keys := query.RandomAttrs(eqSchemaWidth, 1+rng.Intn(2), rng.Intn)
+		gb := make([]expr.Col, len(keys))
+		items := make([]query.SelectItem, len(keys))
+		for i, k := range keys {
+			gb[i] = expr.Col{ID: k}
+			items[i] = query.SelectItem{Expr: &expr.Col{ID: k}}
+		}
+		q = &query.Query{Table: "R", Items: items, Where: where, GroupBy: gb}
 	}
-	if !q.HasAggregates() && rng.Intn(3) == 0 {
+	if !q.HasAggregates() && len(q.GroupBy) == 0 && rng.Intn(3) == 0 {
 		q.Limit = 1 + rng.Intn(2*eqSegCap)
+	}
+	// Grouped output is a key-ordered prefix under LIMIT, so limits compose
+	// with every strategy; small ones exercise the trim.
+	if len(q.GroupBy) > 0 && rng.Intn(4) == 0 {
+		q.Limit = 1 + rng.Intn(6)
 	}
 	return q
 }
@@ -160,6 +200,36 @@ func trimLimit(q *query.Query, r *Result) *Result {
 		return r
 	}
 	return &Result{Cols: r.Cols, Rows: q.Limit, Data: r.Data[:q.Limit*len(r.Cols)]}
+}
+
+// groupedRowsEqual compares two grouped results order-insensitively: equal
+// column sets and equal row multisets, regardless of emission order. The
+// strategies additionally promise key-ordered emission (which exact Equal
+// checks); this weaker comparison isolates "wrong groups" failures from
+// "right groups, wrong order" failures.
+func groupedRowsEqual(a, b *Result) bool {
+	if a.Rows != b.Rows || len(a.Cols) != len(b.Cols) {
+		return false
+	}
+	for i := range a.Cols {
+		if a.Cols[i] != b.Cols[i] {
+			return false
+		}
+	}
+	w := len(a.Cols)
+	count := make(map[string]int, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		count[fmt.Sprint(a.Data[i*w:(i+1)*w])]++
+	}
+	for i := 0; i < b.Rows; i++ {
+		count[fmt.Sprint(b.Data[i*w:(i+1)*w])]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // unloadFraction spills the given fraction of sealed, resident segments
@@ -251,7 +321,12 @@ func checkEquivalence(t *testing.T, rng *rand.Rand, rel *storage.Relation, q *qu
 		if err != nil {
 			t.Fatalf("strategy %s failed on %s (resident %.0f%%): %v", s.name, q, residentFrac*100, err)
 		}
-		if got = trimLimit(q, got); !got.Equal(want) {
+		got = trimLimit(q, got)
+		if len(q.GroupBy) > 0 && !groupedRowsEqual(got, want) {
+			t.Fatalf("strategy %s produced wrong groups on %s (resident %.0f%%):\n got %d rows %v\nwant %d rows %v",
+				s.name, q, residentFrac*100, got.Rows, got.Data, want.Rows, want.Data)
+		}
+		if !got.Equal(want) {
 			t.Fatalf("strategy %s diverged on %s (resident %.0f%%):\n got %d rows %v\nwant %d rows %v",
 				s.name, q, residentFrac*100, got.Rows, got.Data, want.Rows, want.Data)
 		}
@@ -346,8 +421,10 @@ func TestDeltaRepairEquivalence(t *testing.T) {
 		rel := eqRelation(t, rng)
 		installSnapshotLoader(rel)
 
-		// Collect repairable randomized queries (aggregate shapes; the
-		// generator never puts limits on them) and seed their partials.
+		// Collect repairable randomized queries (aggregate and grouped
+		// shapes without limits) and seed their partials. The first few
+		// slots insist on GROUP BY so grouped delta repair is exercised in
+		// every relation's batch regardless of the draw.
 		type seeded struct {
 			q     *query.Query
 			prior *PartialResult
@@ -355,6 +432,9 @@ func TestDeltaRepairEquivalence(t *testing.T) {
 		var qs []seeded
 		for len(qs) < queriesPerRel {
 			q := eqQuery(rng, rel.Rows)
+			if len(qs) < 3 && len(q.GroupBy) == 0 {
+				continue
+			}
 			if !Repairable(q) {
 				continue
 			}

@@ -239,6 +239,7 @@ type partial struct {
 	states []*expr.AggState
 	data   []data.Value
 	rows   int
+	groups *groupedAcc // OutGrouped: this range's group map
 }
 
 // rangeFilter evaluates one segment's filter. The compiled path (bound
@@ -349,6 +350,17 @@ func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, generic e
 			base += stride
 		}
 		p.states = []*expr.AggState{st}
+	case OutGrouped:
+		s := newGroupedScanner(g, out)
+		ga := newGroupedAcc(out)
+		base := lo * stride
+		for r := lo; r < hi; r++ {
+			if flt.passes(base) {
+				s.fold(ga, base)
+			}
+			base += stride
+		}
+		p.groups = ga
 	}
 	return p
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"h2o/internal/data"
 	"h2o/internal/expr"
 	"h2o/internal/query"
 	"h2o/internal/storage"
@@ -23,8 +24,12 @@ import (
 //     decompose over disjoint partitions: count and sum combine by
 //     addition, min and max by comparison, and avg by carrying (sum, count)
 //     pairs — exactly what expr.AggState.Merge implements. The same merge
-//     law extends to grouped aggregates (a map of group key → AggState
-//     vector merged key-wise) when GROUP BY lands in the query language.
+//     law covers grouped aggregates: a GROUP BY query whose select items are
+//     aggregates and group-key columns (OutGrouped) keeps a per-segment map
+//     of encoded group key → AggState vector, and partials combine by
+//     merging those maps key-wise — a key absent from a segment simply
+//     contributes nothing. Group keys never cross segment boundaries'
+//     disjointness, so the grouped merge is as exact as the flat one.
 //   - LIMIT disqualifies repair even though it is a no-op on one-row
 //     aggregate results: for every other output shape the limit makes the
 //     result a prefix artifact of scan order rather than a pure function of
@@ -53,8 +58,13 @@ type SegPartial struct {
 	// Version is the segment's version at scan time; the partial is
 	// reusable exactly while the live segment still reports it.
 	Version uint64
-	// States holds one accumulator per select item, in item order.
+	// States holds one accumulator per select item, in item order. Nil for
+	// grouped queries, which use Groups instead.
 	States []*expr.AggState
+	// Groups holds the grouped decomposition: encoded group key (see
+	// encodeGroupKey) → one accumulator per aggregate select item, in item
+	// order. Nil for ungrouped queries.
+	Groups map[string][]*expr.AggState
 }
 
 // PartialResult is the per-segment decomposition of a repairable query's
@@ -65,9 +75,15 @@ type SegPartial struct {
 type PartialResult struct {
 	// Labels are the output column labels, in select-item order.
 	Labels []string
-	// Ops are the per-item aggregate operators; Result uses them to build
-	// the fresh accumulators the per-segment states merge into.
+	// Ops are the aggregate operators; Result uses them to build the fresh
+	// accumulators the per-segment states merge into. For ungrouped queries
+	// there is one per select item; for grouped queries one per *aggregate*
+	// item, in item order (key items carry no state).
 	Ops []expr.AggOp
+	// GroupBy and ItemKey carry the grouped output shape (see
+	// Outputs.GroupBy/ItemKey); both are nil for ungrouped queries.
+	GroupBy []data.AttrID
+	ItemKey []int
 	// Segs maps segment index to that segment's partial.
 	Segs map[int]*SegPartial
 }
@@ -75,11 +91,16 @@ type PartialResult struct {
 // Repairable reports whether q's result can be maintained by delta repair:
 // every select item must be an aggregate (count/sum/min/max/avg over any
 // argument expression — all decomposable over disjoint segments) and the
-// query must carry no LIMIT. See the partials contract at the top of this
-// file for why the two conditions are exactly these.
+// query must carry no LIMIT. Grouped queries are repairable when their
+// select shape classifies as OutGrouped — aggregates plus bare group-key
+// columns — since per-segment group maps merge key-wise under the same
+// decomposition law. See the partials contract at the top of this file.
 func Repairable(q *query.Query) bool {
 	if q == nil || q.Limit != 0 || len(q.Items) == 0 {
 		return false
+	}
+	if len(q.GroupBy) > 0 {
+		return Classify(q).Kind == OutGrouped
 	}
 	for _, it := range q.Items {
 		if it.Agg == nil {
@@ -90,15 +111,25 @@ func Repairable(q *query.Query) bool {
 }
 
 // newPartialResult builds the empty partials container for q. Callers have
-// already checked Repairable(q), so every item has an aggregate.
+// already checked Repairable(q), so every item has an aggregate (or, for
+// grouped queries, the shape classifies as OutGrouped).
 func newPartialResult(q *query.Query) *PartialResult {
 	p := &PartialResult{
 		Labels: make([]string, len(q.Items)),
-		Ops:    make([]expr.AggOp, len(q.Items)),
 		Segs:   make(map[int]*SegPartial),
 	}
 	for i, it := range q.Items {
 		p.Labels[i] = it.String()
+	}
+	if len(q.GroupBy) > 0 {
+		out := Classify(q)
+		p.Ops = out.GroupOps
+		p.GroupBy = out.GroupBy
+		p.ItemKey = out.ItemKey
+		return p
+	}
+	p.Ops = make([]expr.AggOp, len(q.Items))
+	for i, it := range q.Items {
 		p.Ops[i] = it.Agg.Op
 	}
 	return p
@@ -116,11 +147,26 @@ func (p *PartialResult) Merge(o *PartialResult) {
 	}
 }
 
-// Result combines every segment partial into the final one-row aggregate
-// result. Aggregate merging is commutative and associative, so map
-// iteration order does not matter. The inputs are not mutated: each item
-// gets a fresh accumulator the per-segment states merge into.
+// Result combines every segment partial into the final result: one row for
+// ungrouped aggregates, one row per group (ordered ascending by key vector)
+// for grouped ones. Aggregate merging is commutative and associative, so map
+// iteration order does not matter. The inputs are not mutated: merging
+// always happens into fresh accumulators.
 func (p *PartialResult) Result() *Result {
+	if len(p.ItemKey) > 0 {
+		out := Outputs{
+			Kind:     OutGrouped,
+			Labels:   p.Labels,
+			GroupBy:  p.GroupBy,
+			ItemKey:  p.ItemKey,
+			GroupOps: p.Ops,
+		}
+		ga := newGroupedAcc(out)
+		for _, sp := range p.Segs {
+			ga.mergeMap(sp.Groups)
+		}
+		return groupedResult(out, ga)
+	}
 	states := make([]*expr.AggState, len(p.Ops))
 	for i, op := range p.Ops {
 		states[i] = expr.NewAggState(op)
@@ -144,8 +190,10 @@ func (p *PartialResult) Versions() map[int]uint64 {
 }
 
 // Bytes estimates the payload's memory footprint for cache budgeting: map
-// bookkeeping plus one accumulator per (segment, item). It is a sizing
-// estimate, not an exact heap measurement.
+// bookkeeping plus one accumulator per (segment, item) — or, for grouped
+// payloads, per (segment, group, aggregate item) plus the encoded keys, so
+// a high-cardinality grouped payload is charged for every group it retains.
+// It is a sizing estimate, not an exact heap measurement.
 func (p *PartialResult) Bytes() int64 {
 	if p == nil {
 		return 0
@@ -153,7 +201,17 @@ func (p *PartialResult) Bytes() int64 {
 	const (
 		segOverhead   = 64 // map slot + SegPartial header + states slice header
 		stateOverhead = 48 // AggState struct + pointer
+		groupOverhead = 56 // group-map slot + key string header + states slice header
 	)
+	if len(p.ItemKey) > 0 {
+		total := int64(len(p.Segs)) * segOverhead
+		keyBytes := int64(len(p.GroupBy)) * 8
+		perGroup := groupOverhead + keyBytes + stateOverhead*int64(len(p.Ops))
+		for _, sp := range p.Segs {
+			total += int64(len(sp.Groups)) * perGroup
+		}
+		return total
+	}
 	return int64(len(p.Segs)) * (segOverhead + stateOverhead*int64(len(p.Ops)))
 }
 
@@ -163,9 +221,11 @@ func (p *PartialResult) Bytes() int64 {
 // SegPartials with its inputs; none of them are mutated.
 func Repaired(prior, fresh *PartialResult, reused []int) *PartialResult {
 	out := &PartialResult{
-		Labels: fresh.Labels,
-		Ops:    fresh.Ops,
-		Segs:   make(map[int]*SegPartial, len(reused)+len(fresh.Segs)),
+		Labels:  fresh.Labels,
+		Ops:     fresh.Ops,
+		GroupBy: fresh.GroupBy,
+		ItemKey: fresh.ItemKey,
+		Segs:    make(map[int]*SegPartial, len(reused)+len(fresh.Segs)),
 	}
 	if prior != nil {
 		for _, si := range reused {
@@ -339,6 +399,26 @@ func scanDeltaTask(t deltaTask, q *query.Query, out Outputs, preds []ColPred, sp
 // fresh states, so every repairable query has a partial path on every
 // layout.
 func scanSegmentPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, splittable bool) (*SegPartial, error) {
+	if out.Kind == OutGrouped {
+		// Fused grouped kernel on a single covering group; otherwise the
+		// grouped generic interpreter — every layout has a grouped path.
+		if g := bestCoveringGroupSeg(seg, q); g != nil {
+			if splittable {
+				if bound, ok := BindPreds(g, preds); ok {
+					p := scanRange(g, out, bound, nil, 0, seg.Rows)
+					return &SegPartial{Groups: p.groups.m}, nil
+				}
+			} else {
+				p := scanRange(g, out, nil, q.Where, 0, seg.Rows)
+				return &SegPartial{Groups: p.groups.m}, nil
+			}
+		}
+		ga := newGroupedAcc(out)
+		if err := genericGroupedSegmentScan(seg, q, out, ga); err != nil {
+			return nil, err
+		}
+		return &SegPartial{Groups: ga.m}, nil
+	}
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
 		if g := bestCoveringGroupSeg(seg, q); g != nil {
 			if splittable {

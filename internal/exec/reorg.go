@@ -58,6 +58,10 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 
 	newGroups := make([]*storage.ColumnGroup, len(rel.Segments))
 	states := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
 	res := &Result{Cols: out.Labels}
 	for si, seg := range rel.Segments {
 		isHot := hot == nil || hot[si]
@@ -75,7 +79,7 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 			if faulted && stats != nil {
 				stats.SegmentsFaulted++
 			}
-			g, err := reorgScanSegment(seg, out, preds, norm, states, res)
+			g, err := reorgScanSegment(seg, out, preds, norm, states, res, ga)
 			seg.Release()
 			if err != nil {
 				return nil, nil, err
@@ -106,7 +110,7 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 		}
 		seg.Touch()
 		stats.touch(si)
-		scanErr := hybridScanSegment(seg, q, out, preds, states, res, nil)
+		scanErr := hybridScanSegment(seg, q, out, preds, states, res, ga, nil)
 		seg.Release()
 		if scanErr != nil {
 			return nil, nil, scanErr
@@ -115,6 +119,9 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
 		return newGroups, aggResult(out.Labels, states), nil
 	}
+	if out.Kind == OutGrouped {
+		return newGroups, groupedResult(out, ga), nil
+	}
 	return newGroups, res, nil
 }
 
@@ -122,7 +129,7 @@ func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot [
 // query over the freshly built mini-tuples — the fused copy-and-evaluate
 // loop of Fig. 13, at segment granularity. Aggregates fold into the shared
 // states; materialized rows append to res in segment order.
-func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm []data.AttrID, states []*expr.AggState, res *Result) (*storage.ColumnGroup, error) {
+func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm []data.AttrID, states []*expr.AggState, res *Result, ga *groupedAcc) (*storage.ColumnGroup, error) {
 	_, assign, err := seg.CoveringGroups(norm)
 	if err != nil {
 		return nil, err
@@ -147,6 +154,7 @@ func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm [
 
 	// Output plan against the destination group.
 	var projOffs, exprOffs, aggOffs []int
+	var gsc *groupedScanner
 	switch out.Kind {
 	case OutProjection:
 		projOffs = mustOffsets(dst, out.ProjAttrs)
@@ -154,6 +162,8 @@ func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm [
 		aggOffs = mustOffsets(dst, out.AggAttrs)
 	case OutExpression, OutAggExpression:
 		exprOffs = mustOffsets(dst, out.ExprAttrs)
+	case OutGrouped:
+		gsc = newGroupedScanner(dst, out)
 	}
 
 	dd, dStride := dst.Data, dst.Stride
@@ -189,6 +199,8 @@ func reorgScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, norm [
 					acc += dd[base+o]
 				}
 				states[0].Add(acc)
+			case OutGrouped:
+				gsc.fold(ga, base)
 			}
 		}
 		base += dStride

@@ -22,13 +22,22 @@
 // merge associatively across segments — the property the parallel scan uses
 // to fan out one task per segment, and that the partial-result layer
 // (partials.go) makes durable: for *repairable* queries (every select item
-// a decomposable aggregate, no LIMIT — see Repairable), ExecPartials keeps
-// each candidate segment's states as a versioned SegPartial, and ExecDelta
-// later rescans only the segments whose versions moved, re-combining with
-// the retained partials. The serving layer's delta repair, and the
-// O(changed segments) repair cost it buys, rest entirely on that contract;
-// the partials contract at the top of partials.go spells out which
-// aggregates decompose and why LIMIT disqualifies repair.
+// a decomposable aggregate or a group-by key, no LIMIT — see Repairable),
+// ExecPartials keeps each candidate segment's states as a versioned
+// SegPartial, and ExecDelta later rescans only the segments whose versions
+// moved, re-combining with the retained partials. The serving layer's delta
+// repair, and the O(changed segments) repair cost it buys, rest entirely on
+// that contract; the partials contract at the top of partials.go spells out
+// which aggregates decompose and why LIMIT disqualifies repair.
+//
+// GROUP BY rides the same machinery (grouped.go): every strategy folds
+// qualifying rows into a per-scan map of encoded group key → AggState
+// vector, maps merge key-wise across segments and workers, and results
+// materialize one row per group ordered ascending by key vector — an
+// order-preserving key encoding makes the sort a plain string sort — so
+// grouped results are bit-identical across strategies and the repair path,
+// and LIMIT on a grouped query is a deterministic prefix of groups applied
+// after the merge.
 package exec
 
 import (

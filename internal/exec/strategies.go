@@ -219,6 +219,14 @@ func mergePartials(out Outputs, partials []*partial) *Result {
 			}
 		}
 		return aggResult(out.Labels, states)
+	case OutGrouped:
+		ga := newGroupedAcc(out)
+		for _, p := range partials {
+			if p.groups != nil {
+				ga.mergeMap(p.groups.m)
+			}
+		}
+		return groupedResult(out, ga)
 	default:
 		res := &Result{Cols: out.Labels}
 		total := 0
@@ -253,10 +261,14 @@ func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 		return nil, ErrUnsupported
 	}
 	states := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
 	res := &Result{Cols: out.Labels}
 	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
 		func(seg *storage.Segment) error {
-			return columnScanSegment(seg, out, preds, states, res, stats)
+			return columnScanSegment(seg, out, preds, states, res, ga, stats)
 		})
 	if err != nil {
 		return nil, err
@@ -264,12 +276,16 @@ func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
 		return aggResult(out.Labels, states), nil
 	}
+	if out.Kind == OutGrouped {
+		return groupedResult(out, ga), nil
+	}
 	return res, nil
 }
 
 // columnScanSegment runs the late-materialization pipeline over one segment,
-// appending materialized rows to res and folding aggregates into states.
-func columnScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, stats *StrategyStats) error {
+// appending materialized rows to res and folding aggregates into states (or
+// into the grouped accumulator ga for OutGrouped).
+func columnScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, ga *groupedAcc, stats *StrategyStats) error {
 	// Phase 1: predicate evaluation, one column at a time.
 	var sel []int32
 	haveSel := false
@@ -320,6 +336,9 @@ func columnScanSegment(seg *storage.Segment, out Outputs, preds []ColPred, state
 			}
 		}
 		return nil
+
+	case OutGrouped:
+		return foldGroupedSel(seg, out, ga, sel, haveSel)
 
 	case OutProjection:
 		cols, n, err := gatherOutputColumns(seg, out.ProjAttrs, sel, haveSel, stats)
@@ -432,10 +451,14 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 		return nil, ErrUnsupported
 	}
 	states := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
 	res := &Result{Cols: out.Labels}
 	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
 		func(seg *storage.Segment) error {
-			return hybridScanSegment(seg, q, out, preds, states, res, stats)
+			return hybridScanSegment(seg, q, out, preds, states, res, ga, stats)
 		})
 	if err != nil {
 		return nil, err
@@ -443,12 +466,15 @@ func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*R
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
 		return aggResult(out.Labels, states), nil
 	}
+	if out.Kind == OutGrouped {
+		return groupedResult(out, ga), nil
+	}
 	return res, nil
 }
 
 // hybridScanSegment runs the multi-group selection-vector strategy over one
 // segment, resolving groups against that segment's own layout.
-func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, stats *StrategyStats) error {
+func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, states []*expr.AggState, res *Result, ga *groupedAcc, stats *StrategyStats) error {
 	_, assign, err := seg.CoveringGroups(q.AllAttrs())
 	if err != nil {
 		return err
@@ -500,6 +526,9 @@ func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 			}
 		}
 		return nil
+
+	case OutGrouped:
+		return foldGroupedSel(seg, out, ga, sel, haveSel)
 
 	case OutProjection:
 		n := seg.Rows
@@ -577,6 +606,9 @@ func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 // and limit early exit; other shapes scan every segment. Stats, when
 // non-nil, receives the segment skip counters and the touch set.
 func ExecGeneric(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
+	if len(q.GroupBy) > 0 {
+		return execGenericGrouped(rel, q, stats)
+	}
 	hasAgg := q.HasAggregates()
 	labels := make([]string, len(q.Items))
 	states := make([]*expr.AggState, len(q.Items))

@@ -36,11 +36,15 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 	tmp := make([]data.Value, vectorSize)
 
 	aggStates := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
 	res := &Result{Cols: out.Labels}
 
 	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
 		func(seg *storage.Segment) error {
-			return vectorScanSegment(seg, q, out, preds, vectorSize, sel, acc, tmp, aggStates, res, stats)
+			return vectorScanSegment(seg, q, out, preds, vectorSize, sel, acc, tmp, aggStates, res, ga, stats)
 		})
 	if err != nil {
 		return nil, err
@@ -49,15 +53,25 @@ func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats
 	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
 		return aggResult(out.Labels, aggStates), nil
 	}
+	if out.Kind == OutGrouped {
+		return groupedResult(out, ga), nil
+	}
 	return res, nil
 }
 
 // vectorScanSegment runs the chunked pipeline over one segment, binding
 // predicates and outputs to that segment's own groups.
-func vectorScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, vectorSize int, sel []int32, acc, tmp []data.Value, aggStates []*expr.AggState, res *Result, stats *StrategyStats) error {
+func vectorScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, vectorSize int, sel []int32, acc, tmp []data.Value, aggStates []*expr.AggState, res *Result, ga *groupedAcc, stats *StrategyStats) error {
 	_, assign, err := seg.CoveringGroups(q.AllAttrs())
 	if err != nil {
 		return err
+	}
+	var folder *segGroupedFolder
+	if out.Kind == OutGrouped {
+		folder, err = newSegGroupedFolder(seg, groupedScanAttrs(out), out)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Bind predicates per group, preserving group order of first use.
@@ -143,6 +157,16 @@ func vectorScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 					foldSel(aggStates[i], ref.g, ref.off, sel)
 				} else {
 					foldRange(aggStates[i], ref.g, ref.off, start, n)
+				}
+			}
+		case OutGrouped:
+			if haveSel {
+				for _, r := range sel {
+					folder.fold(ga, int(r))
+				}
+			} else {
+				for r := start; r < start+n; r++ {
+					folder.fold(ga, r)
 				}
 			}
 		case OutProjection:

@@ -164,6 +164,7 @@ func experiments() []Runner {
 		{"segments", "Segmented storage: O(segment) appends and hot-segment reorgs, segment-skipping scans", RunSegments},
 		{"spill", "Tiered storage: scan latency vs resident fraction under a memory budget; pruned cold segments stay on disk", RunSpill},
 		{"repair", "Partial-result reuse: repeated aggregates under tail appends — flat delta-repair cost vs full recomputation", RunRepair},
+		{"groupby", "GROUP BY under tail appends: grouped delta repair (flat) vs full re-aggregation (grows with relation)", RunGroupBy},
 	}
 }
 

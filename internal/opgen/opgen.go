@@ -197,6 +197,11 @@ func Signature(s exec.Strategy, rel *storage.Relation, q *query.Query) (string, 
 		return "", err
 	}
 	sig := fmt.Sprintf("%v|%v|%s|%s", s, out.Kind, query.InfoOf(q).Pattern(), rel.LayoutSignature())
+	// Group keys distinguish grouped shapes that share an access pattern
+	// (which attributes are keys vs. aggregate arguments changes the kernel).
+	for _, a := range out.GroupBy {
+		sig += fmt.Sprintf("|g%d", a)
+	}
 	// The predicate *shape* (operators, arity) is part of the signature;
 	// constants are not.
 	if preds, ok := exec.SplitConjunction(q.Where); ok {

@@ -42,12 +42,21 @@ type Query struct {
 	Table string
 	Items []SelectItem
 	Where expr.Pred // nil when the query has no where clause
+	// GroupBy lists the group-key columns, in GROUP BY order, deduplicated.
+	// Empty means no grouping. A grouped query's select items must each be
+	// either an aggregate or a bare reference to one of these keys; its
+	// result has one row per distinct key vector, ordered ascending by key
+	// vector, so every execution strategy produces the identical result.
+	GroupBy []expr.Col
 	// Limit truncates the materialized result to the first N rows; 0 means
 	// no limit. Non-aggregate scans honor it with an early exit at segment
 	// granularity — once N rows are selected, remaining segments are never
 	// read — and the engine trims the last segment's overshoot to exactly
 	// N. Aggregates consume every segment regardless (the limit applies to
-	// result rows, and an aggregate has one).
+	// result rows, and an aggregate has one). On grouped queries the limit
+	// applies to *groups* after the per-segment group maps merge: the scan
+	// still consumes every candidate segment, then the result is trimmed to
+	// the first N groups in key order.
 	Limit int
 }
 
@@ -61,18 +70,42 @@ func (q *Query) String() string {
 	if q.Where != nil {
 		s += " where " + q.Where.String()
 	}
+	if len(q.GroupBy) > 0 {
+		keys := make([]string, len(q.GroupBy))
+		for i := range q.GroupBy {
+			keys[i] = q.GroupBy[i].String()
+		}
+		s += " group by " + strings.Join(keys, ", ")
+	}
 	if q.Limit > 0 {
 		s += fmt.Sprintf(" limit %d", q.Limit)
 	}
 	return s
 }
 
+// GroupIDs returns the group-key attribute ids in GROUP BY order, or nil
+// when the query is not grouped.
+func (q *Query) GroupIDs() []data.AttrID {
+	if len(q.GroupBy) == 0 {
+		return nil
+	}
+	ids := make([]data.AttrID, len(q.GroupBy))
+	for i := range q.GroupBy {
+		ids[i] = q.GroupBy[i].ID
+	}
+	return ids
+}
+
 // SelectAttrs returns the sorted set of attributes referenced in the select
-// clause.
+// clause, including the group-key columns — the grouped output is keyed by
+// them, so layout advice and covering-group resolution must see them.
 func (q *Query) SelectAttrs() []data.AttrID {
 	var out []data.AttrID
 	for _, it := range q.Items {
 		out = it.Attrs(out)
+	}
+	for i := range q.GroupBy {
+		out = append(out, q.GroupBy[i].ID)
 	}
 	return data.SortedUnique(out)
 }
@@ -158,6 +191,22 @@ func Aggregation(table string, op expr.AggOp, attrs []data.AttrID, where expr.Pr
 		items[i] = SelectItem{Agg: &expr.Agg{Op: op, Arg: &expr.Col{ID: a}}}
 	}
 	return &Query{Table: table, Items: items, Where: where}
+}
+
+// GroupedAggregation builds the grouped template:
+// select k1, ..., op(a), op(b), ... from R [where pred] group by k1, ... —
+// the group keys selected first, then one aggregate per attrs entry.
+func GroupedAggregation(table string, op expr.AggOp, attrs []data.AttrID, keys []data.AttrID, where expr.Pred) *Query {
+	gb := make([]expr.Col, len(keys))
+	items := make([]SelectItem, 0, len(keys)+len(attrs))
+	for i, k := range keys {
+		gb[i] = expr.Col{ID: k}
+		items = append(items, SelectItem{Expr: &expr.Col{ID: k}})
+	}
+	for _, a := range attrs {
+		items = append(items, SelectItem{Agg: &expr.Agg{Op: op, Arg: &expr.Col{ID: a}}})
+	}
+	return &Query{Table: table, Items: items, Where: where, GroupBy: gb}
 }
 
 // ArithExpression builds template (iii): select a + b + ... from R

@@ -22,6 +22,10 @@ func FuzzCacheKey(f *testing.F) {
 		"R", "select a1 from R", uint64(1), 1, uint64(1))
 	f.Add("R", "select a0 from R", uint64(7), 2, uint64(9),
 		"R", "select a0 from R", uint64(8), 2, uint64(9))
+	// Grouped queries: the GROUP BY clause is part of the normalized text,
+	// so grouped and ungrouped forms of one aggregate must key apart.
+	f.Add("R", "select a3, sum(a1) from R group by a3", uint64(5), 2, uint64(4),
+		"R", "select sum(a1) from R", uint64(5), 2, uint64(4))
 	// Delimiter abuse: table/query pairs whose concatenations coincide.
 	f.Add("t:1", "select x", uint64(3), 1, uint64(3),
 		"t", ":1:select x", uint64(3), 1, uint64(3))
@@ -55,6 +59,15 @@ func FuzzQueryNormalization(f *testing.F) {
 	f.Add("select a0 + a1 from r where (a0 < 1 or a1 > 2) limit 3",
 		"select sum(a0 + a1) from r")
 	f.Add("select count(a3) from r limit 4", "select count(a3) from r")
+	// Grouped: an unselected key is prepended during parsing, so the
+	// explicit-key spelling and the implicit one share a canonical form.
+	f.Add("select a0, sum(a1) from r group by a0",
+		"SELECT sum(a1) FROM r GROUP BY a0")
+	// Duplicate keys collapse to one; key order is preserved otherwise.
+	f.Add("select a2, a1, count(a3) from r group by a2, a1, a2",
+		"select a2, a1, count(a3) from r group by a2, a1")
+	// Key-only grouping vs. plain projection must key apart.
+	f.Add("select a1 from r group by a1", "select a1 from r")
 	f.Fuzz(func(t *testing.T, srcA, srcB string) {
 		schemas := sql.SchemaMap{"r": data.SyntheticSchema("r", 8)}
 		qA, errA := sql.Parse(srcA, schemas)

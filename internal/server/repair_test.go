@@ -83,6 +83,56 @@ func TestDeltaRepairTailAppend(t *testing.T) {
 	}
 }
 
+// TestDeltaRepairGrouped extends the O(changed segments) repair contract to
+// GROUP BY: after each tail append the grouped aggregate is answered by
+// merging the cached per-segment group maps with a rescan of only the tail
+// segment, and every repaired result equals a cache-free full scan.
+func TestDeltaRepairGrouped(t *testing.T) {
+	const segCap, segs, appends = 256, 8, 8
+	b := newSegmentedBackend(t, segs*segCap, segCap, frozenOptions())
+	s := New(b, Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	q := query.GroupedAggregation("R", expr.AggSum, []data.AttrID{1, 2}, []data.AttrID{3}, nil)
+
+	// Cold miss seeds the grouped partials payload.
+	if _, info, err := s.Query(ctx, q); err != nil || info.CacheHit || info.RepairedSegments != 0 {
+		t.Fatalf("seed: err=%v info=%+v", err, info)
+	}
+	for i := 0; i < appends; i++ {
+		// Recycle a small key range so appends both extend groups opened by
+		// earlier appends and (on first sight of a key) create fresh ones.
+		if err := b.e.Insert([][]data.Value{{data.Value(60_000_000 + i), 7, 11, data.Value(i % 3)}}); err != nil {
+			t.Fatal(err)
+		}
+		res, info, err := s.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.CacheHit || info.Strategy != exec.StrategyDelta {
+			t.Fatalf("append %d: hit=%v strategy=%v, want delta repair", i, info.CacheHit, info.Strategy)
+		}
+		if info.RepairedSegments != 1 {
+			t.Fatalf("append %d: RepairedSegments = %d, want 1 (touched %v)",
+				i, info.RepairedSegments, info.SegmentsTouched)
+		}
+		want, _, err := b.e.Execute(q) // cache-free full scan of the mutated state
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(want) {
+			t.Fatalf("append %d: repaired groups diverged:\n got %d rows %v\nwant %d rows %v",
+				i, res.Rows, res.Data, want.Rows, want.Data)
+		}
+	}
+	st := s.Stats()
+	if st.Repaired != appends || st.RepairedSegments != appends {
+		t.Fatalf("Repaired = %d, RepairedSegments = %d, want %d each (stats %+v)",
+			st.Repaired, st.RepairedSegments, appends, st)
+	}
+}
+
 // TestDeltaRepairSelectiveQueries: a cold-segment aggregate never needs
 // repair across tail appends (its fingerprint is append-invariant — exact
 // hits), while a mid-range aggregate repairs only when its own segments
@@ -201,11 +251,13 @@ func TestDeltaRepairStress(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 60; i++ {
 				var q *query.Query
-				switch (c + i) % 3 {
+				switch (c + i) % 4 {
 				case 0:
 					q = query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
 				case 1:
 					q = query.Aggregation("R", expr.AggCount, []data.AttrID{(c + i) % 4}, nil)
+				case 2:
+					q = query.GroupedAggregation("R", expr.AggSum, []data.AttrID{1}, []data.AttrID{3}, nil)
 				default:
 					q = coldSegQuery(segCap)
 				}

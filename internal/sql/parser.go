@@ -75,7 +75,9 @@ func (p *parser) expectKeyword(kw string) error {
 	return nil
 }
 
-// parseSelect parses: SELECT items FROM table [WHERE pred].
+// parseSelect parses:
+//
+//	SELECT items FROM table [WHERE pred] [GROUP BY col (, col)*] [LIMIT n]
 //
 // The grammar requires the table name before column resolution, so the
 // parser first scans ahead for FROM, resolves the schema, then parses the
@@ -153,6 +155,15 @@ func (p *parser) parseSelect() (*query.Query, error) {
 		}
 		q.Where = pred
 	}
+	if isKeyword(p.cur(), "group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if err := p.parseGroupBy(q); err != nil {
+			return nil, err
+		}
+	}
 	if isKeyword(p.cur(), "limit") {
 		p.next()
 		t, err := p.expect(tokNumber, "limit count")
@@ -166,6 +177,63 @@ func (p *parser) parseSelect() (*query.Query, error) {
 		q.Limit = int(n)
 	}
 	return q, nil
+}
+
+// parseGroupBy parses the key list after GROUP BY, deduplicates it, checks
+// that every select item is either an aggregate or a bare group-key column,
+// and prepends any group keys missing from the select list so grouped
+// results are always keyed by their group columns. The prepend is idempotent:
+// re-parsing the canonical String() finds the keys already selected.
+func (p *parser) parseGroupBy(q *query.Query) error {
+	var keys []expr.Col
+	seen := map[data.AttrID]bool{}
+	for {
+		if op, ok := aggOf(p.cur()); ok && p.idx+1 < len(p.toks) && p.toks[p.idx+1].kind == tokLParen {
+			return p.errf("cannot group by aggregate %s(...); group keys must be plain columns", op)
+		}
+		t, err := p.expect(tokIdent, "group-by column")
+		if err != nil {
+			return err
+		}
+		id, err := p.schema.AttrIndex(t.text)
+		if err != nil {
+			return fmt.Errorf("sql: %w", err)
+		}
+		if !seen[id] {
+			seen[id] = true
+			keys = append(keys, expr.Col{ID: id, Name: t.text})
+		}
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	q.GroupBy = keys
+
+	// Shape check: aggregates and bare group-key columns only.
+	selected := map[data.AttrID]bool{}
+	for _, it := range q.Items {
+		if it.Agg != nil {
+			continue
+		}
+		c, ok := it.Expr.(*expr.Col)
+		if !ok || !seen[c.ID] {
+			return fmt.Errorf("sql: select item %q must be an aggregate or a group-by column", it.String())
+		}
+		selected[c.ID] = true
+	}
+	var prepend []query.SelectItem
+	for i := range keys {
+		if !selected[keys[i].ID] {
+			k := keys[i]
+			prepend = append(prepend, query.SelectItem{Expr: &k})
+		}
+	}
+	if len(prepend) > 0 {
+		q.Items = append(prepend, q.Items...)
+	}
+	return nil
 }
 
 func (p *parser) parseSelectItem() (query.SelectItem, error) {
@@ -379,7 +447,8 @@ func (p *parser) parseFactor() (expr.Expr, error) {
 	switch t := p.cur(); t.kind {
 	case tokIdent:
 		if isKeyword(t, "from") || isKeyword(t, "where") || isKeyword(t, "and") ||
-			isKeyword(t, "or") || isKeyword(t, "between") || isKeyword(t, "limit") {
+			isKeyword(t, "or") || isKeyword(t, "between") || isKeyword(t, "limit") ||
+			isKeyword(t, "group") || isKeyword(t, "by") {
 			return nil, p.errf("expected expression, found keyword %s", t)
 		}
 		p.next()

@@ -271,6 +271,79 @@ func TestParseLimit(t *testing.T) {
 	}
 }
 
+func TestParseGroupBy(t *testing.T) {
+	// Canonical form: keys selected, aggregates after.
+	q, err := Parse("select a3, sum(a1), count(a2) from R where a0 > 5 group by a3", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].ID != 3 {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+	if len(q.Items) != 3 || q.Items[0].Agg != nil || q.Items[1].Agg == nil {
+		t.Fatalf("Items = %v", q.Items)
+	}
+
+	// Unselected keys are prepended, so the result always carries its keys.
+	q, err = Parse("select sum(a1) from R group by a3, a4", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 3 || q.Items[0].Agg != nil || q.Items[1].Agg != nil {
+		t.Fatalf("keys not prepended: %v", q.Items)
+	}
+	if !reflect.DeepEqual(q.SelectAttrs(), []data.AttrID{1, 3, 4}) {
+		t.Fatalf("SelectAttrs = %v", q.SelectAttrs())
+	}
+
+	// Duplicate keys collapse; the query keeps a single a2 key.
+	q, err = Parse("select a2, count(a0) from R group by a2, a2", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("duplicate key kept: %v", q.GroupBy)
+	}
+
+	// Key-only grouping (DISTINCT-like) is legal.
+	if _, err := Parse("select a1, a2 from R group by a1, a2", resolver()); err != nil {
+		t.Fatal(err)
+	}
+
+	// String() renders the clause and re-parses to the same shape —
+	// idempotent because prepended keys are found already selected.
+	q, err = Parse("select sum(a1) from R where a0 < 9 group by a2 limit 4", resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := q.String()
+	q2, err := Parse(s1, resolver())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s1, err)
+	}
+	if s2 := q2.String(); s1 != s2 || q2.Limit != 4 ||
+		!reflect.DeepEqual(q.GroupIDs(), q2.GroupIDs()) ||
+		!reflect.DeepEqual(q.SelectAttrs(), q2.SelectAttrs()) {
+		t.Fatalf("round trip changed query: %q vs %q", s1, s2)
+	}
+
+	for _, bad := range []string{
+		"select a1, sum(a2) from R group by a3",      // bare non-key column
+		"select * from R group by a1",                // star selects non-keys
+		"select sum(a1) from R group by sum(a2)",     // aggregate as key
+		"select sum(a1) from R group by",             // missing key
+		"select sum(a1) from R group a2",             // missing BY
+		"select sum(a1) from R group by a2,",         // trailing comma
+		"select sum(a1) from R group by zz",          // unknown key
+		"select sum(a1) from R group by a2 where a0", // clause order
+		"select a1 + a2 from R group by a1",          // expression item
+	} {
+		if _, err := Parse(bad, resolver()); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
 func TestParseInsert(t *testing.T) {
 	r := SchemaMap{"R": data.SyntheticSchema("R", 3)}
 	stmt, err := ParseInsert("insert into R values (1, -2, 3), (4, 5, 6)", r)
