@@ -83,9 +83,11 @@ type (
 	// for the changed candidate segments, the indices whose cached
 	// partials remain exact, and the fingerprint of the observed state.
 	DeltaScan = core.DeltaScan
-	// TierStats are tiered-storage counters for one table: resident vs
-	// spilled segments and bytes, page-ins, evictions, spill writes. All
-	// zero unless Options.MemoryBudgetBytes is set.
+	// TierStats are tiered-storage counters for one table: resident,
+	// encoded and spilled segments and bytes, page-ins (with the file
+	// bytes they covered), demotions, evictions, spill writes and on-disk
+	// spill-file bytes. All zero unless Options.MemoryBudgetBytes is set;
+	// the encoded-rung fields additionally need Options.EncodedTier.
 	TierStats = core.TierStats
 )
 
@@ -149,6 +151,12 @@ type DB struct {
 	srvMu     sync.Mutex
 	srv       *server.Server
 	srvClosed bool
+
+	// heatSrv is the serving layer whose cache-reference counts steer
+	// tiered-storage eviction (cache-aware eviction): the most recently
+	// built server over this catalog. Guarded by mu so AddTable can wire
+	// engines it creates later against the same server.
+	heatSrv *server.Server
 }
 
 // ErrClosed is returned by QueryCtx after Close has shut the database's
@@ -184,11 +192,16 @@ func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
 // budgeted table its spilled segments are gone, so stale-engine queries
 // can fail — re-fetch through db.Engine (db.Query/QueryCtx always do).
 func (db *DB) AddTable(t *Table) {
+	e := core.New(storage.BuildColumnMajorSeg(t, db.opts.SegmentCapacity), db.opts)
 	db.mu.Lock()
 	old := db.engines[t.Schema.Name]
-	db.engines[t.Schema.Name] = core.New(storage.BuildColumnMajorSeg(t, db.opts.SegmentCapacity), db.opts)
+	db.engines[t.Schema.Name] = e
 	db.schemas[t.Schema.Name] = t.Schema
+	heatSrv := db.heatSrv
 	db.mu.Unlock()
+	if heatSrv != nil {
+		wireSegmentHeat(e, heatSrv, t.Schema.Name)
+	}
 	if old != nil {
 		old.Close()
 	}
@@ -360,7 +373,36 @@ func (db *DB) Serve(cfg ServerConfig) *Server {
 	if cfg.PartialCacheBytes == 0 {
 		cfg.PartialCacheBytes = db.opts.PartialCacheBytes
 	}
-	return server.New(db, cfg)
+	srv := server.New(db, cfg)
+	db.adoptHeatServer(srv)
+	return srv
+}
+
+// adoptHeatServer makes srv the catalog's cache-aware eviction signal:
+// every budgeted engine's tier manager starts preferring eviction victims
+// that few of srv's cached results and partials reference. The most
+// recently built server wins — its caches are the ones future queries will
+// hit — and engines registered later (AddTable, LoadTable) are wired on
+// creation.
+func (db *DB) adoptHeatServer(srv *server.Server) {
+	db.mu.Lock()
+	db.heatSrv = srv
+	engines := make(map[string]*core.Engine, len(db.engines))
+	for name, e := range db.engines {
+		engines[name] = e
+	}
+	db.mu.Unlock()
+	for name, e := range engines {
+		wireSegmentHeat(e, srv, name)
+	}
+}
+
+// wireSegmentHeat points one engine's tier manager at srv's per-segment
+// cache-reference counts (a no-op on engines without a memory budget). The
+// closure holds the server, not the catalog, so a replaced table's old
+// engine keeps a working — merely stale — heat source until it is closed.
+func wireSegmentHeat(e *core.Engine, srv *server.Server, table string) {
+	e.SetSegmentHeat(func() map[int]int { return srv.SegmentHeat(table) })
 }
 
 // defaultServer lazily starts the server behind QueryCtx, or returns nil
@@ -373,6 +415,7 @@ func (db *DB) defaultServer() *Server {
 	}
 	if db.srv == nil {
 		db.srv = server.New(db, ServerConfig{PartialCacheBytes: db.opts.PartialCacheBytes})
+		db.adoptHeatServer(db.srv)
 	}
 	return db.srv
 }
@@ -490,11 +533,16 @@ func (db *DB) LoadTable(path string) (string, error) {
 		return "", err
 	}
 	name := rel.Schema.Name
+	e := core.New(rel, db.opts)
 	db.mu.Lock()
 	old := db.engines[name]
-	db.engines[name] = core.New(rel, db.opts)
+	db.engines[name] = e
 	db.schemas[name] = rel.Schema
+	heatSrv := db.heatSrv
 	db.mu.Unlock()
+	if heatSrv != nil {
+		wireSegmentHeat(e, heatSrv, name)
+	}
 	if old != nil {
 		old.Close()
 	}

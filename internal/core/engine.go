@@ -131,6 +131,15 @@ type Options struct {
 	// unusable directory never fails construction: eviction is skipped
 	// and TierStats.SpillErrors counts the failures.
 	SpillDir string
+	// EncodedTier enables the compressed encoded tier: sealed segments
+	// build per-column encoded blocks (FOR, delta or RLE, picked per
+	// column at seal time), the memory-budget eviction ladder demotes
+	// flat segments to their encoded form before resorting to spill
+	// writes, and aggregate-shaped queries execute directly over the
+	// encoded blocks (exec.StrategyEncoded), skipping or folding whole
+	// blocks from their headers. Off by default: mutable tails and
+	// non-encoded relations behave exactly as before.
+	EncodedTier bool
 	// SegmentCapacity is the rows-per-segment of relations built *for* this
 	// options set by the facade (h2o.DB table registration). The engine
 	// itself executes over whatever segmentation its relation already has;
@@ -189,6 +198,12 @@ type ExecInfo struct {
 	// SegmentsFaulted counts spilled segments this query paged in from
 	// disk (tiered storage); zero when everything it touched was resident.
 	SegmentsFaulted int
+	// DecodeSkips counts encoded blocks whose payload was never decoded —
+	// pruned or folded into the aggregate from the block header alone.
+	// EncodedBytes is the encoded payload actually consumed. Both are zero
+	// outside the encoded-direct path (Options.EncodedTier).
+	DecodeSkips  int
+	EncodedBytes int64
 	// RepairedSegments counts the candidate segments a serving-layer delta
 	// repair rescanned for this query — the segments whose versions moved
 	// since the cached partials were computed, not the relation's segment
@@ -292,8 +307,23 @@ func New(rel *storage.Relation, opts Options) *Engine {
 		lastUsed: make(map[*storage.ColumnGroup]int),
 		declined: make(map[string]struct{}),
 	}
+	if opts.EncodedTier {
+		rel.EncodeOnSeal = true
+		// Backfill segments sealed before this engine existed (bulk
+		// builds, snapshot loads): the encoded-direct scan path only
+		// serves segments that already carry their encoded form.
+		tail := rel.Tail()
+		for _, seg := range rel.Segments {
+			if seg == tail || seg.Rows == 0 || !seg.Resident() {
+				continue
+			}
+			for _, g := range seg.Groups {
+				g.Encoding()
+			}
+		}
+	}
 	if opts.MemoryBudgetBytes > 0 {
-		e.tier = newTierManager(rel, opts.MemoryBudgetBytes, opts.SpillDir)
+		e.tier = newTierManager(rel, opts.MemoryBudgetBytes, opts.SpillDir, opts.EncodedTier)
 	}
 	return e
 }
@@ -443,6 +473,40 @@ func (e *Engine) execute(q *query.Query) (*exec.Result, ExecInfo, error) {
 func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Result, ExecInfo, error) {
 	strategy, estCost := e.chooseStrategy(q, info)
 
+	// Encoded-direct fast path: with the encoded tier enabled,
+	// aggregate-shaped queries run straight over the per-column encoded
+	// blocks of sealed segments — block headers prune or fold whole blocks
+	// without touching their payloads, and spilled segments fault in only
+	// their compact encoded form instead of rehydrating flat data. Shapes
+	// outside ExecEncoded's reach (projections, unsplittable predicates)
+	// fall through to the cost-based paths below.
+	if e.opts.EncodedTier {
+		var st exec.StrategyStats
+		res, err := exec.ExecEncoded(e.rel, q, &st)
+		if err == nil {
+			e.recordSelectivity(info, q, res)
+			e.touchGroups(q)
+			applyLimit(q, res)
+			return res, ExecInfo{
+				Strategy:        exec.StrategyEncoded,
+				Layout:          e.rel.Kind(),
+				EstimatedCost:   estCost,
+				WindowSize:      e.windowSize(),
+				SegmentsScanned: st.SegmentsScanned,
+				SegmentsPruned:  st.SegmentsPruned,
+				SegmentsFaulted: st.SegmentsFaulted,
+				SegmentsTouched: st.Touched,
+				DecodeSkips:     st.DecodeSkips,
+				EncodedBytes:    st.EncodedBytes,
+				Fingerprint:     TouchFingerprintOf(e.rel, q),
+				Duration:        time.Since(start),
+			}, nil
+		}
+		if err != exec.ErrUnsupported {
+			return nil, ExecInfo{}, err
+		}
+	}
+
 	// Parallel fast path: fused row scans fan out with one task per storage
 	// segment, so the parallelism granularity matches the data partitioning.
 	// A hybrid plan degenerates to the same fused scan whenever one group
@@ -513,6 +577,8 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 		ei.SegmentsPruned = st.SegmentsPruned
 		ei.SegmentsFaulted = st.SegmentsFaulted
 		ei.SegmentsTouched = st.Touched
+		ei.DecodeSkips = st.DecodeSkips
+		ei.EncodedBytes = st.EncodedBytes
 	}
 	if !cached {
 		ei.CompileTime = op.CompileTime

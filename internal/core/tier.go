@@ -12,26 +12,59 @@ import (
 )
 
 // TierStats snapshots one engine's tiered-storage state: how much of the
-// relation is resident versus spilled, and the lifetime I/O counters.
+// relation is flat-resident, encoded-resident or spilled, and the lifetime
+// I/O counters.
 type TierStats struct {
 	ResidentSegments int
-	SpilledSegments  int
-	// ResidentBytes is the segment data currently in memory; SpilledBytes
-	// is the logical size of the data living only in spill files.
+	// EncodedSegments counts segments on the middle residency rung: flat
+	// data dropped, compact encoded form on the heap (always zero unless
+	// Options.EncodedTier is set). A segment whose encodings are served
+	// straight from an mmap of its spill file holds no heap data and
+	// counts as spilled instead.
+	EncodedSegments int
+	SpilledSegments int
+	// ResidentBytes is the segment data currently held on the heap —
+	// flat mini-tuples plus the heap footprint of encoded-resident
+	// segments; SpilledBytes is the logical (flat) size of the data
+	// living only in spill files.
 	ResidentBytes int64
 	SpilledBytes  int64
-	// Faults counts page-ins served (disk reads); Evictions counts
-	// segments unloaded; SpillWrites counts segment files written (at most
-	// one per segment version — re-evicting an unchanged segment reuses
-	// its file). SpillErrors counts failed spill-file writes (or a spill
+	// EncodedBytes is the total payload of the encodings currently
+	// installed across all segments (heap or mmap-backed), whatever the
+	// residency rung. Comparing it to the flat byte volume gives the
+	// in-memory compression ratio.
+	EncodedBytes int64
+	// SpillFileBytes is the on-disk size of the current spill files; with
+	// the encoded tier these hold encoded blocks, so SpillFileBytes over
+	// SpilledBytes is the on-disk compression ratio.
+	SpillFileBytes int64
+	// Faults counts page-ins served (disk reads) and FaultedBytes the
+	// spill-file bytes those faults covered (for mmap-served files this
+	// is the mapped size — the OS faults individual 4K pages lazily, so
+	// the bytes actually read can be lower). Evictions counts segments
+	// unloaded to disk and Demotions segments dropped to the encoded rung
+	// (no I/O); SpillWrites counts segment files written (at most one per
+	// segment version — re-evicting an unchanged segment reuses its
+	// file). SpillErrors counts failed spill-file writes (or a spill
 	// directory that could not be created): a non-zero, growing value
 	// means the disk tier is broken and the engine cannot shed memory —
 	// the budget is not being enforced.
-	Faults      uint64
-	Evictions   uint64
-	SpillWrites uint64
-	SpillErrors uint64
+	Faults       uint64
+	FaultedBytes uint64
+	Evictions    uint64
+	Demotions    uint64
+	SpillWrites  uint64
+	SpillErrors  uint64
 }
+
+// SegmentHeatFunc reports, per segment index, how many cached
+// serving-layer artifacts (versioned results, partial aggregate payloads)
+// currently reference that segment. The tier manager consults it when
+// picking eviction victims: spilling a segment that many cached entries
+// depend on makes their future repairs and revalidations pay disk faults,
+// so low-heat segments go first. The function must take its own snapshot
+// locks only — it is called with the tier manager's mutex held.
+type SegmentHeatFunc func() map[int]int
 
 // tierManager enforces Options.MemoryBudgetBytes over one relation: when
 // the resident segment data exceeds the budget it spills the coldest
@@ -71,15 +104,28 @@ type tierManager struct {
 	// eviction; the version check in ReadSegment makes the staleness
 	// detection crash-proof rather than advisory.
 	spilledV map[*storage.Segment]uint64
+	// spilledSize mirrors spilledV with each file's on-disk size, feeding
+	// TierStats.SpillFileBytes and FaultedBytes without re-statting files
+	// on every snapshot.
+	spilledSize map[*storage.Segment]int64
+	// heat is the serving layer's cache-reference count hook (nil until
+	// Engine.SetSegmentHeat); guarded by mu like the maps above.
+	heat SegmentHeatFunc
+
+	// encoded enables the middle eviction rung: demote flat segments to
+	// their encoded form (no I/O) before resorting to spill writes.
+	encoded bool
 
 	// id makes this manager's spill-file keys unique within the process,
 	// so an old engine's close (table replacement) can never delete the
 	// files of the engine that replaced it in a shared SpillDir.
 	id uint64
 
-	evictions   atomic.Uint64
-	spillWrites atomic.Uint64
-	spillErrors atomic.Uint64
+	evictions    atomic.Uint64
+	demotions    atomic.Uint64
+	spillWrites  atomic.Uint64
+	spillErrors  atomic.Uint64
+	faultedBytes atomic.Uint64
 }
 
 // tierSeq hands out process-unique tier-manager ids.
@@ -90,15 +136,17 @@ var tierSeq atomic.Uint64
 // and removed again by close. The relation is compacted so each segment
 // owns its buffers: without that, slicing-built relations share one
 // backing array across segments and unloading would free nothing.
-func newTierManager(rel *storage.Relation, budget int64, dir string) *tierManager {
+func newTierManager(rel *storage.Relation, budget int64, dir string, encoded bool) *tierManager {
 	rel.Compact()
 	tm := &tierManager{
-		rel:      rel,
-		budget:   budget,
-		dir:      dir,
-		ownsDir:  dir == "",
-		id:       tierSeq.Add(1),
-		spilledV: make(map[*storage.Segment]uint64),
+		rel:         rel,
+		budget:      budget,
+		dir:         dir,
+		ownsDir:     dir == "",
+		encoded:     encoded,
+		id:          tierSeq.Add(1),
+		spilledV:    make(map[*storage.Segment]uint64),
+		spilledSize: make(map[*storage.Segment]int64),
 	}
 	rel.SetLoader(tm.load)
 	return tm
@@ -151,19 +199,36 @@ func (tm *tierManager) load(seg *storage.Segment) error {
 	}
 	for si, s := range tm.rel.Segments {
 		if s == seg {
-			return st.ReadSegment(tm.key(si), seg)
+			if err := st.ReadSegment(tm.key(si), seg); err != nil {
+				return err
+			}
+			// Attribute the fault's I/O volume. The file is statted rather
+			// than looked up in spilledSize because load must not take
+			// tm.mu (see the lock-order note above).
+			if fi, err := os.Stat(st.Path(tm.key(si))); err == nil {
+				tm.faultedBytes.Add(uint64(fi.Size()))
+			}
+			return nil
 		}
 	}
 	return fmt.Errorf("core: spilled segment not found in relation %q", tm.rel.Schema.Name)
 }
 
 // enforce runs one eviction pass: if the relation's resident bytes exceed
-// the budget, sealed resident segments are spilled coldest-first until the
+// the budget, sealed resident segments are evicted coldest-first until the
 // budget holds or no evictable segment remains (the mutable tail and any
-// segment pinned by an in-flight scan are never evicted). A segment whose
+// segment pinned by an in-flight scan are never evicted). With the encoded
+// tier enabled, eviction descends a two-rung ladder: first demote flat
+// segments to their compact encoded form — pure CPU, no I/O — and only if
+// the budget still does not hold, spill to disk and unload. A segment whose
 // spill file is missing or stale is written — pinned, atomically — before
 // its data is dropped, so the file on disk always matches the segment
 // version it claims.
+//
+// Victim order is (cache heat asc, reads asc, segment index asc): segments
+// that few cached results or partials reference go first, because evicting
+// a heavily-referenced segment turns every future repair or revalidation of
+// those entries into a disk fault.
 func (tm *tierManager) enforce() {
 	// One enforcement pass at a time is enough: if another query's pass is
 	// already running, piling up behind it would only re-scan the same
@@ -181,6 +246,11 @@ func (tm *tierManager) enforce() {
 		si    int
 		seg   *storage.Segment
 		reads uint64
+		heat  int
+	}
+	var heat map[int]int
+	if tm.heat != nil {
+		heat = tm.heat()
 	}
 	var resident int64
 	var cands []candidate
@@ -188,12 +258,45 @@ func (tm *tierManager) enforce() {
 		b := seg.ResidentBytes()
 		resident += b
 		if seg != tail && seg.Rows > 0 && b > 0 {
-			cands = append(cands, candidate{si, seg, seg.Reads()})
+			cands = append(cands, candidate{si, seg, seg.Reads(), heat[si]})
 		}
 	}
 	if resident <= tm.budget {
 		return
 	}
+	// Coldest first: fewest cache references, then fewest reads since the
+	// last adaptation phase, then oldest (lowest index — append-ordered
+	// data ages front to back).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].heat != cands[j].heat {
+			return cands[i].heat < cands[j].heat
+		}
+		if cands[i].reads != cands[j].reads {
+			return cands[i].reads < cands[j].reads
+		}
+		return cands[i].si < cands[j].si
+	})
+
+	// Rung 1 (encoded tier only): demote flat segments to encoded form.
+	// Frees the flat arrays for the price of an encode pass — no disk
+	// involved, and a later scan recovers the data by decoding in memory.
+	if tm.encoded {
+		for _, c := range cands {
+			if resident <= tm.budget {
+				return
+			}
+			before := c.seg.ResidentBytes()
+			if c.seg.DemoteToEncoded() {
+				tm.demotions.Add(1)
+				resident -= before - c.seg.ResidentBytes()
+			}
+		}
+		if resident <= tm.budget {
+			return
+		}
+	}
+
+	// Rung 2: spill to disk and unload.
 	store, err := tm.ensureStore()
 	if err != nil {
 		// No spill directory, no eviction: count it so operators can see
@@ -201,14 +304,6 @@ func (tm *tierManager) enforce() {
 		tm.spillErrors.Add(1)
 		return
 	}
-	// Coldest first: fewest reads since the last adaptation phase, then
-	// oldest (lowest index — append-ordered data ages front to back).
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].reads != cands[j].reads {
-			return cands[i].reads < cands[j].reads
-		}
-		return cands[i].si < cands[j].si
-	})
 	for _, c := range cands {
 		if resident <= tm.budget {
 			break
@@ -221,8 +316,10 @@ func (tm *tierManager) enforce() {
 		if tm.spilledV[c.seg] != ver {
 			// No current spill file: write one before dropping the data,
 			// holding the segment pinned so a concurrent scan cannot
-			// observe a half-spilled state.
-			if _, err := c.seg.Acquire(); err != nil {
+			// observe a half-spilled state. The encoded-or-better pin
+			// avoids decoding a demoted segment just to persist it —
+			// WriteSegment works from the encodings either way.
+			if _, err := c.seg.AcquireEncoded(); err != nil {
 				continue
 			}
 			err := store.WriteSegment(tm.key(c.si), c.seg)
@@ -234,6 +331,9 @@ func (tm *tierManager) enforce() {
 				continue
 			}
 			tm.spilledV[c.seg] = ver
+			if fi, serr := os.Stat(store.Path(tm.key(c.si))); serr == nil {
+				tm.spilledSize[c.seg] = fi.Size()
+			}
 			tm.spillWrites.Add(1)
 		}
 		if c.seg.Unload() {
@@ -251,17 +351,33 @@ func (tm *tierManager) stats() TierStats {
 			continue
 		}
 		ts.Faults += seg.Faults()
-		if seg.Resident() {
+		ts.EncodedBytes += seg.EncodedBytes()
+		switch b := seg.ResidentBytes(); {
+		case seg.State() == storage.SegResident:
 			ts.ResidentSegments++
-			ts.ResidentBytes += seg.ResidentBytes()
-		} else {
+			ts.ResidentBytes += b
+		case b > 0:
+			// Encoded rung proper: the compact form lives on the heap.
+			ts.EncodedSegments++
+			ts.ResidentBytes += b
+		default:
+			// Spilled, or encoded purely through an mmap of the spill file:
+			// either way every byte is disk-backed and the heap holds
+			// nothing, which is what "spilled" measures.
 			ts.SpilledSegments++
 			ts.SpilledBytes += seg.Bytes()
 		}
 	}
+	tm.mu.Lock()
+	for _, sz := range tm.spilledSize {
+		ts.SpillFileBytes += sz
+	}
+	tm.mu.Unlock()
 	ts.Evictions = tm.evictions.Load()
+	ts.Demotions = tm.demotions.Load()
 	ts.SpillWrites = tm.spillWrites.Load()
 	ts.SpillErrors = tm.spillErrors.Load()
+	ts.FaultedBytes = tm.faultedBytes.Load()
 	return ts
 }
 
@@ -277,13 +393,18 @@ func (tm *tierManager) close() {
 	if st == nil {
 		return // never spilled anything
 	}
-	for si := range tm.rel.Segments {
+	for si, seg := range tm.rel.Segments {
+		// Drop any mmap-backed encoding before unlinking its file: the
+		// kernel would keep unlinked pages alive, but the mapping would
+		// pin disk space invisibly until the last segment reference died.
+		_ = seg.ReleaseMapping()
 		_ = st.Remove(tm.key(si))
 	}
 	if tm.ownsDir {
 		_ = os.RemoveAll(tm.dir)
 	}
 	tm.spilledV = make(map[*storage.Segment]uint64)
+	tm.spilledSize = make(map[*storage.Segment]int64)
 }
 
 // TierStats reports the engine's tiered-storage counters; the zero value
@@ -296,6 +417,18 @@ func (e *Engine) TierStats() TierStats {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.tier.stats()
+}
+
+// SetSegmentHeat installs the serving layer's cache-reference hook for
+// cache-aware eviction (see SegmentHeatFunc). A nil fn reverts to pure
+// coldest-first ordering; a no-op on engines without a memory budget.
+func (e *Engine) SetSegmentHeat(fn SegmentHeatFunc) {
+	if e.tier == nil {
+		return
+	}
+	e.tier.mu.Lock()
+	e.tier.heat = fn
+	e.tier.mu.Unlock()
 }
 
 // EnforceBudget runs one eviction pass immediately, instead of waiting for

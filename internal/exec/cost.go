@@ -26,6 +26,13 @@ const (
 	// reports it on delta-repaired queries; the cost-based chooser never
 	// selects it directly.
 	StrategyDelta
+	// StrategyEncoded answers aggregate-shaped queries directly over the
+	// per-column encoded blocks of sealed segments (ExecEncoded): block
+	// headers skip or fold whole blocks without decoding, and spilled
+	// segments fault in only their compact encoded form. The serving
+	// layer uses it on encoded-tier relations; the cost-based chooser
+	// never selects it directly.
+	StrategyEncoded
 )
 
 // String names the strategy.
@@ -43,6 +50,8 @@ func (s Strategy) String() string {
 		return "online-reorg"
 	case StrategyDelta:
 		return "delta-repair"
+	case StrategyEncoded:
+		return "encoded-direct"
 	default:
 		return "unknown"
 	}

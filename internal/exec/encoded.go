@@ -1,0 +1,512 @@
+package exec
+
+import (
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// This file holds the encoded-direct strategy: aggregate-shaped queries
+// (OutAggregates, OutAggExpression, OutGrouped) with splittable conjunctive
+// predicates are answered straight from the per-column encoded blocks of
+// sealed segments (storage/encode.go), without materializing flat data.
+// Per 4096-row block the kernel classifies each predicate against the
+// block's exact min/max header: blocks no row of which can match are
+// skipped without touching their payload, fully-matching blocks fold
+// their exact min/max/sum/rows statistics into the aggregate states
+// without decoding, and only genuinely partial blocks pay a decode —
+// and then only for the columns the query actually reads. On mmap-backed
+// spill files a skipped block's payload pages are never faulted in at all.
+
+// encCol binds one attribute to its encoded column with a one-block
+// decode cache: within a block, predicates and folds that touch the same
+// attribute decode it once. When the owning group is flat-resident
+// (pinned, so the data cannot be demoted underneath us), flat/off/stride
+// alias its Data and block reads are served from there — the headers
+// still skip and fold blocks, but indeterminate blocks refine at flat
+// speed instead of paying a payload decode.
+type encCol struct {
+	col         *storage.EncColumn
+	flat        []data.Value // group Data when flat-resident, else nil
+	off, stride int
+	scratch     []data.Value
+	vals        []data.Value // decoded values of block bi, nil before first use
+	bi          int
+}
+
+// encReader resolves attributes to encoded columns of one segment and
+// serves per-block decodes through the per-attribute cache.
+type encReader struct {
+	cols map[data.AttrID]*encCol
+}
+
+// newEncReader binds attrs against the cached encodings of seg's
+// narrowest covering groups. ok is false — with no error — when some
+// needed group holds no encoding, in which case the caller must use a
+// flat path.
+func newEncReader(seg *storage.Segment, attrs []data.AttrID) (er *encReader, ok bool, err error) {
+	er = &encReader{cols: make(map[data.AttrID]*encCol, len(attrs))}
+	for _, a := range attrs {
+		if _, dup := er.cols[a]; dup {
+			continue
+		}
+		g, err := seg.GroupFor(a)
+		if err != nil {
+			return nil, false, err
+		}
+		e := g.CachedEncoding()
+		if e == nil {
+			return nil, false, nil
+		}
+		off, _ := g.Offset(a)
+		c := &encCol{col: e.Cols[off], bi: -1}
+		if g.Data != nil {
+			c.flat, c.off, c.stride = g.Data, off, g.Stride
+		}
+		er.cols[a] = c
+	}
+	return er, true, nil
+}
+
+// blockOf returns the encoded block bi of attribute a without decoding.
+func (er *encReader) blockOf(a data.AttrID, bi int) *storage.EncBlock {
+	return &er.cols[a].col.Blocks[bi]
+}
+
+// appendMatchesVals appends the indices of vals satisfying (op, v) to sel.
+// The operator switch is hoisted out of the row loop and indices are
+// written unconditionally with a conditionally advanced cursor — the
+// branchless selection-vector idiom — so throughput does not collapse at
+// mid selectivities where a branchy append mispredicts every other row.
+func appendMatchesVals(op expr.CmpOp, vals []data.Value, v data.Value, sel []int32) []int32 {
+	base := len(sel)
+	if cap(sel) < base+len(vals) {
+		grown := make([]int32, base+len(vals))
+		copy(grown, sel)
+		sel = grown
+	} else {
+		sel = sel[:base+len(vals)]
+	}
+	out := sel[base:]
+	n := 0
+	switch op {
+	case expr.Lt:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x < v {
+				n++
+			}
+		}
+	case expr.Le:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x <= v {
+				n++
+			}
+		}
+	case expr.Gt:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x > v {
+				n++
+			}
+		}
+	case expr.Ge:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x >= v {
+				n++
+			}
+		}
+	case expr.Eq:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x == v {
+				n++
+			}
+		}
+	case expr.Ne:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if x != v {
+				n++
+			}
+		}
+	default:
+		for r, x := range vals {
+			out[n] = int32(r)
+			if expr.Compare(op, x, v) {
+				n++
+			}
+		}
+	}
+	return sel[:base+n]
+}
+
+// block returns the values of block bi of attribute a, serving repeats
+// from the cache. Flat-resident columns are read from their group data
+// (a direct view for stride-1 groups); everything else decodes the
+// encoded payload.
+func (er *encReader) block(a data.AttrID, bi int, stats *StrategyStats) []data.Value {
+	c := er.cols[a]
+	if c.vals != nil && c.bi == bi {
+		return c.vals
+	}
+	b := &c.col.Blocks[bi]
+	if c.flat != nil {
+		base := bi * storage.EncBlockRows
+		if c.stride == 1 {
+			c.vals = c.flat[base : base+b.Rows]
+		} else {
+			if c.scratch == nil {
+				c.scratch = make([]data.Value, storage.EncBlockRows)
+			}
+			for r := 0; r < b.Rows; r++ {
+				c.scratch[r] = c.flat[(base+r)*c.stride+c.off]
+			}
+			c.vals = c.scratch[:b.Rows]
+		}
+		c.bi = bi
+		return c.vals
+	}
+	if c.scratch == nil {
+		c.scratch = make([]data.Value, storage.EncBlockRows)
+	}
+	c.vals = b.Decode(c.scratch)
+	c.bi = bi
+	if stats != nil {
+		stats.EncodedBytes += int64(len(b.Words)) * 8
+	}
+	return c.vals
+}
+
+// foldSelected folds vals at the selected block-relative rows into st,
+// accumulating a block-local run and committing it through AddSummary:
+// one tight gather loop per aggregate instead of a per-row Add with its
+// per-call operator dispatch.
+func foldSelected(st *expr.AggState, vals []data.Value, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	switch st.Op {
+	case expr.AggSum, expr.AggAvg, expr.AggCount:
+		var sum data.Value
+		for _, r := range sel {
+			sum += vals[r]
+		}
+		st.AddSummary(0, 0, sum, int64(len(sel)))
+	default: // AggMin, AggMax
+		mn, mx := vals[sel[0]], vals[sel[0]]
+		for _, r := range sel[1:] {
+			if x := vals[r]; x < mn {
+				mn = x
+			} else if x > mx {
+				mx = x
+			}
+		}
+		st.AddSummary(mn, mx, 0, int64(len(sel)))
+	}
+}
+
+// encodedSegmentScan folds one pinned segment into the caller's
+// accumulators (states for flat aggregates, ga for grouped ones) using
+// the encoded block kernel. ok is false — and nothing has been folded —
+// when the segment's needed groups hold no encodings or the output shape
+// has no encoded path; the caller then falls back to a flat scan. preds
+// must come from a successful SplitConjunction.
+func encodedSegmentScan(seg *storage.Segment, out Outputs, preds []ColPred, states []*expr.AggState, ga *groupedAcc, stats *StrategyStats) (ok bool, err error) {
+	var foldAttrs []data.AttrID
+	switch out.Kind {
+	case OutAggregates:
+		foldAttrs = out.AggAttrs
+	case OutAggExpression:
+		foldAttrs = out.ExprAttrs
+	case OutGrouped:
+		foldAttrs = groupedScanAttrs(out)
+	default:
+		return false, nil
+	}
+	needed := make([]data.AttrID, 0, len(foldAttrs)+len(preds))
+	needed = append(needed, foldAttrs...)
+	for i := range preds {
+		needed = append(needed, preds[i].Attr)
+	}
+	er, ok, err := newEncReader(seg, needed)
+	if err != nil || !ok {
+		return false, err
+	}
+
+	// sum(a+b+...), avg and count decompose over blocks, so a fully
+	// matching block folds from per-column sums alone; min/max over an
+	// expression must see row values.
+	summable := out.ExprAgg == expr.AggSum || out.ExprAgg == expr.AggAvg || out.ExprAgg == expr.AggCount
+
+	// Grouped folds evaluate keys and aggregate arguments through an
+	// accessor over the current block's decoded columns.
+	var curBi, curRow int
+	var get expr.Accessor
+	var keyBuf []data.Value
+	if out.Kind == OutGrouped {
+		keyBuf = make([]data.Value, len(out.GroupBy))
+		get = func(a data.AttrID) data.Value { return er.block(a, curBi, stats)[curRow] }
+	}
+
+	nBlocks := (seg.Rows + storage.EncBlockRows - 1) / storage.EncBlockRows
+	selBuf := make([]int32, 0, storage.EncBlockRows)
+	someIdx := make([]int, 0, len(preds))
+	var exprCols [][]data.Value
+	if out.Kind == OutAggExpression {
+		exprCols = make([][]data.Value, len(out.ExprAttrs))
+	}
+	for bi := 0; bi < nBlocks; bi++ {
+		n := storage.EncBlockRows
+		if r := seg.Rows - bi*storage.EncBlockRows; r < n {
+			n = r
+		}
+
+		// Classify the block against each predicate from its exact
+		// min/max header: zone-map-style skipping inside the segment.
+		skip := false
+		someIdx = someIdx[:0]
+		for pi := range preds {
+			switch er.blockOf(preds[pi].Attr, bi).Match(preds[pi].Op, preds[pi].Val) {
+			case storage.MatchNone:
+				skip = true
+			case storage.MatchSome:
+				someIdx = append(someIdx, pi)
+			}
+			if skip {
+				break
+			}
+		}
+		if skip {
+			if stats != nil {
+				stats.DecodeSkips++
+			}
+			continue
+		}
+
+		// Partially matching predicates build a block-relative selection
+		// vector: the first one scans the encoded payload directly
+		// (run-wise over RLE, unpack-compare over FOR/delta) — or the
+		// flat column when the group is resident — later ones refine it
+		// against block values.
+		haveSel := false
+		sel := selBuf[:0]
+		if len(someIdx) > 0 {
+			p := &preds[someIdx[0]]
+			if er.cols[p.Attr].flat != nil {
+				sel = appendMatchesVals(p.Op, er.block(p.Attr, bi, stats), p.Val, sel)
+			} else {
+				b := er.blockOf(p.Attr, bi)
+				sel = b.AppendMatches(p.Op, p.Val, sel)
+				if stats != nil {
+					stats.EncodedBytes += int64(len(b.Words)) * 8
+				}
+			}
+			haveSel = true
+			for _, pi := range someIdx[1:] {
+				p := &preds[pi]
+				vals := er.block(p.Attr, bi, stats)
+				w := 0
+				for _, r := range sel {
+					if expr.Compare(p.Op, vals[r], p.Val) {
+						sel[w] = r
+						w++
+					}
+				}
+				sel = sel[:w]
+			}
+			if len(sel) == 0 {
+				continue
+			}
+		}
+
+		switch out.Kind {
+		case OutAggregates:
+			if !haveSel {
+				// Every row matches: fold the exact block statistics,
+				// payloads untouched.
+				for i, a := range out.AggAttrs {
+					b := er.blockOf(a, bi)
+					states[i].AddSummary(b.Min, b.Max, b.Sum, int64(b.Rows))
+				}
+				if stats != nil {
+					stats.DecodeSkips++
+				}
+				continue
+			}
+			for i, a := range out.AggAttrs {
+				vals := er.block(a, bi, stats)
+				foldSelected(states[i], vals, sel)
+			}
+
+		case OutAggExpression:
+			if !haveSel && summable {
+				var total data.Value
+				for _, a := range out.ExprAttrs {
+					total += er.blockOf(a, bi).Sum
+				}
+				states[0].AddSummary(0, 0, total, int64(n))
+				if stats != nil {
+					stats.DecodeSkips++
+				}
+				continue
+			}
+			for i, a := range out.ExprAttrs {
+				exprCols[i] = er.block(a, bi, stats)
+			}
+			st := states[0]
+			if haveSel {
+				for _, r := range sel {
+					var v data.Value
+					for _, col := range exprCols {
+						v += col[r]
+					}
+					st.Add(v)
+				}
+			} else {
+				for r := 0; r < n; r++ {
+					var v data.Value
+					for _, col := range exprCols {
+						v += col[r]
+					}
+					st.Add(v)
+				}
+			}
+
+		case OutGrouped:
+			curBi = bi
+			if haveSel {
+				for _, r := range sel {
+					curRow = int(r)
+					for i, a := range out.GroupBy {
+						keyBuf[i] = get(a)
+					}
+					sts := ga.statesFor(keyBuf)
+					for i, e := range out.GroupArgs {
+						sts[i].Add(e.Eval(get))
+					}
+				}
+			} else {
+				for curRow = 0; curRow < n; curRow++ {
+					for i, a := range out.GroupBy {
+						keyBuf[i] = get(a)
+					}
+					sts := ga.statesFor(keyBuf)
+					for i, e := range out.GroupArgs {
+						sts[i].Add(e.Eval(get))
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// ExecEncoded executes aggregate-shaped queries (plain aggregates,
+// aggregated expressions and grouped aggregates) with splittable
+// conjunctive predicates directly over the encoded form of each segment.
+// Segments are pinned at encoded-or-better residency, so spilled
+// segments fault in only their compact encoded blocks (mmap-aliased when
+// the platform supports it) and never materialize flat mini-tuples.
+// Segments whose needed groups hold no encodings — the mutable tail,
+// flat-resident segments that were never sealed with encoding — run the
+// flat per-segment partial scan instead, merged into the same global
+// accumulators. Every other query shape returns ErrUnsupported.
+func ExecEncoded(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
+	out := Classify(q)
+	if out.Kind != OutAggregates && out.Kind != OutAggExpression && out.Kind != OutGrouped {
+		return nil, ErrUnsupported
+	}
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return nil, ErrUnsupported
+	}
+	// Collect the segments the zone maps cannot prune. If none of the
+	// survivors can serve from an encoded form — e.g. only the flat
+	// mutable tail is left after pruning — decline the query: the flat
+	// strategies' fused operators beat this path's per-segment
+	// partial-and-merge fallback, and there is nothing encoded to win on.
+	type candidate struct {
+		si  int
+		seg *storage.Segment
+	}
+	var cands []candidate
+	pruned := 0
+	for si, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if len(preds) > 0 && segPruned(seg, preds) {
+			pruned++
+			continue
+		}
+		cands = append(cands, candidate{si, seg})
+	}
+	servesEncoded := false
+	for _, c := range cands {
+		// Non-resident segments fault back in encoded form; resident ones
+		// serve encoded only if they carry cached encodings.
+		if c.seg.State() != storage.SegResident || c.seg.EncodedBytes() > 0 {
+			servesEncoded = true
+			break
+		}
+	}
+	if !servesEncoded {
+		return nil, ErrUnsupported
+	}
+	if stats != nil {
+		stats.SegmentsPruned += pruned
+	}
+	states := newStates(out)
+	var ga *groupedAcc
+	if out.Kind == OutGrouped {
+		ga = newGroupedAcc(out)
+	}
+	for _, c := range cands {
+		si, seg := c.si, c.seg
+		faulted, err := seg.AcquireEncoded()
+		if err != nil {
+			return nil, err
+		}
+		seg.Touch()
+		stats.touch(si)
+		if stats != nil && faulted {
+			stats.SegmentsFaulted++
+		}
+		err = encodedOrFlatSegment(seg, q, out, preds, states, ga, stats)
+		seg.Release()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if out.Kind == OutGrouped {
+		return groupedResult(out, ga), nil
+	}
+	return aggResult(out.Labels, states), nil
+}
+
+// encodedOrFlatSegment scans one pinned segment into the global
+// accumulators: the encoded block kernel when the needed groups hold
+// encodings, otherwise the flat per-segment partial path with fresh
+// per-segment states merged in.
+func encodedOrFlatSegment(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, states []*expr.AggState, ga *groupedAcc, stats *StrategyStats) error {
+	ok, err := encodedSegmentScan(seg, out, preds, states, ga, stats)
+	if err != nil || ok {
+		return err
+	}
+	sp, err := scanSegmentPartial(seg, q, out, preds, true, stats)
+	if err != nil {
+		return err
+	}
+	if out.Kind == OutGrouped {
+		ga.mergeMap(sp.Groups)
+		return nil
+	}
+	for i, st := range sp.States {
+		states[i].Merge(st)
+	}
+	return nil
+}

@@ -250,6 +250,26 @@ func unloadFraction(rel *storage.Relation, frac float64) {
 	}
 }
 
+// demoteFraction drops the flat data of the given fraction of sealed,
+// flat-resident segments (rounded up) to the encoded rung, lowest index
+// first for determinism. Unlike unloadFraction it is always safe after
+// mutations: the encoding is built from the segment's current data.
+func demoteFraction(rel *storage.Relation, frac float64) {
+	if frac <= 0 || len(rel.Segments) == 0 {
+		return
+	}
+	var sealed []*storage.Segment
+	for _, seg := range rel.Segments[:len(rel.Segments)-1] {
+		if seg.Rows > 0 && seg.State() == storage.SegResident {
+			sealed = append(sealed, seg)
+		}
+	}
+	n := int(frac*float64(len(sealed)) + 0.999999)
+	for i := 0; i < n && i < len(sealed); i++ {
+		sealed[i].DemoteToEncoded()
+	}
+}
+
 // eqStrategy is one strategy under test.
 type eqStrategy struct {
 	name string
@@ -283,6 +303,9 @@ func eqStrategies(rng *rand.Rand) []eqStrategy {
 		{"bitmap", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
 			return ExecHybridBitmap(rel, q, nil)
 		}},
+		{"encoded", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
+			return ExecEncoded(rel, q, nil)
+		}},
 		{"reorg", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
 			// Random hot mask: the reorganizing executor must answer
 			// identically whichever segments it stitches, and it must not
@@ -309,8 +332,11 @@ func checkEquivalence(t *testing.T, rng *rand.Rand, rel *storage.Relation, q *qu
 
 	for _, s := range eqStrategies(rng) {
 		// Re-establish the residency mix before each strategy: the previous
-		// one faulted whatever it scanned back in.
+		// one faulted whatever it scanned back in. Half of the segments left
+		// flat-resident are then demoted to the encoded rung, so every
+		// strategy sees flat, encoded and spilled segments side by side.
 		unloadFraction(rel, 1-residentFrac)
+		demoteFraction(rel, 0.5)
 		if s.rowShape && !RowCovered(rel, q) {
 			continue
 		}
@@ -447,6 +473,9 @@ func TestDeltaRepairEquivalence(t *testing.T) {
 
 		for m := 0; m < mutationsPerRel; m++ {
 			eqMutate(t, rng, rel)
+			// Demote a slice of the sealed segments so delta repair reads a
+			// mix of flat and encoded-resident candidates every round.
+			demoteFraction(rel, 0.5)
 			for i := range qs {
 				q, prior := qs[i].q, qs[i].prior
 				have := prior.Versions()

@@ -316,7 +316,7 @@ func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, worke
 	}
 	if workers <= 1 {
 		for _, t := range tasks {
-			sp, faulted, err := scanDeltaTask(t, q, out, preds, splittable)
+			sp, faulted, err := scanDeltaTask(t, q, out, preds, splittable, stats)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -331,6 +331,9 @@ func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, worke
 
 	partials := make([]*SegPartial, len(tasks))
 	faulted := make([]bool, len(tasks))
+	// Per-task stats keep the workers race-free; the encoded-kernel
+	// counters fold into the caller's stats after the join.
+	taskStats := make([]StrategyStats, len(tasks))
 	var next atomic.Int64
 	var failed atomic.Bool
 	var errOnce sync.Once
@@ -350,7 +353,7 @@ func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, worke
 				if ti >= len(tasks) {
 					return
 				}
-				sp, f, err := scanDeltaTask(tasks[ti], q, out, preds, splittable)
+				sp, f, err := scanDeltaTask(tasks[ti], q, out, preds, splittable, &taskStats[ti])
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					failed.Store(true)
@@ -366,23 +369,46 @@ func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, worke
 	}
 	for ti, sp := range partials {
 		stats.touch(tasks[ti].si)
-		if stats != nil && faulted[ti] {
-			stats.SegmentsFaulted++
+		if stats != nil {
+			if faulted[ti] {
+				stats.SegmentsFaulted++
+			}
+			stats.DecodeSkips += taskStats[ti].DecodeSkips
+			stats.EncodedBytes += taskStats[ti].EncodedBytes
 		}
 		fresh.Segs[tasks[ti].si] = sp
 	}
 	return fresh, reused, nil
 }
 
+// encodedEligible reports whether the encoded block kernel can serve the
+// classified shape: aggregate outputs with a splittable conjunction.
+// Everything else reads rows through accessor indirection and needs flat
+// data.
+func encodedEligible(out Outputs, splittable bool) bool {
+	if !splittable {
+		return false
+	}
+	return out.Kind == OutAggregates || out.Kind == OutAggExpression || out.Kind == OutGrouped
+}
+
 // scanDeltaTask pins one planned segment, scans its partial and stamps the
-// version read during classification.
-func scanDeltaTask(t deltaTask, q *query.Query, out Outputs, preds []ColPred, splittable bool) (*SegPartial, bool, error) {
-	faulted, err := t.seg.Acquire()
+// version read during classification. Shapes the encoded kernel can serve
+// pin at encoded-or-better residency, so spilled segments of an encoded
+// tier repair their partials without materializing flat mini-tuples.
+func scanDeltaTask(t deltaTask, q *query.Query, out Outputs, preds []ColPred, splittable bool, stats *StrategyStats) (*SegPartial, bool, error) {
+	var faulted bool
+	var err error
+	if encodedEligible(out, splittable) {
+		faulted, err = t.seg.AcquireEncoded()
+	} else {
+		faulted, err = t.seg.Acquire()
+	}
 	if err != nil {
 		return nil, false, err
 	}
 	t.seg.Touch()
-	sp, err := scanSegmentPartial(t.seg, q, out, preds, splittable)
+	sp, err := scanSegmentPartial(t.seg, q, out, preds, splittable, stats)
 	t.seg.Release()
 	if err != nil {
 		return nil, false, err
@@ -398,7 +424,32 @@ func scanDeltaTask(t deltaTask, q *query.Query, out Outputs, preds []ColPred, sp
 // template library — falls back to the per-segment generic interpreter with
 // fresh states, so every repairable query has a partial path on every
 // layout.
-func scanSegmentPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, splittable bool) (*SegPartial, error) {
+func scanSegmentPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, splittable bool, stats *StrategyStats) (*SegPartial, error) {
+	// Encoded-first: when the segment's needed groups hold encodings (an
+	// encoded-resident rung, an mmap-backed fault, or a sealed-with-
+	// encoding flat segment), the block kernel computes the partial
+	// without materializing flat data.
+	if encodedEligible(out, splittable) {
+		if out.Kind == OutGrouped {
+			ga := newGroupedAcc(out)
+			ok, err := encodedSegmentScan(seg, out, preds, nil, ga, stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return &SegPartial{Groups: ga.m}, nil
+			}
+		} else {
+			states := newStates(out)
+			ok, err := encodedSegmentScan(seg, out, preds, states, nil, stats)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return &SegPartial{States: states}, nil
+			}
+		}
+	}
 	if out.Kind == OutGrouped {
 		// Fused grouped kernel on a single covering group; otherwise the
 		// grouped generic interpreter — every layout has a grouped path.

@@ -22,6 +22,15 @@ type StrategyStats struct {
 	SegmentsScanned   int // segments the strategy actually read
 	SegmentsPruned    int // segments skipped entirely via their zone maps
 	SegmentsFaulted   int // spilled segments paged in from disk for this scan
+	// DecodeSkips counts encoded blocks whose payload was never decoded:
+	// either skipped outright because the block's exact min/max header
+	// ruled the predicates out, or folded into aggregates from the
+	// header's min/max/sum/rows statistics alone.
+	DecodeSkips int
+	// EncodedBytes counts the encoded payload bytes actually consumed —
+	// predicate-scanned in encoded form or decoded for a fold. Comparing
+	// it to the flat byte volume shows what the encoded kernels saved.
+	EncodedBytes int64
 	// Touched lists the indices of the segments the strategy actually read
 	// (pruned and empty segments excluded), in ascending segment order —
 	// the touch set behind segment-precise result caching and invalidation

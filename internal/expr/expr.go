@@ -343,6 +343,33 @@ func (s *AggState) Add(v data.Value) {
 	s.init = true
 }
 
+// AddSummary folds a pre-aggregated run of count values with the given
+// exact min/max/sum into the accumulator, equivalent to count Add calls.
+// The encoded scan kernels use it to consume a whole block from its
+// header statistics without decoding the payload. sum must be the
+// wrapping int64 sum of the run.
+func (s *AggState) AddSummary(mn, mx, sum data.Value, count int64) {
+	if count <= 0 {
+		return
+	}
+	s.Count += count
+	switch s.Op {
+	case AggSum, AggAvg:
+		s.Acc += sum
+	case AggMax:
+		if !s.init || mx > s.Acc {
+			s.Acc = mx
+		}
+	case AggMin:
+		if !s.init || mn < s.Acc {
+			s.Acc = mn
+		}
+	case AggCount:
+		// count only tracks Count
+	}
+	s.init = true
+}
+
 // Merge folds another accumulator of the same operator into s; parallel
 // scans merge per-partition states this way.
 func (s *AggState) Merge(o *AggState) {

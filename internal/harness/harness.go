@@ -163,6 +163,7 @@ func experiments() []Runner {
 		{"ablation-zonemap", "Ablation: block-skipping zone maps on ordered vs shuffled data", RunAblationZonemap},
 		{"segments", "Segmented storage: O(segment) appends and hot-segment reorgs, segment-skipping scans", RunSegments},
 		{"spill", "Tiered storage: scan latency vs resident fraction under a memory budget; pruned cold segments stay on disk", RunSpill},
+		{"encode", "Compressed encoded segments: on-disk reduction and direct-over-encoded scan kernels vs flat", RunEncode},
 		{"repair", "Partial-result reuse: repeated aggregates under tail appends — flat delta-repair cost vs full recomputation", RunRepair},
 		{"groupby", "GROUP BY under tail appends: grouped delta repair (flat) vs full re-aggregation (grows with relation)", RunGroupBy},
 	}

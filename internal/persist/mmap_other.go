@@ -1,0 +1,16 @@
+//go:build !linux
+
+package persist
+
+// Non-Linux platforms use the portable read-into-buffer fault path; the
+// stubs below are never called once mmapSupported reports false.
+
+func mmapSupported() bool { return false }
+
+func mmapFile(path string) (b []byte, release func(), err error) {
+	panic("persist: mmapFile called on a platform without mmap support")
+}
+
+func aliasWords(b []byte) []uint64 {
+	panic("persist: aliasWords called on a platform without mmap support")
+}

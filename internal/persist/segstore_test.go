@@ -34,12 +34,46 @@ func TestSegmentStoreRoundTrip(t *testing.T) {
 	if !seg.Unload() {
 		t.Fatal("unload failed")
 	}
-	if err := st.ReadSegment("r-seg2", seg); err != nil {
+	// V2 faults install the encoded form; Acquire decodes back to flat.
+	rel.SetLoader(func(s *storage.Segment) error { return st.ReadSegment("r-seg2", s) })
+	faulted, err := seg.Acquire()
+	if err != nil {
 		t.Fatal(err)
 	}
+	if !faulted {
+		t.Fatal("read did not count as a fault")
+	}
+	defer seg.Release()
 	for gi, g := range seg.Groups {
 		if storage.GroupChecksum(g) != sums[gi] {
 			t.Fatalf("group %d content changed across spill round trip", gi)
+		}
+	}
+}
+
+// TestSegmentStoreLegacyV1Readable proves spill directories written by the
+// flat H2OSEG01 format still fault in correctly.
+func TestSegmentStoreLegacyV1Readable(t *testing.T) {
+	st, rel := segStoreFixture(t)
+	seg := rel.Segments[2]
+	var sums []uint64
+	for _, g := range seg.Groups {
+		sums = append(sums, storage.GroupChecksum(g))
+	}
+	if err := writeSegmentV1(st, "legacy", seg); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Unload() {
+		t.Fatal("unload failed")
+	}
+	rel.SetLoader(func(s *storage.Segment) error { return st.ReadSegment("legacy", s) })
+	if _, err := seg.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Release()
+	for gi, g := range seg.Groups {
+		if storage.GroupChecksum(g) != sums[gi] {
+			t.Fatalf("group %d content changed across a legacy V1 round trip", gi)
 		}
 	}
 }

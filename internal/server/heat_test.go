@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+)
+
+// TestSegmentHeatCountsCachedReferences: the heat snapshot counts, per
+// segment, the cached results that read it and the partials payloads that
+// retain a contribution from it — and only for the requested table.
+func TestSegmentHeatCountsCachedReferences(t *testing.T) {
+	const segCap, segs = 256, 8
+	b := newSegmentedBackend(t, segs*segCap, segCap, frozenOptions())
+	s := New(b, Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	if heat := s.SegmentHeat("R"); len(heat) != 0 {
+		t.Fatalf("empty caches reported heat %v", heat)
+	}
+
+	// Segment 0 only: one result entry touching [0], plus the repairable
+	// aggregate's partials payload retaining segment 0's partial.
+	cold := coldSegQuery(segCap)
+	if _, _, err := s.Query(ctx, cold); err != nil {
+		t.Fatal(err)
+	}
+	// Every segment: result entry touching all, payload over all.
+	full := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
+	if _, _, err := s.Query(ctx, full); err != nil {
+		t.Fatal(err)
+	}
+
+	heat := s.SegmentHeat("R")
+	if len(heat) != segs {
+		t.Fatalf("heat covers %d segments, want %d: %v", len(heat), segs, heat)
+	}
+	// Segment 0: cold result + cold payload + full result + full payload.
+	// Later segments: full result + full payload only.
+	if heat[0] != 4 {
+		t.Fatalf("segment 0 heat = %d, want 4: %v", heat[0], heat)
+	}
+	for si := 1; si < segs; si++ {
+		if heat[si] != 2 {
+			t.Fatalf("segment %d heat = %d, want 2: %v", si, heat[si], heat)
+		}
+	}
+
+	if other := s.SegmentHeat("S"); len(other) != 0 {
+		t.Fatalf("unknown table reported heat %v", other)
+	}
+}
+
+// TestSegmentHeatPrefixIsTableExact: a table whose name is a prefix of
+// another must not absorb its heat — the length-prefixed key keeps them
+// apart.
+func TestSegmentHeatPrefixIsTableExact(t *testing.T) {
+	const segCap, segs = 256, 4
+	b := newSegmentedBackend(t, segs*segCap, segCap, frozenOptions())
+	s := New(b, Config{Workers: 1})
+	defer s.Close()
+
+	if _, _, err := s.Query(context.Background(), coldSegQuery(segCap)); err != nil {
+		t.Fatal(err)
+	}
+	_ = data.SyntheticSchema("RR", 4) // name collision candidate
+	if heat := s.SegmentHeat("RR"); len(heat) != 0 {
+		t.Fatalf("prefix table absorbed heat: %v", heat)
+	}
+}

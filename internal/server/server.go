@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -267,6 +269,47 @@ func (s *Server) CacheSize() int {
 	return s.cache.size()
 }
 
+// SegmentHeat reports, per segment index, how many live cached artifacts
+// for table reference that segment: result-cache entries count the
+// segments their execution actually read, partials payloads count every
+// segment they retain a partial for. The tiered-storage layer consumes it
+// (wired through the facade as a core.SegmentHeatFunc) to steer eviction
+// away from segments that many cached entries depend on — spilling those
+// would turn their future repairs and revalidations into disk faults. The
+// snapshot takes each cache shard's read lock briefly and calls no backend
+// code, so it is safe to invoke from inside an eviction pass.
+func (s *Server) SegmentHeat(table string) map[int]int {
+	heat := make(map[int]int)
+	prefix := strconv.Itoa(len(table)) + ":" + table + ":"
+	if s.cache != nil {
+		for _, sh := range s.cache.shards {
+			sh.mu.RLock()
+			for k, e := range sh.items {
+				if !strings.HasPrefix(k, prefix) {
+					continue
+				}
+				for _, si := range e.info.SegmentsTouched {
+					heat[si]++
+				}
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	if s.partials != nil {
+		s.partials.mu.Lock()
+		for k, e := range s.partials.items {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			for si := range e.p.Versions() {
+				heat[si]++
+			}
+		}
+		s.partials.mu.Unlock()
+	}
+	return heat
+}
+
 // Query serves one logical query: answered from the result cache when an
 // entry exists for the query's current touch fingerprint — every segment
 // the query may read is unchanged — otherwise admitted to the worker pool
@@ -488,6 +531,8 @@ func (s *Server) serveDelta(j *job) bool {
 		SegmentsPruned:  ds.Stats.SegmentsPruned,
 		SegmentsFaulted: ds.Stats.SegmentsFaulted,
 		SegmentsTouched: ds.Stats.Touched,
+		DecodeSkips:     ds.Stats.DecodeSkips,
+		EncodedBytes:    ds.Stats.EncodedBytes,
 		Duration:        time.Since(start),
 	}
 	// A repair proper reused at least one cached partial; a cold seed (or a

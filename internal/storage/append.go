@@ -71,6 +71,13 @@ func (r *Relation) tailWithRoom() *Segment {
 	if tail.Rows < r.SegCap {
 		return tail
 	}
+	if r.EncodeOnSeal {
+		// The tail is sealing: build its encoded form now, while the data
+		// is cache-hot, so later demotion and spill writes are free.
+		for _, g := range tail.Groups {
+			g.Encoding()
+		}
+	}
 	fresh := make([]*ColumnGroup, len(tail.Groups))
 	for i, g := range tail.Groups {
 		ng := NewGroupPadded(g.Attrs, 0, g.Stride-g.Width)

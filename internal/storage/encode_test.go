@@ -1,0 +1,320 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+// encDecodeColumn decodes an EncColumn back into a flat value slice.
+func encDecodeColumn(c *EncColumn) []data.Value {
+	out := make([]data.Value, 0, c.Rows)
+	scratch := make([]data.Value, EncBlockRows)
+	for bi := range c.Blocks {
+		out = append(out, c.Blocks[bi].Decode(scratch)...)
+	}
+	return out
+}
+
+func encodeValues(vals []data.Value) *EncColumn {
+	g := &ColumnGroup{Attrs: []data.AttrID{0}, Width: 1, Stride: 1, Rows: len(vals), Data: vals}
+	return encodeColumn(g, 0)
+}
+
+func TestEncodeRoundTripShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string][]data.Value{
+		"empty-block-boundary": make([]data.Value, EncBlockRows),
+		"constant":             {5, 5, 5, 5, 5, 5, 5, 5},
+		"monotonic":            nil,
+		"random-small":         nil,
+		"random-full":          nil,
+		"extremes": {math.MaxInt64, math.MinInt64, 0, -1, 1,
+			math.MaxInt64, math.MinInt64, math.MinInt64},
+		"runs":       {1, 1, 1, 2, 2, 9, 9, 9, 9, 9, 3},
+		"single":     {42},
+		"alternate":  {math.MinInt64, math.MaxInt64, math.MinInt64, math.MaxInt64},
+		"off-by-one": make([]data.Value, EncBlockRows+1),
+	}
+	mono := make([]data.Value, 3*EncBlockRows+17)
+	for i := range mono {
+		mono[i] = data.Value(1_700_000_000 + i)
+	}
+	shapes["monotonic"] = mono
+	small := make([]data.Value, EncBlockRows+100)
+	for i := range small {
+		small[i] = data.Value(rng.Intn(16))
+	}
+	shapes["random-small"] = small
+	full := make([]data.Value, EncBlockRows/2)
+	for i := range full {
+		full[i] = data.Value(rng.Uint64())
+	}
+	shapes["random-full"] = full
+	for i := range shapes["off-by-one"] {
+		shapes["off-by-one"][i] = data.Value(i % 3)
+	}
+
+	for name, vals := range shapes {
+		c := encodeValues(vals)
+		got := encDecodeColumn(c)
+		if len(got) != len(vals) {
+			t.Fatalf("%s: decoded %d rows, want %d", name, len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s: row %d decoded %d, want %d (codec %v)",
+					name, i, got[i], vals[i], c.Blocks[i/EncBlockRows].Kind)
+			}
+		}
+	}
+}
+
+func TestEncodeBlockStats(t *testing.T) {
+	vals := []data.Value{3, -7, 12, 12, 0, math.MaxInt64, 5}
+	c := encodeValues(vals)
+	b := &c.Blocks[0]
+	var sum data.Value
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if b.Min != mn || b.Max != mx || b.Sum != sum || b.Rows != len(vals) {
+		t.Fatalf("stats min=%d max=%d sum=%d rows=%d; want %d %d %d %d",
+			b.Min, b.Max, b.Sum, b.Rows, mn, mx, sum, len(vals))
+	}
+}
+
+func TestEncodeCodecSelection(t *testing.T) {
+	mono := make([]data.Value, EncBlockRows)
+	for i := range mono {
+		mono[i] = data.Value(i)
+	}
+	if k := encodeValues(mono).Blocks[0].Kind; k != EncDelta {
+		t.Fatalf("monotonic column picked %v, want delta", k)
+	}
+	cst := make([]data.Value, EncBlockRows)
+	if b := encodeValues(cst).Blocks[0]; len(b.Words) != 0 {
+		t.Fatalf("constant column used %d payload words (%v), want 0", len(b.Words), b.Kind)
+	}
+	wild := make([]data.Value, EncBlockRows)
+	rng := rand.New(rand.NewSource(3))
+	for i := range wild {
+		wild[i] = data.Value(rng.Uint64())
+	}
+	b := encodeValues(wild).Blocks[0]
+	if got, raw := len(b.Words), EncBlockRows; got > raw {
+		t.Fatalf("incompressible column encoded to %d words, raw is %d", got, raw)
+	}
+}
+
+func TestEncodedMatchAgainstFlatScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]data.Value, 2*EncBlockRows+333)
+	for i := range vals {
+		switch rng.Intn(3) {
+		case 0:
+			vals[i] = data.Value(rng.Intn(50))
+		case 1:
+			vals[i] = data.Value(1000 + i)
+		default:
+			vals[i] = data.Value(rng.Uint64())
+		}
+	}
+	c := encodeValues(vals)
+	ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Eq, expr.Ne}
+	cuts := []data.Value{0, 25, 1000 + EncBlockRows, math.MinInt64, math.MaxInt64, vals[17]}
+	for _, op := range ops {
+		for _, cut := range cuts {
+			var got []int
+			sel := make([]int32, 0, EncBlockRows)
+			for bi := range c.Blocks {
+				b := &c.Blocks[bi]
+				base := c.BlockStart(bi)
+				switch b.Match(op, cut) {
+				case MatchNone:
+					for r := 0; r < b.Rows; r++ {
+						if cmpVal(vals[base+r], op, cut) {
+							t.Fatalf("block %d claimed MatchNone for op=%v cut=%d but row %d matches", bi, op, cut, base+r)
+						}
+					}
+				case MatchAll:
+					for r := 0; r < b.Rows; r++ {
+						if !cmpVal(vals[base+r], op, cut) {
+							t.Fatalf("block %d claimed MatchAll for op=%v cut=%d but row %d fails", bi, op, cut, base+r)
+						}
+						got = append(got, base+r)
+					}
+				case MatchSome:
+					for _, r := range b.AppendMatches(op, cut, sel[:0]) {
+						got = append(got, base+int(r))
+					}
+				}
+			}
+			var want []int
+			for i, v := range vals {
+				if cmpVal(v, op, cut) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("op=%v cut=%d: encoded scan found %d rows, flat %d", op, cut, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op=%v cut=%d: row %d: encoded %d vs flat %d", op, cut, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupEncodingRoundTripPadded(t *testing.T) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 4), 1000, 5)
+	g := BuildGroupPadded(tb, []data.AttrID{0, 1, 2, 3}, RowOverheadWords(4))
+	e := EncodeGroup(g)
+	clone := &ColumnGroup{Attrs: g.Attrs, Width: g.Width, Stride: g.Stride, Rows: g.Rows, pos: g.pos}
+	e.DecodeInto(clone)
+	if len(clone.Data) != len(g.Data) {
+		t.Fatalf("decoded %d words, want %d", len(clone.Data), len(g.Data))
+	}
+	for i := range g.Data {
+		if clone.Data[i] != g.Data[i] {
+			t.Fatalf("word %d: decoded %d, want %d", i, clone.Data[i], g.Data[i])
+		}
+	}
+}
+
+func TestResidencyLadder(t *testing.T) {
+	tb := data.GenerateTimeSeries(data.SyntheticSchema("R", 3), 1024, 9)
+	rel := BuildColumnMajorSeg(tb, 256)
+	rel.Compact()
+	seg := rel.Segments[0]
+	flat := make([]data.Value, len(seg.Groups[0].Data))
+	copy(flat, seg.Groups[0].Data)
+
+	if !seg.DemoteToEncoded() {
+		t.Fatal("demote refused on a sealed resident segment")
+	}
+	if seg.State() != SegEncoded {
+		t.Fatalf("state %v after demote, want SegEncoded", seg.State())
+	}
+	if seg.Groups[0].Data != nil {
+		t.Fatal("flat data survived demotion")
+	}
+	if rb, eb := seg.ResidentBytes(), seg.EncodedBytes(); rb != eb || eb == 0 {
+		t.Fatalf("encoded segment ResidentBytes=%d EncodedBytes=%d; want equal and nonzero", rb, eb)
+	}
+	if seg.DemoteToEncoded() {
+		t.Fatal("demote succeeded twice")
+	}
+
+	// AcquireEncoded must not decode.
+	if _, err := seg.AcquireEncoded(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Groups[0].Data != nil {
+		t.Fatal("AcquireEncoded materialized flat data")
+	}
+	if seg.Unload() {
+		t.Fatal("unload succeeded while pinned")
+	}
+	seg.Release()
+
+	// Acquire decodes back to the exact original bytes without a loader.
+	faulted, err := seg.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted {
+		t.Fatal("decode from encoded counted as a disk fault")
+	}
+	if seg.State() != SegResident {
+		t.Fatalf("state %v after Acquire, want SegResident", seg.State())
+	}
+	for i, v := range seg.Groups[0].Data {
+		if v != flat[i] {
+			t.Fatalf("word %d: %d after decode, want %d", i, v, flat[i])
+		}
+	}
+	seg.Release()
+
+	// The tail refuses demotion.
+	if rel.Tail().DemoteToEncoded() {
+		t.Fatal("tail demoted")
+	}
+}
+
+// FuzzSegmentEncoding feeds arbitrary bytes as int64 columns through the
+// full encode → decode cycle and through the encoded predicate scan,
+// demanding bit-exact agreement with the flat representation.
+func FuzzSegmentEncoding(f *testing.F) {
+	f.Add([]byte{}, int64(0), uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, int64(3), uint8(2))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+		0, 0, 0, 0, 0, 0, 0, 0x80}, int64(-1), uint8(4))
+	seed := make([]byte, 8*300)
+	for i := range seed {
+		seed[i] = byte(i % 7)
+	}
+	f.Add(seed, int64(1000), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, cut int64, opByte uint8) {
+		vals := make([]data.Value, 0, len(raw)/8+1)
+		for i := 0; i+8 <= len(raw); i += 8 {
+			var u uint64
+			for j := 0; j < 8; j++ {
+				u |= uint64(raw[i+j]) << (8 * j)
+			}
+			vals = append(vals, data.Value(u))
+		}
+		if len(vals) == 0 {
+			return
+		}
+		c := encodeValues(vals)
+		got := encDecodeColumn(c)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("row %d: decoded %d, want %d", i, got[i], vals[i])
+			}
+		}
+		op := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Eq, expr.Ne}[opByte%6]
+		var enc []int
+		for bi := range c.Blocks {
+			b := &c.Blocks[bi]
+			base := c.BlockStart(bi)
+			switch b.Match(op, data.Value(cut)) {
+			case MatchAll:
+				for r := 0; r < b.Rows; r++ {
+					enc = append(enc, base+r)
+				}
+			case MatchSome:
+				for _, r := range b.AppendMatches(op, data.Value(cut), nil) {
+					enc = append(enc, base+int(r))
+				}
+			}
+		}
+		var flat []int
+		for i, v := range vals {
+			if cmpVal(v, op, data.Value(cut)) {
+				flat = append(flat, i)
+			}
+		}
+		if len(enc) != len(flat) {
+			t.Fatalf("op=%v cut=%d: encoded scan %d rows, flat %d", op, cut, len(enc), len(flat))
+		}
+		for i := range flat {
+			if enc[i] != flat[i] {
+				t.Fatalf("op=%v cut=%d: position %d: %d vs %d", op, cut, i, enc[i], flat[i])
+			}
+		}
+	})
+}

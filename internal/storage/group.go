@@ -33,6 +33,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"h2o/internal/data"
 )
@@ -88,6 +89,12 @@ type ColumnGroup struct {
 	// summary" (standalone kernel-benchmark groups), which scans treat as
 	// "may match".
 	zm *ZoneMap
+
+	// enc caches the group's encoded form (see encode.go). Atomic because
+	// spill writes (under the engine's shared lock) and encoded scans
+	// build it lazily while racing with each other; any mutation drops it
+	// before touching Data.
+	enc atomic.Pointer[GroupEncoding]
 }
 
 // NewGroup allocates an empty (zeroed) column group for the given attributes
@@ -203,6 +210,7 @@ func (g *ColumnGroup) Set(r int, a data.AttrID, v data.Value) {
 	if !ok {
 		panic(fmt.Sprintf("storage: group %v does not store attribute %d", g.Attrs, a))
 	}
+	g.enc.Store(nil) // any cached encoding is stale the moment data changes
 	g.Data[r*g.Stride+off] = v
 }
 

@@ -52,6 +52,12 @@ type Relation struct {
 	// residency.go). Installed once with SetLoader before the relation
 	// serves readers; nil means every segment is permanently resident.
 	loader Loader
+
+	// EncodeOnSeal makes the append path build each segment's encoded form
+	// (encode.go) the moment the tail seals, while its data is still hot in
+	// cache. Enabled by engines running an encoded tier; costs one stats +
+	// pack pass per sealed segment.
+	EncodeOnSeal bool
 }
 
 // versionClock is the process-wide source of relation and segment versions.

@@ -56,6 +56,9 @@ type Segment struct {
 	pins   int
 	state  SegState
 	faults uint64
+	// mapRel releases the mmap backing the segment's installed encodings,
+	// if any; set by the loader under resMu, run and cleared by Unload.
+	mapRel func()
 }
 
 // newSegment assembles a segment from groups that all share the same row
@@ -310,6 +313,7 @@ func (s *Segment) MayMatch(a data.AttrID, op expr.CmpOp, v data.Value) bool {
 // tuple width and checked capacity.
 func (s *Segment) appendTuple(tuple []data.Value, scratch []data.Value) {
 	for _, g := range s.Groups {
+		g.enc.Store(nil) // tails are never encoded; drop any stale cache
 		base := len(g.Data)
 		g.Data = append(g.Data, make([]data.Value, g.Stride)...)
 		vals := scratch[:g.Width]
