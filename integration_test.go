@@ -150,17 +150,17 @@ func TestIntegrationAllStrategiesOnEvolvedLayout(t *testing.T) {
 		t.Skip("layout did not evolve at this scale")
 	}
 	probe := query.Aggregation("R", expr.AggMax, hotAttrs, query.PredGt(6, 0))
-	want, err := exec.ExecGeneric(rel, probe, nil)
+	want, err := exec.Exec(rel, probe, exec.ExecOpts{Strategy: exec.StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := exec.ExecColumn(rel, probe, nil); err != nil || !got.Equal(want) {
+	if got, err := exec.Exec(rel, probe, exec.ExecOpts{Strategy: exec.StrategyColumn}); err != nil || !got.Equal(want) {
 		t.Fatalf("column strategy on evolved layout: %v", err)
 	}
-	if got, err := exec.ExecHybrid(rel, probe, nil); err != nil || !got.Equal(want) {
+	if got, err := exec.Exec(rel, probe, exec.ExecOpts{Strategy: exec.StrategyHybrid}); err != nil || !got.Equal(want) {
 		t.Fatalf("hybrid strategy on evolved layout: %v", err)
 	}
-	if got, err := exec.ExecVectorized(rel, probe, 0, nil); err != nil || !got.Equal(want) {
+	if got, err := exec.Exec(rel, probe, exec.ExecOpts{Strategy: exec.StrategyVectorized}); err != nil || !got.Equal(want) {
 		t.Fatalf("vectorized strategy on evolved layout: %v", err)
 	}
 }

@@ -67,7 +67,7 @@ func (o *Oracle) Execute(q *query.Query) (*exec.Result, time.Duration, error) {
 	start := time.Now()
 	res, err := exec.ExecRow(g, q)
 	if err == exec.ErrUnsupported {
-		res, err = exec.ExecGeneric(o.rel, q, nil)
+		res, err = exec.Exec(o.rel, q, exec.ExecOpts{Strategy: exec.StrategyGeneric})
 	}
 	return res, time.Since(start), err
 }

@@ -26,7 +26,7 @@ func table(t *testing.T) *data.Table {
 // reference computes the expected result with naive loops.
 func reference(tb *data.Table, q *query.Query) *exec.Result {
 	rel := storage.BuildRowMajor(tb, false)
-	res, err := exec.ExecGeneric(rel, q, nil)
+	res, err := exec.Exec(rel, q, exec.ExecOpts{Strategy: exec.StrategyGeneric})
 	if err != nil {
 		panic(err)
 	}

@@ -479,10 +479,13 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 	// without touching their payloads, and spilled segments fault in only
 	// their compact encoded form instead of rehydrating flat data. Shapes
 	// outside ExecEncoded's reach (projections, unsplittable predicates)
-	// fall through to the cost-based paths below.
-	if e.opts.EncodedTier {
+	// fall through to the cost-based paths below. ServesEncoded gates the
+	// attempt on some unpruned segment actually carrying encoded blocks (or
+	// living spilled), so an all-flat relation never reports
+	// StrategyEncoded.
+	if e.opts.EncodedTier && exec.ServesEncoded(e.rel, q) {
 		var st exec.StrategyStats
-		res, err := exec.ExecEncoded(e.rel, q, &st)
+		res, err := exec.Exec(e.rel, q, exec.ExecOpts{Strategy: exec.StrategyEncoded, Stats: &st})
 		if err == nil {
 			e.recordSelectivity(info, q, res)
 			e.touchGroups(q)
@@ -516,7 +519,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 	if e.opts.Parallelism > 1 && (strategy == exec.StrategyRow || strategy == exec.StrategyHybrid) {
 		if exec.RowCovered(e.rel, q) {
 			var st exec.StrategyStats
-			if res, err := exec.ExecRowParallel(e.rel, q, e.opts.Parallelism, &st); err == nil {
+			if res, err := exec.Exec(e.rel, q, exec.ExecOpts{Strategy: exec.StrategyRow, Workers: e.opts.Parallelism, Stats: &st}); err == nil {
 				e.recordSelectivity(info, q, res)
 				e.touchGroups(q)
 				applyLimit(q, res)
@@ -657,7 +660,7 @@ func (e *Engine) Explain(q *query.Query) (Explanation, error) {
 	info := query.InfoOf(q)
 	est := e.estimateSelectivity(info, q)
 	var ex Explanation
-	for _, s := range []exec.Strategy{exec.StrategyRow, exec.StrategyHybrid, exec.StrategyColumn, exec.StrategyGeneric} {
+	for _, s := range exec.ExplainStrategies() {
 		plan := exec.AccessPlan(s, e.rel, q, est)
 		if plan == nil {
 			continue
@@ -762,7 +765,14 @@ func (e *Engine) tryReorg(q *query.Query, info query.Info, start time.Time) (*ex
 		}
 
 		var st exec.StrategyStats
-		newGroups, res, err := exec.ExecReorg(e.rel, q, p.Attrs, hot, &st)
+		var newGroups []*storage.ColumnGroup
+		res, err := exec.Exec(e.rel, q, exec.ExecOpts{
+			Strategy:   exec.StrategyReorg,
+			ReorgAttrs: p.Attrs,
+			HotMask:    hot,
+			NewGroups:  &newGroups,
+			Stats:      &st,
+		})
 		if err != nil {
 			return nil, ExecInfo{}, true, err
 		}
@@ -869,7 +879,7 @@ func (e *Engine) chooseStrategy(q *query.Query, info query.Info) (exec.Strategy,
 	best := exec.StrategyGeneric
 	var bestCost costmodel.Seconds
 	first := true
-	for _, s := range []exec.Strategy{exec.StrategyRow, exec.StrategyHybrid, exec.StrategyColumn} {
+	for _, s := range exec.CostedStrategies() {
 		plan := exec.AccessPlan(s, e.rel, q, est)
 		if plan == nil {
 			continue

@@ -151,93 +151,85 @@ func foldColumnBitmap(st *expr.AggState, g *storage.ColumnGroup, off int, bm *Bi
 }
 
 // ExecHybridBitmap is ExecHybrid's aggregate path with bitmaps instead of
-// selection vectors, used by the bitmap ablation. It supports the plain and
-// grouped aggregation templates only; segments are processed one at a time
-// with a segment-sized bitmap, skipping segments their zone maps rule out.
+// selection vectors, used by the bitmap ablation. It supports the plain
+// and grouped aggregation templates only.
+//
+// Deprecated: call Exec with StrategyBitmap. Kept for one PR so the
+// equivalence harness can prove old-vs-new bit-identical.
 func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind != OutAggregates && out.Kind != OutGrouped {
-		return nil, ErrUnsupported
-	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		return nil, ErrUnsupported
-	}
+	return Exec(rel, q, ExecOpts{Strategy: StrategyBitmap, Stats: stats})
+}
+
+// bitmapSegPartial is the bitmap pipeline's per-segment operator: fused
+// predicate evaluation into a segment-sized bit-vector, refined by AND,
+// then aggregate or grouped folds over the set bits, emitted as that
+// segment's partial.
+func bitmapSegPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, stats *StrategyStats) (*partial, error) {
 	states := newStates(out)
 	var ga *groupedAcc
 	if out.Kind == OutGrouped {
 		ga = newGroupedAcc(out)
 	}
-	err := scanSegments(rel, preds, stats, 0, func() int { return 0 },
-		func(seg *storage.Segment) error {
-			_, assign, err := seg.CoveringGroups(q.AllAttrs())
-			if err != nil {
-				return err
-			}
-
-			var bm *Bitmap
-			if len(preds) > 0 {
-				bm = NewBitmap(seg.Rows)
-				grouped := map[*storage.ColumnGroup][]GroupPred{}
-				var order []*storage.ColumnGroup
-				for _, p := range preds {
-					g := assign[p.Attr]
-					off, _ := g.Offset(p.Attr)
-					if _, seen := grouped[g]; !seen {
-						order = append(order, g)
-					}
-					grouped[g] = append(grouped[g], GroupPred{Off: off, Op: p.Op, Val: p.Val})
-				}
-				for i, g := range order {
-					if i == 0 {
-						FilterGroupBitmap(g, grouped[g], bm)
-					} else {
-						RefineBitmap(g, grouped[g], bm)
-					}
-				}
-				if stats != nil {
-					stats.IntermediateWords += len(bm.words)
-				}
-			}
-
-			if out.Kind == OutGrouped {
-				folder, err := newSegGroupedFolder(seg, groupedScanAttrs(out), out)
-				if err != nil {
-					return err
-				}
-				if bm != nil {
-					for wi, w := range bm.words {
-						base := wi << 6
-						for w != 0 {
-							bit := bits.TrailingZeros64(w)
-							w &= w - 1
-							folder.fold(ga, base+bit)
-						}
-					}
-				} else {
-					for r := 0; r < seg.Rows; r++ {
-						folder.fold(ga, r)
-					}
-				}
-				return nil
-			}
-
-			for i, a := range out.AggAttrs {
-				g := assign[a]
-				off, _ := g.Offset(a)
-				if bm != nil {
-					foldColumnBitmap(states[i], g, off, bm)
-				} else {
-					foldRange(states[i], g, off, 0, seg.Rows)
-				}
-			}
-			return nil
-		})
+	_, assign, err := seg.CoveringGroups(q.AllAttrs())
 	if err != nil {
 		return nil, err
 	}
-	if out.Kind == OutGrouped {
-		return groupedResult(out, ga), nil
+
+	var bm *Bitmap
+	if len(preds) > 0 {
+		bm = NewBitmap(seg.Rows)
+		grouped := map[*storage.ColumnGroup][]GroupPred{}
+		var order []*storage.ColumnGroup
+		for _, p := range preds {
+			g := assign[p.Attr]
+			off, _ := g.Offset(p.Attr)
+			if _, seen := grouped[g]; !seen {
+				order = append(order, g)
+			}
+			grouped[g] = append(grouped[g], GroupPred{Off: off, Op: p.Op, Val: p.Val})
+		}
+		for i, g := range order {
+			if i == 0 {
+				FilterGroupBitmap(g, grouped[g], bm)
+			} else {
+				RefineBitmap(g, grouped[g], bm)
+			}
+		}
+		if stats != nil {
+			stats.IntermediateWords += len(bm.words)
+		}
 	}
-	return aggResult(out.Labels, states), nil
+
+	if out.Kind == OutGrouped {
+		folder, err := newSegGroupedFolder(seg, groupedScanAttrs(out), out)
+		if err != nil {
+			return nil, err
+		}
+		if bm != nil {
+			for wi, w := range bm.words {
+				base := wi << 6
+				for w != 0 {
+					bit := bits.TrailingZeros64(w)
+					w &= w - 1
+					folder.fold(ga, base+bit)
+				}
+			}
+		} else {
+			for r := 0; r < seg.Rows; r++ {
+				folder.fold(ga, r)
+			}
+		}
+		return &partial{groups: ga}, nil
+	}
+
+	for i, a := range out.AggAttrs {
+		g := assign[a]
+		off, _ := g.Offset(a)
+		if bm != nil {
+			foldColumnBitmap(states[i], g, off, bm)
+		} else {
+			foldRange(states[i], g, off, 0, seg.Rows)
+		}
+	}
+	return &partial{states: states}, nil
 }

@@ -27,12 +27,20 @@ const (
 	// selects it directly.
 	StrategyDelta
 	// StrategyEncoded answers aggregate-shaped queries directly over the
-	// per-column encoded blocks of sealed segments (ExecEncoded): block
-	// headers skip or fold whole blocks without decoding, and spilled
-	// segments fault in only their compact encoded form. The serving
-	// layer uses it on encoded-tier relations; the cost-based chooser
-	// never selects it directly.
+	// per-column encoded blocks of sealed segments: block headers skip or
+	// fold whole blocks without decoding, and spilled segments fault in
+	// only their compact encoded form. The serving layer uses it on
+	// encoded-tier relations; the cost-based chooser never selects it
+	// directly.
 	StrategyEncoded
+	// StrategyVectorized is the chunked variant of StrategyHybrid (§3.3):
+	// the same operators over fixed-size row chunks whose intermediates
+	// stay cache-resident. An ablation strategy, never cost-chosen.
+	StrategyVectorized
+	// StrategyBitmap is StrategyHybrid's aggregate path with bit-vectors
+	// instead of selection vectors. An ablation strategy, never
+	// cost-chosen.
+	StrategyBitmap
 )
 
 // String names the strategy.
@@ -52,6 +60,10 @@ func (s Strategy) String() string {
 		return "delta-repair"
 	case StrategyEncoded:
 		return "encoded-direct"
+	case StrategyVectorized:
+		return "vectorized"
+	case StrategyBitmap:
+		return "bitmap"
 	default:
 		return "unknown"
 	}
@@ -89,134 +101,150 @@ func AccessPlan(s Strategy, rel *storage.Relation, q *query.Query, estSel float6
 	return accesses
 }
 
-// segAccessPlan costs one segment's layout, scaled to rows tuples.
+// segPlanFunc costs one segment's layout under one strategy, scaled to
+// rows tuples. Each costed strategy registers one in the strategies
+// registry (exec.go), which is segAccessPlan's dispatch table.
+type segPlanFunc func(seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess
+
+// segAccessPlan costs one segment's layout, scaled to rows tuples, by
+// dispatching to the strategy's registered segPlan. Strategies without
+// one (reorg, delta, encoded, the ablation strategies) are never costed.
 func segAccessPlan(s Strategy, seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
-	all := q.AllAttrs()
+	e, ok := strategies[s]
+	if !ok || e.segPlan == nil {
+		return nil
+	}
 	if q.Where == nil {
 		estSel = 1
 	}
-	switch s {
-	case StrategyRow:
-		g := bestCoveringGroupSeg(seg, q)
-		if g == nil {
-			return nil
-		}
-		// One fused pass over the single group; no intermediates.
-		return []costmodel.GroupAccess{{
-			Stride: g.Stride, Width: g.Width, Used: len(all), Rows: rows,
-			Selectivity: 1, // predicate push-down scans every tuple
-		}}
+	return e.segPlan(seg, rows, q, estSel)
+}
 
-	case StrategyColumn:
-		// One access per distinct attribute's column, plus intermediate
-		// columns for gathered outputs and refined predicates.
-		var accesses []costmodel.GroupAccess
-		where := q.WhereAttrs()
-		sel := q.SelectAttrs()
-		for i, a := range where {
-			g, err := seg.GroupFor(a)
-			if err != nil {
-				return nil
-			}
-			scanSel := 1.0
-			inter := 0
-			if i > 0 {
-				scanSel = estSel // later predicates probe through the vector
-				inter = int(float64(rows) * estSel)
-			} else {
-				inter = int(float64(rows) * estSel / 2) // selection vector (int32)
-			}
-			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
-				Selectivity: scanSel, IntermediateWords: inter,
-			})
-		}
-		out := Classify(q)
-		outSel := estSel
-		if len(where) == 0 {
-			outSel = 1
-		}
-		for _, a := range sel {
-			g, err := seg.GroupFor(a)
-			if err != nil {
-				return nil
-			}
-			inter := 0
-			if out.Kind != OutAggregates {
-				// Projections and expressions materialize a full
-				// intermediate column per attribute.
-				inter = int(float64(rows) * outSel)
-			}
-			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
-				Selectivity: outSel, IntermediateWords: inter,
-			})
-		}
-		return accesses
+// rowSegPlan costs the fused row strategy: one fused pass over the single
+// covering group; no intermediates.
+func rowSegPlan(seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	g := bestCoveringGroupSeg(seg, q)
+	if g == nil {
+		return nil
+	}
+	return []costmodel.GroupAccess{{
+		Stride: g.Stride, Width: g.Width, Used: len(q.AllAttrs()), Rows: rows,
+		Selectivity: 1, // predicate push-down scans every tuple
+	}}
+}
 
-	case StrategyHybrid:
-		groups, assign, err := seg.CoveringGroups(all)
+// columnSegPlan costs late materialization: one access per distinct
+// attribute's column, plus intermediate columns for gathered outputs and
+// refined predicates.
+func columnSegPlan(seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	var accesses []costmodel.GroupAccess
+	where := q.WhereAttrs()
+	sel := q.SelectAttrs()
+	for i, a := range where {
+		g, err := seg.GroupFor(a)
 		if err != nil {
 			return nil
 		}
-		where := q.WhereAttrs()
-		out := Classify(q)
-		outSel := estSel
-		if len(where) == 0 {
-			outSel = 1
+		scanSel := 1.0
+		inter := 0
+		if i > 0 {
+			scanSel = estSel // later predicates probe through the vector
+			inter = int(float64(rows) * estSel)
+		} else {
+			inter = int(float64(rows) * estSel / 2) // selection vector (int32)
 		}
-		firstPredGroup := -1
-		if len(where) > 0 {
-			for i, g := range groups {
-				if g == assign[where[0]] {
-					firstPredGroup = i
-					break
-				}
-			}
+		accesses = append(accesses, costmodel.GroupAccess{
+			Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
+			Selectivity: scanSel, IntermediateWords: inter,
+		})
+	}
+	out := Classify(q)
+	outSel := estSel
+	if len(where) == 0 {
+		outSel = 1
+	}
+	for _, a := range sel {
+		g, err := seg.GroupFor(a)
+		if err != nil {
+			return nil
 		}
-		var accesses []costmodel.GroupAccess
-		for i, g := range groups {
-			used := 0
-			for _, a := range all {
-				if assign[a] == g {
-					used++
-				}
-			}
-			scanSel := estSel
-			inter := 0
-			if len(where) == 0 {
-				scanSel = 1
-			} else if i == firstPredGroup {
-				scanSel = 1 // the filtering group is fully scanned
-				inter = int(float64(rows) * estSel / 2)
-			}
-			// Expression outputs accumulate per-group partial sums through a
-			// temporary vector: two extra full-length passes per contributing
-			// group. A single fused group (StrategyRow) avoids this — that is
-			// the gap that makes merged groups worth creating.
-			if out.Kind == OutExpression || out.Kind == OutAggExpression {
-				inter += 2 * int(float64(rows)*outSel)
-			}
-			accesses = append(accesses, costmodel.GroupAccess{
-				Stride: g.Stride, Width: g.Width, Used: used, Rows: rows,
-				Selectivity: scanSel, IntermediateWords: inter,
-			})
+		inter := 0
+		if out.Kind != OutAggregates {
+			// Projections and expressions materialize a full
+			// intermediate column per attribute.
+			inter = int(float64(rows) * outSel)
 		}
-		return accesses
+		accesses = append(accesses, costmodel.GroupAccess{
+			Stride: g.Stride, Width: g.Width, Used: 1, Rows: rows,
+			Selectivity: outSel, IntermediateWords: inter,
+		})
+	}
+	return accesses
+}
 
-	case StrategyGeneric:
-		// Same data traffic as hybrid, plus an interpretation overhead that
-		// the model charges as extra per-word compute (about 6x, matching
-		// the measured gap between interpreted and compiled operators).
-		accesses := segAccessPlan(StrategyHybrid, seg, rows, q, estSel)
-		for i := range accesses {
-			accesses[i].IntermediateWords += accesses[i].Rows * accesses[i].Used / 2
-		}
-		return accesses
-
-	default:
+// hybridSegPlan costs the multi-group selection-vector strategy.
+func hybridSegPlan(seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	all := q.AllAttrs()
+	groups, assign, err := seg.CoveringGroups(all)
+	if err != nil {
 		return nil
 	}
+	where := q.WhereAttrs()
+	out := Classify(q)
+	outSel := estSel
+	if len(where) == 0 {
+		outSel = 1
+	}
+	firstPredGroup := -1
+	if len(where) > 0 {
+		for i, g := range groups {
+			if g == assign[where[0]] {
+				firstPredGroup = i
+				break
+			}
+		}
+	}
+	var accesses []costmodel.GroupAccess
+	for i, g := range groups {
+		used := 0
+		for _, a := range all {
+			if assign[a] == g {
+				used++
+			}
+		}
+		scanSel := estSel
+		inter := 0
+		if len(where) == 0 {
+			scanSel = 1
+		} else if i == firstPredGroup {
+			scanSel = 1 // the filtering group is fully scanned
+			inter = int(float64(rows) * estSel / 2)
+		}
+		// Expression outputs accumulate per-group partial sums through a
+		// temporary vector: two extra full-length passes per contributing
+		// group. A single fused group (StrategyRow) avoids this — that is
+		// the gap that makes merged groups worth creating.
+		if out.Kind == OutExpression || out.Kind == OutAggExpression {
+			inter += 2 * int(float64(rows)*outSel)
+		}
+		accesses = append(accesses, costmodel.GroupAccess{
+			Stride: g.Stride, Width: g.Width, Used: used, Rows: rows,
+			Selectivity: scanSel, IntermediateWords: inter,
+		})
+	}
+	return accesses
+}
+
+// genericSegPlan costs the interpreted operator: same data traffic as
+// hybrid, plus an interpretation overhead that the model charges as extra
+// per-word compute (about 6x, matching the measured gap between
+// interpreted and compiled operators).
+func genericSegPlan(seg *storage.Segment, rows int, q *query.Query, estSel float64) []costmodel.GroupAccess {
+	accesses := hybridSegPlan(seg, rows, q, estSel)
+	for i := range accesses {
+		accesses[i].IntermediateWords += accesses[i].Rows * accesses[i].Used / 2
+	}
+	return accesses
 }
 
 // bestCoveringGroupSeg returns the narrowest single group of seg covering

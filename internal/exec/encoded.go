@@ -405,87 +405,67 @@ func encodedSegmentScan(seg *storage.Segment, out Outputs, preds []ColPred, stat
 	return true, nil
 }
 
-// ExecEncoded executes aggregate-shaped queries (plain aggregates,
-// aggregated expressions and grouped aggregates) with splittable
-// conjunctive predicates directly over the encoded form of each segment.
-// Segments are pinned at encoded-or-better residency, so spilled
-// segments fault in only their compact encoded blocks (mmap-aliased when
-// the platform supports it) and never materialize flat mini-tuples.
-// Segments whose needed groups hold no encodings — the mutable tail,
-// flat-resident segments that were never sealed with encoding — run the
-// flat per-segment partial scan instead, merged into the same global
-// accumulators. Every other query shape returns ErrUnsupported.
+// ServesEncoded reports whether the encoded-direct pipeline would win on
+// q: some segment the zone maps cannot prune serves from an encoded form
+// — non-resident (faults back encoded) or resident with cached encodings.
+// When every survivor is flat — e.g. only the mutable tail is left after
+// pruning — the flat strategies' fused operators beat the encoded
+// pipeline's flat fallback, and there is nothing encoded to win on. The
+// serving layer consults this before dispatching StrategyEncoded.
+func ServesEncoded(rel *storage.Relation, q *query.Query) bool {
+	preds, splittable := SplitConjunction(q.Where)
+	if !splittable {
+		return false
+	}
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if len(preds) > 0 && segPruned(seg, preds) {
+			continue
+		}
+		if seg.State() != storage.SegResident || seg.EncodedBytes() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecEncoded executes aggregate-shaped queries with splittable
+// conjunctive predicates directly over the encoded form of each segment,
+// declining (ErrUnsupported) when no unpruned segment serves encoded.
+//
+// Deprecated: call Exec with StrategyEncoded, gated on ServesEncoded when
+// the caller wants the historical whole-query decline. Kept for one PR so
+// the equivalence harness can prove old-vs-new bit-identical.
 func ExecEncoded(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
 	out := Classify(q)
 	if out.Kind != OutAggregates && out.Kind != OutAggExpression && out.Kind != OutGrouped {
 		return nil, ErrUnsupported
 	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
+	if _, splittable := SplitConjunction(q.Where); !splittable {
 		return nil, ErrUnsupported
 	}
-	// Collect the segments the zone maps cannot prune. If none of the
-	// survivors can serve from an encoded form — e.g. only the flat
-	// mutable tail is left after pruning — decline the query: the flat
-	// strategies' fused operators beat this path's per-segment
-	// partial-and-merge fallback, and there is nothing encoded to win on.
-	type candidate struct {
-		si  int
-		seg *storage.Segment
-	}
-	var cands []candidate
-	pruned := 0
-	for si, seg := range rel.Segments {
-		if seg.Rows == 0 {
-			continue
-		}
-		if len(preds) > 0 && segPruned(seg, preds) {
-			pruned++
-			continue
-		}
-		cands = append(cands, candidate{si, seg})
-	}
-	servesEncoded := false
-	for _, c := range cands {
-		// Non-resident segments fault back in encoded form; resident ones
-		// serve encoded only if they carry cached encodings.
-		if c.seg.State() != storage.SegResident || c.seg.EncodedBytes() > 0 {
-			servesEncoded = true
-			break
-		}
-	}
-	if !servesEncoded {
+	if !ServesEncoded(rel, q) {
 		return nil, ErrUnsupported
 	}
-	if stats != nil {
-		stats.SegmentsPruned += pruned
-	}
+	return Exec(rel, q, ExecOpts{Strategy: StrategyEncoded, Stats: stats})
+}
+
+// encodedSegPartial is the encoded pipeline's per-segment operator: the
+// block-header fold kernel when the segment's needed groups hold
+// encodings, the flat filter path otherwise — routed per segment, so one
+// query over a mixed relation serves each segment from its best form.
+func encodedSegPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, stats *StrategyStats) (*partial, error) {
 	states := newStates(out)
 	var ga *groupedAcc
 	if out.Kind == OutGrouped {
 		ga = newGroupedAcc(out)
 	}
-	for _, c := range cands {
-		si, seg := c.si, c.seg
-		faulted, err := seg.AcquireEncoded()
-		if err != nil {
-			return nil, err
-		}
-		seg.Touch()
-		stats.touch(si)
-		if stats != nil && faulted {
-			stats.SegmentsFaulted++
-		}
-		err = encodedOrFlatSegment(seg, q, out, preds, states, ga, stats)
-		seg.Release()
-		if err != nil {
-			return nil, err
-		}
+	if err := encodedOrFlatSegment(seg, q, out, preds, states, ga, stats); err != nil {
+		return nil, err
 	}
-	if out.Kind == OutGrouped {
-		return groupedResult(out, ga), nil
-	}
-	return aggResult(out.Labels, states), nil
+	return &partial{states: states, groups: ga}, nil
 }
 
 // encodedOrFlatSegment scans one pinned segment into the global

@@ -127,7 +127,7 @@ func TestAllStrategiesAgree(t *testing.T) {
 			runs = append(runs, run{"column-late/" + rel.Kind().String(), r1, e1})
 			r2, e2 := ExecHybrid(rel, q, nil)
 			runs = append(runs, run{"hybrid/" + rel.Kind().String(), r2, e2})
-			r3, e3 := ExecGeneric(rel, q, nil)
+			r3, e3 := ExecGeneric(rel, q)
 			runs = append(runs, run{"generic/" + rel.Kind().String(), r3, e3})
 		}
 		for _, r := range runs {
@@ -168,7 +168,7 @@ func TestUnsupportedShapesFallThrough(t *testing.T) {
 	if _, err := ExecHybrid(col, q, nil); err != ErrUnsupported {
 		t.Fatalf("ExecHybrid err = %v, want ErrUnsupported", err)
 	}
-	res, err := ExecGeneric(col, q, nil)
+	res, err := ExecGeneric(col, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestExpressionPredicateViaGeneric(t *testing.T) {
 	// class explicitly).
 	p := &expr.Cmp{Op: expr.Gt, L: expr.SumCols([]data.AttrID{1, 2}), R: &expr.Const{V: 0}}
 	q := query.Aggregation("R", expr.AggCount, []data.AttrID{0}, p)
-	res, err := ExecGeneric(col, q, nil)
+	res, err := ExecGeneric(col, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestExecReorgAnswersAndBuilds(t *testing.T) {
 	want := referenceExecute(tb, q)
 	for _, rel := range []*storage.Relation{col, row, grp} {
 		attrs := q.AllAttrs()
-		groups, res, err := ExecReorg(rel, q, attrs, nil, nil)
+		groups, res, err := ExecReorg(rel, q, attrs, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -451,7 +451,7 @@ func TestExecReorgWiderThanQuery(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
 	attrs := []data.AttrID{1, 2, 3, 4} // build a wider group than the query needs
-	groups, res, err := ExecReorg(col, q, attrs, nil, nil)
+	groups, res, err := ExecReorg(col, q, attrs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,7 +467,7 @@ func TestExecReorgGenericFallback(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
-	groups, res, err := ExecReorg(col, q, q.AllAttrs(), nil, nil)
+	groups, res, err := ExecReorg(col, q, q.AllAttrs(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -529,7 +529,7 @@ func TestStrategiesAgreeProperty(t *testing.T) {
 		a, err1 := ExecRowRel(row, q, nil)
 		b, err2 := ExecColumn(col, q, nil)
 		c, err3 := ExecHybrid(col, q, nil)
-		d, err4 := ExecGeneric(row, q, nil)
+		d, err4 := ExecGeneric(row, q)
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return false
 		}

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"sort"
 
 	"h2o/internal/data"
@@ -310,28 +309,4 @@ func genericGroupedSegmentScan(seg *storage.Segment, q *query.Query, out Outputs
 		f.fold(ga, r)
 	}
 	return nil
-}
-
-// execGenericGrouped is ExecGeneric's grouped path. Unlike the specialized
-// strategies, which report ErrUnsupported and fall back here, a grouped
-// query whose select shape is invalid (an item that is neither an aggregate
-// nor a group-by key) has no executor at all, so it gets a definitive error.
-func execGenericGrouped(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind != OutGrouped {
-		return nil, fmt.Errorf("exec: grouped query %q: every select item must be an aggregate or a group-by column", q.String())
-	}
-	prunePreds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		prunePreds = nil
-	}
-	ga := newGroupedAcc(out)
-	err := scanSegments(rel, prunePreds, stats, 0, func() int { return 0 },
-		func(seg *storage.Segment) error {
-			return genericGroupedSegmentScan(seg, q, out, ga)
-		})
-	if err != nil {
-		return nil, err
-	}
-	return groupedResult(out, ga), nil
 }

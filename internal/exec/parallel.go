@@ -2,8 +2,6 @@ package exec
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"h2o/internal/data"
 	"h2o/internal/expr"
@@ -12,226 +10,29 @@ import (
 )
 
 // ExecRowParallel runs the fused row strategy over rel with one task per
-// *segment* — the parallelism granularity matches the storage partitioning,
-// so a worker's unit of work is normally one segment's contiguous rows (the
-// intra-query parallelism the paper's engines use, "tuned to use all the
-// available CPUs"). When the relation has fewer (unpruned) segments than
-// workers, segments are sub-split into contiguous row ranges so small
-// relations still use every core. Segments whose zone maps rule the predicates out are
-// skipped before any worker touches them. Partial aggregates merge
-// associatively; projection and expression partials concatenate in segment
-// order, so the result is bit-identical to the serial scan. Materializing
-// queries stop claiming new segments once q.Limit rows have been produced
-// by a contiguous prefix of segments.
+// *segment* — the intra-query parallelism the paper's engines use, "tuned
+// to use all the available CPUs". workers <= 0 selects runtime.NumCPU().
 //
-// Every scanned segment must have a single group covering the query's
-// attributes (segments may differ in which group that is); otherwise the
-// serial path's coverage error surfaces. workers <= 0 selects
-// runtime.NumCPU().
+// Deprecated: call Exec with StrategyRow and ExecOpts.Workers. Kept for
+// one PR so the equivalence harness can prove old-vs-new bit-identical.
 func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *StrategyStats) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	out := Classify(q)
-	if out.Kind == OutOther {
-		return nil, ErrUnsupported
-	}
-	// Conjunctions of single-column comparisons compile to offset-bound
-	// predicates evaluated in the tight kernels. Any other predicate shape
-	// (disjunctions, expression comparisons) still fans out across
-	// goroutines: each worker evaluates the interpreted predicate against
-	// its segment through a group-bound accessor, so disjunctive filters
-	// get intra-query parallelism instead of falling back to the serial
-	// generic operator.
-	preds, splittable := SplitConjunction(q.Where)
-	var generic expr.Pred
-	if !splittable {
-		generic = q.Where
-	}
-
-	// Plan per segment: covering group, bound predicates, prunability.
-	tasks := make([]segTask, 0, len(rel.Segments))
-	for si, seg := range rel.Segments {
-		if seg.Rows == 0 {
-			continue
-		}
-		g := bestCoveringGroupSeg(seg, q)
-		if g == nil {
-			return ExecRowRel(rel, q, stats) // surfaces the coverage error
-		}
-		if splittable {
-			if len(preds) > 0 && segPruned(seg, preds) {
-				if stats != nil {
-					stats.SegmentsPruned++
-				}
-				continue
-			}
-			bound, ok := BindPreds(g, preds)
-			if !ok {
-				return ExecRowRel(rel, q, stats) // surfaces the binding error
-			}
-			tasks = append(tasks, segTask{si: si, seg: seg, g: g, bound: bound})
-		} else {
-			covered := true
-			for _, a := range q.WhereAttrs() {
-				if _, ok := g.Offset(a); !ok {
-					covered = false
-					break
-				}
-			}
-			if !covered {
-				return ExecRowRel(rel, q, stats) // surfaces the binding error
-			}
-			tasks = append(tasks, segTask{si: si, seg: seg, g: g})
-		}
-	}
-	for i := range tasks {
-		tasks[i].hi = tasks[i].seg.Rows
-	}
-	// Fewer segments than workers (small relations, heavy pruning): sub-split
-	// each segment into contiguous row ranges so Parallelism still buys
-	// intra-segment parallelism. Ranges stay in (segment, row) order, which
-	// keeps the merged result and the limit's prefix property intact.
-	if n := len(tasks); n > 0 && n < workers {
-		chunks := (workers + n - 1) / n
-		split := make([]segTask, 0, n*chunks)
-		for _, t := range tasks {
-			per := (t.hi + chunks - 1) / chunks
-			if per < 1 {
-				per = 1
-			}
-			for lo := 0; lo < t.hi; lo += per {
-				hi := lo + per
-				if hi > t.hi {
-					hi = t.hi
-				}
-				split = append(split, segTask{si: t.si, seg: t.seg, g: t.g, bound: t.bound, lo: lo, hi: hi})
-			}
-		}
-		tasks = split
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers <= 1 {
-		return execRowTasksSerial(out, q, tasks, stats)
-	}
-
-	limit := int64(limitFor(out, q))
-	partials := make([]*partial, len(tasks))
-	faulted := make([]bool, len(tasks))
-	var next atomic.Int64
-	var produced atomic.Int64
-	var failed atomic.Bool
-	var errOnce sync.Once
-	var firstErr error
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				// Stop claiming segments once the contiguous prefix already
-				// dispatched can satisfy the limit: every segment below the
-				// claim counter is (being) scanned, so the first q.Limit
-				// rows of the ordered concatenation are final. A failed
-				// sibling also stops the claim loop — the query is lost, so
-				// faulting more spilled segments in would be wasted I/O.
-				if failed.Load() || (limit > 0 && produced.Load() >= limit) {
-					return
-				}
-				ti := int(next.Add(1)) - 1
-				if ti >= len(tasks) {
-					return
-				}
-				t := tasks[ti]
-				// Pin the segment resident for the duration of the scan,
-				// faulting it in when spilled: concurrent tasks on the same
-				// segment serialize on the residency lock, so at most one
-				// fault per segment happens no matter how it was sub-split.
-				f, err := t.seg.Acquire()
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-				faulted[ti] = f
-				if t.lo == 0 {
-					t.seg.Touch() // once per segment, not per sub-range
-				}
-				p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
-				t.seg.Release()
-				partials[ti] = p
-				if limit > 0 && p.rows > 0 {
-					produced.Add(int64(p.rows))
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	compact := make([]*partial, 0, len(partials))
-	for ti, p := range partials {
-		if faulted[ti] && stats != nil {
-			stats.SegmentsFaulted++
-		}
-		if p != nil {
-			if tasks[ti].lo == 0 {
-				stats.touch(tasks[ti].si)
-			}
-			compact = append(compact, p)
-		}
-	}
-	return mergePartials(out, compact), nil
+	return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Workers: workers, Stats: stats})
 }
 
 // segTask is one planned unit of segment-parallel work: the segment (and
-// its index in the relation, for the touch set), its covering group, the
-// predicates bound to that group's offsets and the row range [lo, hi) to
-// scan — the whole segment normally, a sub-range when segments are scarcer
-// than workers.
+// its index in the relation, for the touch set), the row pipeline's
+// covering group and group-bound predicates, and the row range [lo, hi)
+// to scan — the whole segment normally, a sub-range when segments are
+// scarcer than workers.
 type segTask struct {
 	si     int
 	seg    *storage.Segment
 	g      *storage.ColumnGroup
 	bound  []GroupPred
 	lo, hi int
-}
-
-// execRowTasksSerial scans planned segment tasks serially, preserving the
-// early-exit semantics of the parallel path.
-func execRowTasksSerial(out Outputs, q *query.Query, tasks []segTask, stats *StrategyStats) (*Result, error) {
-	var generic expr.Pred
-	if _, splittable := SplitConjunction(q.Where); !splittable {
-		generic = q.Where
-	}
-	limit := limitFor(out, q)
-	partials := make([]*partial, 0, len(tasks))
-	rows := 0
-	for _, t := range tasks {
-		faulted, err := t.seg.Acquire()
-		if err != nil {
-			return nil, err
-		}
-		if t.lo == 0 {
-			t.seg.Touch()
-			stats.touch(t.si)
-		}
-		if faulted && stats != nil {
-			stats.SegmentsFaulted++
-		}
-		p := scanRange(t.g, out, t.bound, generic, t.lo, t.hi)
-		t.seg.Release()
-		partials = append(partials, p)
-		rows += p.rows
-		if limit > 0 && rows >= limit {
-			break
-		}
-	}
-	return mergePartials(out, partials), nil
 }
 
 // partial is one segment's contribution.
@@ -287,8 +88,8 @@ func (f *rangeFilter) passes(base int) bool {
 }
 
 // scanRange is the fused row scan over rows [lo, hi) of one group: the
-// per-segment body of ExecRowRel and ExecRowParallel, sharing the kernels
-// and shapes of the paper's Figure 5 operator.
+// row pipeline's per-segment operator, sharing the kernels and shapes of
+// the paper's Figure 5 operator.
 func scanRange(g *storage.ColumnGroup, out Outputs, bound []GroupPred, generic expr.Pred, lo, hi int) *partial {
 	d, stride := g.Data, g.Stride
 	flt := newRangeFilter(g, bound, generic)

@@ -64,7 +64,7 @@ func TestParallelDisjunction(t *testing.T) {
 		query.Projection("R", []data.AttrID{0, 3}, or),
 		query.AggExpression("R", []data.AttrID{1, 2}, or),
 	} {
-		want, err := ExecGeneric(row, q, nil)
+		want, err := ExecGeneric(row, q)
 		if err != nil {
 			t.Fatal(err)
 		}

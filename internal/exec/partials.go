@@ -1,9 +1,6 @@
 package exec
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"h2o/internal/data"
 	"h2o/internal/expr"
 	"h2o/internal/query"
@@ -334,38 +331,16 @@ func ExecDelta(rel *storage.Relation, q *query.Query, have map[int]uint64, worke
 	// Per-task stats keep the workers race-free; the encoded-kernel
 	// counters fold into the caller's stats after the join.
 	taskStats := make([]StrategyStats, len(tasks))
-	var next atomic.Int64
-	var failed atomic.Bool
-	var errOnce sync.Once
-	var firstErr error
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				// A failed sibling stops the claim loop: the scan is lost,
-				// so faulting more spilled segments in would be wasted I/O.
-				if failed.Load() {
-					return
-				}
-				ti := int(next.Add(1)) - 1
-				if ti >= len(tasks) {
-					return
-				}
-				sp, f, err := scanDeltaTask(tasks[ti], q, out, preds, splittable, &taskStats[ti])
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
-					return
-				}
-				partials[ti], faulted[ti] = sp, f
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
+	err = claimLoop(len(tasks), workers, nil, func(ti int) error {
+		sp, f, err := scanDeltaTask(tasks[ti], q, out, preds, splittable, &taskStats[ti])
+		if err != nil {
+			return err
+		}
+		partials[ti], faulted[ti] = sp, f
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	for ti, sp := range partials {
 		stats.touch(tasks[ti].si)

@@ -24,105 +24,25 @@ import (
 // group per segment (nil entries for segments left untouched); the caller
 // (the Data Layout Manager) registers them with the matching segments.
 //
-// attrs must cover every attribute the query touches. Stats, when non-nil,
-// receives the segment skip counters and the touch set (segments read for
-// the answer — stitched hot segments included).
-func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool, stats *StrategyStats) ([]*storage.ColumnGroup, *Result, error) {
-	norm := data.SortedUnique(attrs)
-	out := Classify(q)
-	preds, splittable := SplitConjunction(q.Where)
-	if out.Kind == OutOther || !splittable || !data.ContainsAll(norm, q.AllAttrs()) {
-		// Shape outside the reorganizing template: build the layouts with the
-		// plain per-segment stitch and answer via the generic operator
-		// (two passes over the hot segments).
-		newGroups := make([]*storage.ColumnGroup, len(rel.Segments))
-		for si, seg := range rel.Segments {
-			if hot != nil && !hot[si] {
-				continue
-			}
-			if _, exists := seg.ExactGroup(norm); exists {
-				continue
-			}
-			g, err := storage.StitchSeg(seg, norm)
-			if err != nil {
-				return nil, nil, err
-			}
-			newGroups[si] = g
-		}
-		res, err := ExecGeneric(rel, q, stats)
-		if err != nil {
-			return nil, nil, err
-		}
-		return newGroups, res, nil
+// attrs must cover every attribute the query touches.
+//
+// Deprecated: call Exec with StrategyReorg, passing attrs via
+// ExecOpts.ReorgAttrs, hot via ExecOpts.HotMask and receiving the new
+// groups via ExecOpts.NewGroups (stats ride ExecOpts.Stats — the
+// historical bolted-on stats parameter is gone). Kept for one PR so the
+// equivalence harness can prove old-vs-new bit-identical.
+func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool) ([]*storage.ColumnGroup, *Result, error) {
+	var groups []*storage.ColumnGroup
+	res, err := Exec(rel, q, ExecOpts{
+		Strategy:   StrategyReorg,
+		ReorgAttrs: attrs,
+		HotMask:    hot,
+		NewGroups:  &groups,
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-
-	newGroups := make([]*storage.ColumnGroup, len(rel.Segments))
-	states := newStates(out)
-	var ga *groupedAcc
-	if out.Kind == OutGrouped {
-		ga = newGroupedAcc(out)
-	}
-	res := &Result{Cols: out.Labels}
-	for si, seg := range rel.Segments {
-		isHot := hot == nil || hot[si]
-		if _, exists := seg.ExactGroup(norm); exists {
-			isHot = false // already adapted: nothing to stitch
-		}
-		if isHot && seg.Rows > 0 {
-			// Page the segment in before stitching: a spilled hot segment
-			// is faulted back through the relation's loader, then read once
-			// for both the new layout and the query answer.
-			faulted, err := seg.Acquire()
-			if err != nil {
-				return nil, nil, err
-			}
-			if faulted && stats != nil {
-				stats.SegmentsFaulted++
-			}
-			g, err := reorgScanSegment(seg, out, preds, norm, states, res, ga)
-			seg.Release()
-			if err != nil {
-				return nil, nil, err
-			}
-			seg.Touch()
-			stats.touch(si)
-			newGroups[si] = g
-			continue
-		}
-		// Cold (or already-adapted, or empty) segment: answer from the
-		// existing layout, skipping it entirely — no page-in — when zone
-		// maps allow.
-		if seg.Rows == 0 {
-			continue
-		}
-		if len(preds) > 0 && segPruned(seg, preds) {
-			if stats != nil {
-				stats.SegmentsPruned++
-			}
-			continue
-		}
-		faulted, err := seg.Acquire()
-		if err != nil {
-			return nil, nil, err
-		}
-		if faulted && stats != nil {
-			stats.SegmentsFaulted++
-		}
-		seg.Touch()
-		stats.touch(si)
-		scanErr := hybridScanSegment(seg, q, out, preds, states, res, ga, nil)
-		seg.Release()
-		if scanErr != nil {
-			return nil, nil, scanErr
-		}
-	}
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return newGroups, aggResult(out.Labels, states), nil
-	}
-	if out.Kind == OutGrouped {
-		return newGroups, groupedResult(out, ga), nil
-	}
-	return newGroups, res, nil
+	return groups, res, nil
 }
 
 // reorgScanSegment stitches one segment's new group while answering the

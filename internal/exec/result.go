@@ -1,37 +1,69 @@
-// Package exec implements H2O's execution strategies (paper §3.3): a
-// volcano-style row scan with predicate push-down, a column-at-a-time
-// strategy with selection vectors and materialized intermediates, a hybrid
-// group-of-columns strategy that fuses work within groups and stitches across
-// them, the online-reorganization executor that creates a new layout while
-// answering the query (§3.2, Fig. 13), and a tuple-at-a-time generic
-// interpreter used as the baseline for dynamically generated operators
-// (§3.4, Fig. 14).
+// Package exec implements H2O's execution strategies (paper §3.3) as
+// per-segment streaming operator pipelines behind one entry point:
+//
+//	Exec(rel, q, ExecOpts{Strategy, Workers, VectorSize, HotMask, Stats})
+//
+// Every strategy — the volcano-style fused row scan with predicate
+// push-down, column-at-a-time late materialization, the hybrid
+// group-of-columns strategy, its vectorized and bitmap variants, the
+// generic tuple-at-a-time interpreter (§3.4, Fig. 14), the encoded-direct
+// block kernel, and the online-reorganization executor that creates a new
+// layout while answering the query (§3.2, Fig. 13) — is a pipeline of the
+// same three stages:
+//
+//	SegSource ──► Filter ──► Project / Aggregate / Group ──► merge
+//	(prune → pin/fault →     (one *partial* per segment)     (segment
+//	 covering-group                                           order)
+//	 resolve, per segment)
+//
+// The SegSource policy lives once in the pipeline driver (exec.go): empty
+// segments are skipped, segments whose zone maps rule the conjunctive
+// predicates out are pruned without touching a row or disk, survivors are
+// pinned at the pipeline's residency tier (flat, or encoded-or-better for
+// the encoded pipeline), touched and counted into StrategyStats. Each
+// strategy contributes only its per-segment operator — a pure
+// segment → partial function — so the driver runs any pipeline serially
+// or fanned out across ExecOpts.Workers goroutines with a shared claim
+// loop, and LIMIT pushes down uniformly: the driver stops consuming
+// segments once a contiguous prefix satisfies q.Limit, serial and
+// parallel alike. Joins and shard-local execution attach at the same
+// seam: a join is another partial-producing operator stage, a shard is a
+// remote SegSource feeding the same merge.
 //
 // All strategies materialize their output row-major in a contiguous block,
 // as the paper requires ("all execution strategies materialize the output
 // results in memory using contiguous memory blocks in a row-major layout").
 //
+// The strategies registry (exec.go) is the single source of truth for the
+// strategy set: pipeline builders, cost-model segment plans (cost.go),
+// the cost-based chooser's candidate list and the operator generator's
+// template set all derive from it, so they agree by construction.
+//
+// The historical per-strategy entry points (ExecRowRel, ExecColumn,
+// ExecHybrid, ExecVectorized, ExecHybridBitmap, ExecGeneric, ExecEncoded,
+// ExecReorg, ExecRowParallel) are deprecated thin wrappers over Exec,
+// kept for one PR so the equivalence harness can prove old-vs-new
+// bit-identical; new code outside this package must call Exec (CI greps
+// for wrapper calls).
+//
 // # Segments and partial results
 //
-// Every strategy iterates the relation segment by segment: empty segments
-// are skipped, segments whose zone maps rule the (conjunctive) predicates
-// out are pruned without touching a row or disk, surviving segments are
-// pinned resident (faulting spilled ones in through the relation's loader),
-// and materializing queries stop consuming segments at q.Limit. Within a
-// segment, aggregate items fold into per-segment accumulator states that
-// merge associatively across segments — the property the parallel scan uses
-// to fan out one task per segment, and that the partial-result layer
-// (partials.go) makes durable: for *repairable* queries (every select item
-// a decomposable aggregate or a group-by key, no LIMIT — see Repairable),
-// ExecPartials keeps each candidate segment's states as a versioned
-// SegPartial, and ExecDelta later rescans only the segments whose versions
-// moved, re-combining with the retained partials. The serving layer's delta
-// repair, and the O(changed segments) repair cost it buys, rest entirely on
-// that contract; the partials contract at the top of partials.go spells out
-// which aggregates decompose and why LIMIT disqualifies repair.
+// Within a segment, aggregate items fold into per-segment accumulator
+// states that merge associatively across segments — the property the
+// fan-out uses to stay bit-identical to the serial scan, and that the
+// partial-result layer (partials.go) makes durable: for *repairable*
+// queries (every select item a decomposable aggregate or a group-by key,
+// no LIMIT — see Repairable), ExecPartials keeps each candidate segment's
+// states as a versioned SegPartial, and ExecDelta later rescans only the
+// segments whose versions moved (through the same claim loop),
+// re-combining with the retained partials. The serving layer's delta
+// repair, and the O(changed segments) repair cost it buys, rest entirely
+// on that contract; the partials contract at the top of partials.go
+// spells out which aggregates decompose and why LIMIT disqualifies
+// repair.
 //
-// GROUP BY rides the same machinery (grouped.go): every strategy folds
-// qualifying rows into a per-scan map of encoded group key → AggState
+// GROUP BY rides the same machinery (grouped.go): every pipeline folds
+// qualifying rows into a per-segment map of encoded group key → AggState
 // vector, maps merge key-wise across segments and workers, and results
 // materialize one row per group ordered ascending by key vector — an
 // order-preserving key encoding makes the sort a plain string sort — so

@@ -119,7 +119,7 @@ func TestLimitStopsConsumingSegments(t *testing.T) {
 	// The generic interpreted operator exits early too: segments beyond the
 	// needed prefix must never be touched (their read counters stay zero).
 	_, gen := segFixture(t, colBuild)
-	res, err = ExecGeneric(gen, q, nil)
+	res, err = ExecGeneric(gen, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestMixedLayoutSegmentsAgree(t *testing.T) {
 		if res, err := ExecColumn(rel, q, nil); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d column on mixed layout: err=%v", qi, err)
 		}
-		if res, err := ExecGeneric(rel, q, nil); err != nil || !res.Equal(want) {
+		if res, err := ExecGeneric(rel, q); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d generic on mixed layout: err=%v", qi, err)
 		}
 		if res, err := ExecVectorized(rel, q, 0, nil); err != nil || !res.Equal(want) {
@@ -204,7 +204,7 @@ func TestReorgHotSubset(t *testing.T) {
 	hot := make([]bool, len(rel.Segments))
 	hot[0], hot[7], hot[49] = true, true, true
 
-	groups, res, err := ExecReorg(rel, q, attrs, hot, nil)
+	groups, res, err := ExecReorg(rel, q, attrs, hot)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,13 +69,13 @@ func TestAllStrategiesFaultSpilledSegments(t *testing.T) {
 		{"row-parallel", func(q *query.Query) (*Result, error) { return ExecRowParallel(rel, q, 4, nil) }},
 		{"column", func(q *query.Query) (*Result, error) { return ExecColumn(rel, q, nil) }},
 		{"hybrid", func(q *query.Query) (*Result, error) { return ExecHybrid(rel, q, nil) }},
-		{"generic", func(q *query.Query) (*Result, error) { return ExecGeneric(rel, q, nil) }},
+		{"generic", func(q *query.Query) (*Result, error) { return ExecGeneric(rel, q) }},
 		{"vectorized", func(q *query.Query) (*Result, error) { return ExecVectorized(rel, q, 0, nil) }},
 	}
 
 	for _, q := range queries {
 		// Reference: fully resident run via the generic interpreter.
-		want, err := ExecGeneric(rel, q, nil)
+		want, err := ExecGeneric(rel, q)
 		if err != nil {
 			t.Fatalf("%s: reference: %v", q, err)
 		}
@@ -98,7 +98,7 @@ func TestAllStrategiesFaultSpilledSegments(t *testing.T) {
 
 	// The bitmap ablation path supports aggregations only.
 	aggQ := queries[0]
-	want, err := ExecGeneric(rel, aggQ, nil)
+	want, err := ExecGeneric(rel, aggQ)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestReorgPagesInBeforeStitching(t *testing.T) {
 	installSnapshotLoader(rel)
 
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredGt(0, 3_499))
-	want, err := ExecGeneric(rel, q, nil)
+	want, err := ExecGeneric(rel, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestReorgPagesInBeforeStitching(t *testing.T) {
 	// Hot = the last two segments (the predicate's range); cold = rest.
 	hot := make([]bool, len(rel.Segments))
 	hot[len(hot)-1], hot[len(hot)-2] = true, true
-	newGroups, res, err := ExecReorg(rel, q, []data.AttrID{0, 1, 2}, hot, nil)
+	newGroups, res, err := ExecReorg(rel, q, []data.AttrID{0, 1, 2}, hot)
 	if err != nil {
 		t.Fatal(err)
 	}

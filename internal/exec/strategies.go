@@ -95,47 +95,6 @@ func limitFor(out Outputs, q *query.Query) int {
 	return 0
 }
 
-// scanSegments is the shared per-segment driver behind the serial
-// strategies: empty segments are skipped, segments whose zone maps rule
-// out the conjunction preds are pruned without touching a row (or disk —
-// pruning happens before the residency check, so spilled cold segments are
-// skipped without any I/O), surviving segments are pinned resident
-// (faulting spilled ones in through the relation's loader), marked read
-// and counted, and iteration stops once rows() reaches limit (0 = no early
-// exit). Strategies supply only the per-segment scan body, so the pruning,
-// residency and limit policies live in one place.
-func scanSegments(rel *storage.Relation, preds []ColPred, stats *StrategyStats, limit int, rows func() int, scan func(*storage.Segment) error) error {
-	for si, seg := range rel.Segments {
-		if seg.Rows == 0 {
-			continue
-		}
-		if len(preds) > 0 && segPruned(seg, preds) {
-			if stats != nil {
-				stats.SegmentsPruned++
-			}
-			continue
-		}
-		faulted, err := seg.Acquire()
-		if err != nil {
-			return err
-		}
-		seg.Touch()
-		stats.touch(si)
-		if stats != nil && faulted {
-			stats.SegmentsFaulted++
-		}
-		err = scan(seg)
-		seg.Release()
-		if err != nil {
-			return err
-		}
-		if limit > 0 && rows() >= limit {
-			break
-		}
-	}
-	return nil
-}
-
 // ExecRow executes q with the volcano-style row strategy over a single group
 // g that must store every attribute the query touches: one fused
 // tuple-at-a-time loop with predicate push-down (paper Figure 5). It is the
@@ -160,60 +119,18 @@ func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
 	return mergePartials(out, []*partial{p}), nil
 }
 
-// ExecRowRel executes q with the fused row strategy segment by segment:
-// each segment must have a single group covering every attribute the query
-// touches (segments may differ in which group that is). Segments whose zone
-// maps rule out the predicates are skipped without touching a row, and
-// materializing queries stop consuming segments once q.Limit rows are
-// selected.
+// ExecRowRel executes q with the fused row strategy segment by segment.
+//
+// Deprecated: call Exec with StrategyRow. Kept for one PR so the
+// equivalence harness can prove old-vs-new bit-identical.
 func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind == OutOther {
+	// The historical entry point refused non-conjunctive predicates; the
+	// row pipeline now serves them through its interpreted accessor, so
+	// the wrapper preserves the old ErrUnsupported contract itself.
+	if _, splittable := SplitConjunction(q.Where); !splittable {
 		return nil, ErrUnsupported
 	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		return nil, ErrUnsupported
-	}
-	limit := limitFor(out, q)
-	partials := make([]*partial, 0, len(rel.Segments))
-	rows := 0
-	for si, seg := range rel.Segments {
-		if seg.Rows == 0 {
-			continue
-		}
-		g := bestCoveringGroupSeg(seg, q)
-		if g == nil {
-			return nil, fmt.Errorf("exec: no single group of a segment covers query attributes %v", q.AllAttrs())
-		}
-		if len(preds) > 0 && segPruned(seg, preds) {
-			if stats != nil {
-				stats.SegmentsPruned++
-			}
-			continue
-		}
-		bound, ok := BindPreds(g, preds)
-		if !ok {
-			return nil, fmt.Errorf("exec: predicate attributes missing from group %v", g.Attrs)
-		}
-		faulted, err := seg.Acquire()
-		if err != nil {
-			return nil, err
-		}
-		seg.Touch()
-		stats.touch(si)
-		if stats != nil && faulted {
-			stats.SegmentsFaulted++
-		}
-		p := scanRange(g, out, bound, nil, 0, seg.Rows)
-		seg.Release()
-		partials = append(partials, p)
-		rows += p.rows
-		if limit > 0 && rows >= limit {
-			break
-		}
-	}
-	return mergePartials(out, partials), nil
+	return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Stats: stats})
 }
 
 // mergePartials combines per-segment partials in segment order: aggregate
@@ -252,43 +169,28 @@ func mergePartials(out Outputs, partials []*partial) *Result {
 }
 
 // ExecColumn executes q with the column-at-a-time, late-materialization
-// strategy (paper §2.1), segment by segment: within each unpruned segment,
-// predicates produce selection vectors one column at a time, qualifying
-// values are materialized into intermediate columns, and multi-column
-// outputs pay tuple reconstruction. Aggregates fold into states shared
-// across segments so the merged result is exact.
+// strategy (paper §2.1), segment by segment.
 //
-// Stats, when non-nil, receives the volume of intermediate results the
-// strategy materialized and the segment skip counters.
+// Deprecated: call Exec with StrategyColumn. Kept for one PR so the
+// equivalence harness can prove old-vs-new bit-identical.
 func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind == OutOther {
-		return nil, ErrUnsupported
-	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		return nil, ErrUnsupported
-	}
+	return Exec(rel, q, ExecOpts{Strategy: StrategyColumn, Stats: stats})
+}
+
+// columnSegPartial is the column pipeline's per-segment operator: the
+// late-materialization stages over one pinned segment, emitted as that
+// segment's partial.
+func columnSegPartial(seg *storage.Segment, out Outputs, preds []ColPred, stats *StrategyStats) (*partial, error) {
 	states := newStates(out)
 	var ga *groupedAcc
 	if out.Kind == OutGrouped {
 		ga = newGroupedAcc(out)
 	}
-	res := &Result{Cols: out.Labels}
-	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
-		func(seg *storage.Segment) error {
-			return columnScanSegment(seg, out, preds, states, res, ga, stats)
-		})
-	if err != nil {
+	res := &Result{}
+	if err := columnScanSegment(seg, out, preds, states, res, ga, stats); err != nil {
 		return nil, err
 	}
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return aggResult(out.Labels, states), nil
-	}
-	if out.Kind == OutGrouped {
-		return groupedResult(out, ga), nil
-	}
-	return res, nil
+	return &partial{states: states, data: res.Data, rows: res.Rows, groups: ga}, nil
 }
 
 // columnScanSegment runs the late-materialization pipeline over one segment,
@@ -444,41 +346,31 @@ func gatherOutputColumns(seg *storage.Segment, attrs []data.AttrID, sel []int32,
 
 // ExecHybrid executes q over whatever column groups currently cover its
 // attributes, segment by segment — segments may hold different layouts
-// (hot segments reorganized, cold ones not) and each is served from its own
-// covering set. Within a segment predicates are evaluated fused within each
-// group (Figure 6's q1_sel_vector generalized), producing one selection
-// vector shared across groups, and outputs are written straight into the
-// row-major result with no intermediate columns. Segments pruned by their
-// zone maps are never touched, and materializing queries stop at q.Limit.
+// (hot segments reorganized, cold ones not) and each is served from its
+// own covering set (Figure 6's q1_sel_vector generalized).
+//
+// Deprecated: call Exec with StrategyHybrid. Kept for one PR so the
+// equivalence harness can prove old-vs-new bit-identical.
 func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind == OutOther {
-		return nil, ErrUnsupported
-	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		return nil, ErrUnsupported
-	}
+	return Exec(rel, q, ExecOpts{Strategy: StrategyHybrid, Stats: stats})
+}
+
+// hybridSegPartial is the hybrid pipeline's per-segment operator: the
+// multi-group selection-vector stages over one pinned segment, emitted as
+// that segment's partial. The reorg pipeline reuses it for cold segments
+// (with nil stats — intermediate accounting belongs to the cost-compared
+// strategies).
+func hybridSegPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, stats *StrategyStats) (*partial, error) {
 	states := newStates(out)
 	var ga *groupedAcc
 	if out.Kind == OutGrouped {
 		ga = newGroupedAcc(out)
 	}
-	res := &Result{Cols: out.Labels}
-	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
-		func(seg *storage.Segment) error {
-			return hybridScanSegment(seg, q, out, preds, states, res, ga, stats)
-		})
-	if err != nil {
+	res := &Result{}
+	if err := hybridScanSegment(seg, q, out, preds, states, res, ga, stats); err != nil {
 		return nil, err
 	}
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return aggResult(out.Labels, states), nil
-	}
-	if out.Kind == OutGrouped {
-		return groupedResult(out, ga), nil
-	}
-	return res, nil
+	return &partial{states: states, data: res.Data, rows: res.Rows, groups: ga}, nil
 }
 
 // hybridScanSegment runs the multi-group selection-vector strategy over one
@@ -611,54 +503,13 @@ func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 // tuple-at-a-time loop that evaluates the predicate tree and the select
 // expressions through per-attribute accessor indirection, segment by
 // segment. It handles every query shape, at the interpretation overhead
-// Figure 14 quantifies. Conjunctive predicates still allow segment pruning
-// and limit early exit; other shapes scan every segment. Stats, when
-// non-nil, receives the segment skip counters and the touch set.
-func ExecGeneric(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	if len(q.GroupBy) > 0 {
-		return execGenericGrouped(rel, q, stats)
-	}
-	hasAgg := q.HasAggregates()
-	labels := make([]string, len(q.Items))
-	states := make([]*expr.AggState, len(q.Items))
-	for i, it := range q.Items {
-		labels[i] = it.String()
-		if it.Agg != nil {
-			states[i] = expr.NewAggState(it.Agg.Op)
-		}
-	}
-	// Conjunctions of single-column comparisons can prune whole segments
-	// even on the interpreted path; other shapes scan every segment.
-	prunePreds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		prunePreds = nil
-	}
-	limit := 0
-	if !hasAgg {
-		limit = q.Limit
-	}
-
-	res := &Result{Cols: labels}
-	err := scanSegments(rel, prunePreds, stats, limit, func() int { return res.Rows },
-		func(seg *storage.Segment) error {
-			return genericSegmentScan(seg, q, hasAgg, states, res)
-		})
-	if err != nil {
-		return nil, err
-	}
-	if hasAgg {
-		// Mixed agg/non-agg selects collapse to one row using the first
-		// qualifying tuple for scalar items — the engine only plans pure
-		// shapes, this is a safety net.
-		vals := make([]data.Value, len(q.Items))
-		for i := range q.Items {
-			if states[i] != nil {
-				vals[i] = states[i].Result()
-			}
-		}
-		return &Result{Cols: labels, Rows: 1, Data: vals}, nil
-	}
-	return res, nil
+// Figure 14 quantifies.
+//
+// Deprecated: call Exec with StrategyGeneric (stats ride ExecOpts.Stats
+// — the historical bolted-on stats parameter is gone). Kept for one PR
+// so the equivalence harness can prove old-vs-new bit-identical.
+func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
+	return Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 }
 
 // genericSegmentScan is the per-segment body of the generic interpreter: a

@@ -10,53 +10,37 @@ import (
 // ExecVectorized executes q with the paper's §3.3 vectorized processing
 // model: each segment is scanned in chunks of vectorSize tuples, and all
 // intermediates — the selection vector and the expression vectors — stay
-// L1-resident instead of being materialized at full column length. It is
-// the chunked counterpart of ExecHybrid: fused predicate evaluation within
-// each group, one selection vector shared across groups, per-group partial
-// sums for expressions. Segments pruned by their zone maps are skipped
-// outright, and materializing queries stop consuming segments at q.Limit.
+// L1-resident instead of being materialized at full column length.
 //
 // vectorSize <= 0 selects the default (VectorSize = 1024 values, L1-sized).
 // The ablation-vector experiment sweeps this parameter.
+//
+// Deprecated: call Exec with StrategyVectorized and ExecOpts.VectorSize.
+// Kept for one PR so the equivalence harness can prove old-vs-new
+// bit-identical.
 func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats *StrategyStats) (*Result, error) {
-	if vectorSize <= 0 {
-		vectorSize = VectorSize
-	}
-	out := Classify(q)
-	if out.Kind == OutOther {
-		return nil, ErrUnsupported
-	}
-	preds, splittable := SplitConjunction(q.Where)
-	if !splittable {
-		return nil, ErrUnsupported
-	}
-	// L1-resident scratch, reused across chunks and segments.
+	return Exec(rel, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: vectorSize, Stats: stats})
+}
+
+// vectorSegPartial is the vectorized pipeline's per-segment operator: the
+// chunked stages over one pinned segment, emitted as that segment's
+// partial. The L1-resident scratch vectors are allocated here — shared by
+// the segment's chunks, private to the task, so segment fan-out is
+// race-free.
+func vectorSegPartial(seg *storage.Segment, q *query.Query, out Outputs, preds []ColPred, vectorSize int, stats *StrategyStats) (*partial, error) {
 	sel := make([]int32, 0, vectorSize)
 	acc := make([]data.Value, vectorSize)
 	tmp := make([]data.Value, vectorSize)
-
-	aggStates := newStates(out)
+	states := newStates(out)
 	var ga *groupedAcc
 	if out.Kind == OutGrouped {
 		ga = newGroupedAcc(out)
 	}
-	res := &Result{Cols: out.Labels}
-
-	err := scanSegments(rel, preds, stats, limitFor(out, q), func() int { return res.Rows },
-		func(seg *storage.Segment) error {
-			return vectorScanSegment(seg, q, out, preds, vectorSize, sel, acc, tmp, aggStates, res, ga, stats)
-		})
-	if err != nil {
+	res := &Result{}
+	if err := vectorScanSegment(seg, q, out, preds, vectorSize, sel, acc, tmp, states, res, ga, stats); err != nil {
 		return nil, err
 	}
-
-	if out.Kind == OutAggregates || out.Kind == OutAggExpression {
-		return aggResult(out.Labels, aggStates), nil
-	}
-	if out.Kind == OutGrouped {
-		return groupedResult(out, ga), nil
-	}
-	return res, nil
+	return &partial{states: states, data: res.Data, rows: res.Rows, groups: ga}, nil
 }
 
 // vectorScanSegment runs the chunked pipeline over one segment, binding

@@ -32,13 +32,13 @@ func RunAblationVector(cfg Config) (*Table, error) {
 		Columns: []string{"vector_size", "time_ms", "vs_default"},
 	}
 	base := measure(cfg.Repeats, func() {
-		if _, err := exec.ExecVectorized(col, q, exec.VectorSize, nil); err != nil {
+		if _, err := exec.Exec(col, q, exec.ExecOpts{Strategy: exec.StrategyVectorized, VectorSize: exec.VectorSize}); err != nil {
 			panic(err)
 		}
 	})
 	for _, vs := range sizes {
 		d := measure(cfg.Repeats, func() {
-			if _, err := exec.ExecVectorized(col, q, vs, nil); err != nil {
+			if _, err := exec.Exec(col, q, exec.ExecOpts{Strategy: exec.StrategyVectorized, VectorSize: vs}); err != nil {
 				panic(err)
 			}
 		})
@@ -123,12 +123,12 @@ func RunAblationBitmap(cfg Config) (*Table, error) {
 	for _, sel := range sels {
 		q := query.Aggregation("R", aggOp(), attrs, workload.DialPredicate(tb.Rows, sel))
 		sv := measure(cfg.Repeats, func() {
-			if _, err := exec.ExecHybrid(col, q, nil); err != nil {
+			if _, err := exec.Exec(col, q, exec.ExecOpts{Strategy: exec.StrategyHybrid}); err != nil {
 				panic(err)
 			}
 		})
 		bm := measure(cfg.Repeats, func() {
-			if _, err := exec.ExecHybridBitmap(col, q, nil); err != nil {
+			if _, err := exec.Exec(col, q, exec.ExecOpts{Strategy: exec.StrategyBitmap}); err != nil {
 				panic(err)
 			}
 		})

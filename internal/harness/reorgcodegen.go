@@ -55,7 +55,8 @@ func RunFig13(cfg Config) (*Table, error) {
 			}
 		})
 		online := measure(cfg.Repeats, func() {
-			if _, _, err := exec.ExecReorg(c.rel, q, attrs, nil, nil); err != nil {
+			var groups []*storage.ColumnGroup
+			if _, err := exec.Exec(c.rel, q, exec.ExecOpts{Strategy: exec.StrategyReorg, ReorgAttrs: attrs, NewGroups: &groups}); err != nil {
 				panic(err)
 			}
 		})
@@ -118,7 +119,7 @@ func RunFig14(cfg Config) (*Table, error) {
 	}
 	for _, c := range cases {
 		genericD := measure(cfg.Repeats, func() {
-			if _, err := exec.ExecGeneric(onlyGroupRel(tb, c.g), c.q, nil); err != nil {
+			if _, err := exec.Exec(onlyGroupRel(tb, c.g), c.q, exec.ExecOpts{Strategy: exec.StrategyGeneric}); err != nil {
 				panic(err)
 			}
 		})

@@ -76,7 +76,7 @@ func RunSegments(cfg Config) (*Table, error) {
 		cut := data.Value(float64(rows) * 0.98)
 		q := query.Aggregation("R", expr.AggSum, attrs, query.PredGt(0, cut-1))
 		var st exec.StrategyStats
-		if _, err := exec.ExecHybrid(rel, q, &st); err != nil {
+		if _, err := exec.Exec(rel, q, exec.ExecOpts{Strategy: exec.StrategyHybrid, Stats: &st}); err != nil {
 			return nil, err
 		}
 

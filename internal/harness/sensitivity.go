@@ -58,7 +58,7 @@ func runThreeLayouts(cfg Config, tb *data.Table, row, col *storage.Relation, q *
 		return nil
 	}
 	rowD = measure(cfg.Repeats, func() {
-		if err = check(exec.ExecRowRel(row, q, nil)); err != nil {
+		if err = check(exec.Exec(row, q, exec.ExecOpts{Strategy: exec.StrategyRow})); err != nil {
 			panic(err)
 		}
 	})
@@ -68,7 +68,7 @@ func runThreeLayouts(cfg Config, tb *data.Table, row, col *storage.Relation, q *
 		}
 	})
 	colD = measure(cfg.Repeats, func() {
-		if err = check(exec.ExecColumn(col, q, nil)); err != nil {
+		if err = check(exec.Exec(col, q, exec.ExecOpts{Strategy: exec.StrategyColumn})); err != nil {
 			panic(err)
 		}
 	})
@@ -264,7 +264,7 @@ func mustRow(g *storage.ColumnGroup, q *query.Query) {
 }
 
 func mustHybrid(rel *storage.Relation, q *query.Query) {
-	if _, err := exec.ExecHybrid(rel, q, nil); err != nil {
+	if _, err := exec.Exec(rel, q, exec.ExecOpts{Strategy: exec.StrategyHybrid}); err != nil {
 		panic(err)
 	}
 }

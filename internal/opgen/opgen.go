@@ -14,7 +14,7 @@
 // scaled by query complexity like the paper's measurements, which the engine
 // accounts on the first (cache-miss) use of each operator. The baseline the
 // paper compares against — a generic operator that interprets expression
-// trees tuple-at-a-time — is exec.ExecGeneric.
+// trees tuple-at-a-time — is exec.StrategyGeneric's pipeline.
 //
 // A Generator is safe for concurrent use: the operator cache is guarded
 // internally, and generated operators are stateless closures that rebind
@@ -132,6 +132,13 @@ func (g *Generator) Operator(s exec.Strategy, rel *storage.Relation, q *query.Qu
 // step of the paper's generator, here a composition of specialized kernels.
 func (g *Generator) generate(key string, s exec.Strategy, q *query.Query) (*Operator, error) {
 	op := &Operator{Key: key, Strategy: s, CompileTime: g.compileTime(q)}
+	// Every pipeline-backed strategy composes the same way: bind the
+	// strategy into an exec.Exec call. The registry decides which
+	// strategies have templates, so the generator and the execution layer
+	// agree on the strategy set by construction.
+	if !exec.Plannable(s) {
+		return nil, fmt.Errorf("opgen: no template for strategy %v", s)
+	}
 	switch s {
 	case exec.StrategyRow:
 		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
@@ -139,32 +146,20 @@ func (g *Generator) generate(key string, s exec.Strategy, q *query.Query) (*Oper
 				return nil, nil, fmt.Errorf("opgen: no single group covers %v in every segment", q.AllAttrs())
 			}
 			var st exec.StrategyStats
-			res, err := exec.ExecRowRel(rel, q, &st)
-			return res, &st, err
-		}
-	case exec.StrategyColumn:
-		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
-			var st exec.StrategyStats
-			res, err := exec.ExecColumn(rel, q, &st)
-			return res, &st, err
-		}
-	case exec.StrategyHybrid:
-		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
-			var st exec.StrategyStats
-			res, err := exec.ExecHybrid(rel, q, &st)
+			res, err := exec.Exec(rel, q, exec.ExecOpts{Strategy: s, Stats: &st})
 			return res, &st, err
 		}
 	case exec.StrategyGeneric:
 		// The generic operator is the *absence* of generation: it always
 		// exists and compiles to nothing.
 		op.CompileTime = 0
+		fallthrough
+	default:
 		op.Run = func(rel *storage.Relation, q *query.Query) (*exec.Result, *exec.StrategyStats, error) {
 			var st exec.StrategyStats
-			res, err := exec.ExecGeneric(rel, q, &st)
+			res, err := exec.Exec(rel, q, exec.ExecOpts{Strategy: s, Stats: &st})
 			return res, &st, err
 		}
-	default:
-		return nil, fmt.Errorf("opgen: no template for strategy %v", s)
 	}
 	return op, nil
 }
