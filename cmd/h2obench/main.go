@@ -48,6 +48,16 @@
 //
 //	h2obench -exp groupby
 //
+// -exp shard sweeps sharded scatter-gather serving: the same relation is
+// dealt round-robin across 1/2/4/8 in-process shards and the sweep
+// reports scatter-gather latency (per-shard partials merged under the
+// partials merge law) and serving-layer repair latency under tail
+// appends — which stays at one rescanned segment per append at every
+// shard count, because an append moves exactly one shard's fingerprint
+// component:
+//
+//	h2obench -exp shard
+//
 // Finally, -bench-report turns `go test -bench . -benchtime=1x -json`
 // output (read on stdin) into a normalized bench.json on stdout — the
 // per-commit perf-trajectory artifact CI uploads:

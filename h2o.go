@@ -42,6 +42,7 @@ import (
 	"h2o/internal/persist"
 	"h2o/internal/query"
 	"h2o/internal/server"
+	"h2o/internal/shard"
 	"h2o/internal/sql"
 	"h2o/internal/storage"
 )
@@ -134,13 +135,37 @@ func GenerateTimeSeries(schema *Schema, rows int, seed int64) *Table {
 // DefaultOptions returns the paper's adaptive configuration.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// table is what the catalog holds per registered name: a single engine, or
+// — when Options.Shards > 1 — a scatter-gather router over per-shard
+// engines (internal/shard). Both present the engine-shaped surface the
+// facade routes through, so every DB method works unchanged over either.
+type table interface {
+	Execute(q *query.Query) (*exec.Result, core.ExecInfo, error)
+	QueryFingerprint(q *query.Query) core.TouchFingerprint
+	QueryDelta(q *query.Query, have map[int]uint64) (*core.DeltaScan, bool, error)
+	Insert(tuples [][]data.Value) error
+	Version() uint64
+	SegmentVersions() []uint64
+	TierStats() core.TierStats
+	SetSegmentHeat(fn core.SegmentHeatFunc)
+	Close()
+}
+
+var (
+	_ table = (*core.Engine)(nil)
+	_ table = (*shard.Router)(nil)
+)
+
 // DB is a catalog of H2O engines, one per table, with a SQL front end. All
 // methods are safe for concurrent use: the catalog itself is guarded by a
 // read-write mutex, and each engine serializes its own mutations while
-// letting read-only queries run in parallel (see core.Engine).
+// letting read-only queries run in parallel (see core.Engine). With
+// Options.Shards > 1 every registered table is split across that many
+// engines behind a scatter-gather router; the SQL and serving surfaces are
+// unchanged.
 type DB struct {
 	mu      sync.RWMutex
-	engines map[string]*core.Engine
+	tables  map[string]table
 	schemas sql.SchemaMap
 	opts    Options
 
@@ -170,7 +195,7 @@ func NewDB() *DB { return NewDBWith(core.DefaultOptions()) }
 // opts.
 func NewDBWith(opts Options) *DB {
 	return &DB{
-		engines: make(map[string]*core.Engine),
+		tables:  make(map[string]table),
 		schemas: make(sql.SchemaMap),
 		opts:    opts,
 	}
@@ -185,37 +210,79 @@ func (db *DB) CreateTableFrom(schema *Schema, rows int, seed int64) *Table {
 	return t
 }
 
-// AddTable registers an existing generated table. A table replaced under
-// the same name has its engine closed (spill files released); the result
-// cache needs no flushing because relation versions are process-unique.
-// Callers still holding the replaced *Engine must not keep using it: on a
-// budgeted table its spilled segments are gone, so stale-engine queries
-// can fail — re-fetch through db.Engine (db.Query/QueryCtx always do).
+// AddTable registers an existing generated table — behind one engine, or
+// split across Options.Shards engines behind a scatter-gather router. A
+// table replaced under the same name has its engine(s) closed (spill files
+// released); the result cache needs no flushing because relation versions
+// are process-unique. Callers still holding the replaced *Engine must not
+// keep using it: on a budgeted table its spilled segments are gone, so
+// stale-engine queries can fail — re-fetch through db.Engine
+// (db.Query/QueryCtx always do).
 func (db *DB) AddTable(t *Table) {
-	e := core.New(storage.BuildColumnMajorSeg(t, db.opts.SegmentCapacity), db.opts)
+	var h table
+	if db.opts.Shards > 1 {
+		h = shard.New(t, db.opts)
+	} else {
+		h = core.New(storage.BuildColumnMajorSeg(t, db.opts.SegmentCapacity), db.opts)
+	}
+	db.register(t.Schema.Name, t.Schema, h)
+}
+
+// register installs a built table handle in the catalog, wires it to the
+// current heat server, and closes any handle it replaces.
+func (db *DB) register(name string, schema *Schema, h table) {
 	db.mu.Lock()
-	old := db.engines[t.Schema.Name]
-	db.engines[t.Schema.Name] = e
-	db.schemas[t.Schema.Name] = t.Schema
+	old := db.tables[name]
+	db.tables[name] = h
+	db.schemas[name] = schema
 	heatSrv := db.heatSrv
 	db.mu.Unlock()
 	if heatSrv != nil {
-		wireSegmentHeat(e, heatSrv, t.Schema.Name)
+		wireSegmentHeat(h, heatSrv, name)
 	}
 	if old != nil {
 		old.Close()
 	}
 }
 
-// Engine returns the engine behind a table, for inspection.
-func (db *DB) Engine(table string) (*Engine, error) {
+// handle returns the table handle behind a registered name.
+func (db *DB) handle(table string) (table, error) {
 	db.mu.RLock()
-	e, ok := db.engines[table]
+	h, ok := db.tables[table]
 	db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("h2o: unknown table %q", table)
 	}
+	return h, nil
+}
+
+// Engine returns the engine behind a table, for inspection. A sharded
+// table (Options.Shards > 1) has no single engine and returns an error;
+// use Router for per-shard access.
+func (db *DB) Engine(table string) (*Engine, error) {
+	h, err := db.handle(table)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := h.(*core.Engine)
+	if !ok {
+		return nil, fmt.Errorf("h2o: table %q is sharded (Options.Shards > 1); it has no single engine", table)
+	}
 	return e, nil
+}
+
+// Router returns the scatter-gather router behind a sharded table, for
+// inspection. Unsharded tables return an error; use Engine for those.
+func (db *DB) Router(table string) (*shard.Router, error) {
+	h, err := db.handle(table)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := h.(*shard.Router)
+	if !ok {
+		return nil, fmt.Errorf("h2o: table %q is not sharded", table)
+	}
+	return r, nil
 }
 
 // Version returns a table's relation version: a counter that advances on
@@ -223,11 +290,11 @@ func (db *DB) Engine(table string) (*Engine, error) {
 // observability — the serving layer keys its result cache on the
 // segment-precise Fingerprint instead.
 func (db *DB) Version(table string) (uint64, error) {
-	e, err := db.Engine(table)
+	h, err := db.handle(table)
 	if err != nil {
 		return 0, err
 	}
-	return e.Version(), nil
+	return h.Version(), nil
 }
 
 // SegmentVersions returns a table's per-segment version vector: one entry
@@ -235,11 +302,11 @@ func (db *DB) Version(table string) (uint64, error) {
 // (tail appends, segment-local reorganization). Residency changes (tiered
 // storage spills and faults) never advance any of them.
 func (db *DB) SegmentVersions(table string) ([]uint64, error) {
-	e, err := db.Engine(table)
+	h, err := db.handle(table)
 	if err != nil {
 		return nil, err
 	}
-	return e.SegmentVersions(), nil
+	return h.SegmentVersions(), nil
 }
 
 // Fingerprint computes a query's candidate-touch fingerprint: the digest of
@@ -247,11 +314,11 @@ func (db *DB) SegmentVersions(table string) ([]uint64, error) {
 // and their versions. The serving layer calls it at admission to address
 // its result cache; together with Exec this makes DB a server.Backend.
 func (db *DB) Fingerprint(q *Query) (TouchFingerprint, error) {
-	e, err := db.Engine(q.Table)
+	h, err := db.handle(q.Table)
 	if err != nil {
 		return TouchFingerprint{}, err
 	}
-	return e.QueryFingerprint(q), nil
+	return h.QueryFingerprint(q), nil
 }
 
 // ExecDelta answers a repairable aggregate query by rescanning only the
@@ -263,19 +330,19 @@ func (db *DB) Fingerprint(q *Query) (TouchFingerprint, error) {
 // chose the full Execute path (not repairable, or an adaptation phase is
 // pending).
 func (db *DB) ExecDelta(q *Query, have map[int]uint64) (*DeltaScan, bool, error) {
-	e, err := db.Engine(q.Table)
+	h, err := db.handle(q.Table)
 	if err != nil {
 		return nil, false, err
 	}
-	return e.QueryDelta(q, have)
+	return h.QueryDelta(q, have)
 }
 
 // Tables lists the registered table names.
 func (db *DB) Tables() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.engines))
-	for name := range db.engines {
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
 		out = append(out, name)
 	}
 	return out
@@ -350,11 +417,11 @@ func (db *DB) execInsert(src string) (*Result, ExecInfo, error) {
 	if err != nil {
 		return nil, ExecInfo{}, err
 	}
-	e, err := db.Engine(stmt.Table)
+	h, err := db.handle(stmt.Table)
 	if err != nil {
 		return nil, ExecInfo{}, err
 	}
-	if err := e.Insert(stmt.Rows); err != nil {
+	if err := h.Insert(stmt.Rows); err != nil {
 		return nil, ExecInfo{}, err
 	}
 	return &Result{Cols: []string{"inserted"}, Rows: 1,
@@ -387,22 +454,24 @@ func (db *DB) Serve(cfg ServerConfig) *Server {
 func (db *DB) adoptHeatServer(srv *server.Server) {
 	db.mu.Lock()
 	db.heatSrv = srv
-	engines := make(map[string]*core.Engine, len(db.engines))
-	for name, e := range db.engines {
-		engines[name] = e
+	handles := make(map[string]table, len(db.tables))
+	for name, h := range db.tables {
+		handles[name] = h
 	}
 	db.mu.Unlock()
-	for name, e := range engines {
-		wireSegmentHeat(e, srv, name)
+	for name, h := range handles {
+		wireSegmentHeat(h, srv, name)
 	}
 }
 
-// wireSegmentHeat points one engine's tier manager at srv's per-segment
-// cache-reference counts (a no-op on engines without a memory budget). The
-// closure holds the server, not the catalog, so a replaced table's old
-// engine keeps a working — merely stale — heat source until it is closed.
-func wireSegmentHeat(e *core.Engine, srv *server.Server, table string) {
-	e.SetSegmentHeat(func() map[int]int { return srv.SegmentHeat(table) })
+// wireSegmentHeat points one table's tier manager(s) at srv's per-segment
+// cache-reference counts (a no-op on engines without a memory budget; a
+// sharded router translates the global segment indices to shard-local
+// ones). The closure holds the server, not the catalog, so a replaced
+// table's old engine keeps a working — merely stale — heat source until it
+// is closed.
+func wireSegmentHeat(h table, srv *server.Server, name string) {
+	h.SetSegmentHeat(func() map[int]int { return srv.SegmentHeat(name) })
 }
 
 // defaultServer lazily starts the server behind QueryCtx, or returns nil
@@ -448,13 +517,13 @@ func (db *DB) Close() {
 		srv.Close()
 	}
 	db.mu.Lock()
-	engines := make([]*core.Engine, 0, len(db.engines))
-	for _, e := range db.engines {
-		engines = append(engines, e)
+	handles := make([]table, 0, len(db.tables))
+	for _, h := range db.tables {
+		handles = append(handles, h)
 	}
 	db.mu.Unlock()
-	for _, e := range engines {
-		e.Close()
+	for _, h := range handles {
+		h.Close()
 	}
 }
 
@@ -473,11 +542,11 @@ func (db *DB) ImportCSV(r io.Reader, tableName string) (*Table, error) {
 // execution: concurrent queries serialize only inside the engine, and only
 // when they mutate.
 func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
-	e, err := db.Engine(q.Table)
+	h, err := db.handle(q.Table)
 	if err != nil {
 		return nil, ExecInfo{}, err
 	}
-	return e.Execute(q)
+	return h.Execute(q)
 }
 
 // TierStats reports a table's tiered-storage counters: how much of the
@@ -485,19 +554,25 @@ func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
 // eviction counts. Zero-valued unless the database was built with
 // Options.MemoryBudgetBytes set.
 func (db *DB) TierStats(table string) (TierStats, error) {
-	e, err := db.Engine(table)
+	h, err := db.handle(table)
 	if err != nil {
 		return TierStats{}, err
 	}
-	return e.TierStats(), nil
+	return h.TierStats(), nil
 }
 
-// LayoutSignature describes a table's current physical layout.
-func (db *DB) LayoutSignature(table string) (string, error) {
-	e, err := db.Engine(table)
+// LayoutSignature describes a table's current physical layout. For a
+// sharded table the per-shard signatures are joined in shard order —
+// shards adapt independently, so they legitimately diverge.
+func (db *DB) LayoutSignature(name string) (string, error) {
+	h, err := db.handle(name)
 	if err != nil {
 		return "", err
 	}
+	if r, ok := h.(*shard.Router); ok {
+		return r.LayoutSignature(), nil
+	}
+	e := h.(*core.Engine)
 	var sig string
 	err = e.View(func(rel *storage.Relation) error {
 		sig = rel.LayoutSignature()
@@ -511,7 +586,8 @@ func (db *DB) LayoutSignature(table string) (string, error) {
 // consistent even with concurrent inserts. On a budgeted table the save
 // pages spilled segments in (the snapshot needs every byte); the memory
 // budget is re-enforced immediately afterwards rather than waiting for the
-// next query.
+// next query. Sharded tables cannot be snapshot (the format holds one
+// relation) and return the Engine error.
 func (db *DB) SaveTable(table, path string) error {
 	e, err := db.Engine(table)
 	if err != nil {
@@ -526,25 +602,15 @@ func (db *DB) SaveTable(table, path string) error {
 
 // LoadTable restores a snapshot and registers it under its stored table
 // name. The engine resumes with the adapted layout instead of re-learning
-// it.
+// it — for that reason a loaded table always runs on a single engine, even
+// when Options.Shards > 1 (re-dealing the rows would discard the adapted
+// per-segment layouts the snapshot exists to preserve).
 func (db *DB) LoadTable(path string) (string, error) {
 	rel, err := persist.LoadFile(path)
 	if err != nil {
 		return "", err
 	}
 	name := rel.Schema.Name
-	e := core.New(rel, db.opts)
-	db.mu.Lock()
-	old := db.engines[name]
-	db.engines[name] = e
-	db.schemas[name] = rel.Schema
-	heatSrv := db.heatSrv
-	db.mu.Unlock()
-	if heatSrv != nil {
-		wireSegmentHeat(e, heatSrv, name)
-	}
-	if old != nil {
-		old.Close()
-	}
+	db.register(name, rel.Schema, core.New(rel, db.opts))
 	return name, nil
 }

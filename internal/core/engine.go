@@ -153,6 +153,15 @@ type Options struct {
 	// above. 0 selects the server default (4 MiB); negative disables
 	// partial caching and with it delta repair.
 	PartialCacheBytes int64
+	// Shards splits every table the facade registers across this many
+	// in-process engines behind a scatter-gather router (internal/shard):
+	// segment-sized chunks place round-robin, layout adaptation stays
+	// per-shard, and aggregate/grouped queries merge per-shard partial
+	// aggregates under the partials merge law. Parallelism divides across
+	// the shards. Like SegmentCapacity, the engine itself never reads it —
+	// it parameterizes table construction in the layers above. 0 or 1
+	// keeps the single-engine path.
+	Shards int
 }
 
 // DefaultOptions returns the adaptive configuration used in §4.1.
@@ -478,7 +487,7 @@ func (e *Engine) run(q *query.Query, info query.Info, start time.Time) (*exec.Re
 	// blocks of sealed segments — block headers prune or fold whole blocks
 	// without touching their payloads, and spilled segments fault in only
 	// their compact encoded form instead of rehydrating flat data. Shapes
-	// outside ExecEncoded's reach (projections, unsplittable predicates)
+	// outside the encoded pipeline's reach (projections, unsplittable predicates)
 	// fall through to the cost-based paths below. ServesEncoded gates the
 	// attempt on some unpruned segment actually carrying encoded blocks (or
 	// living spilled), so an all-flat relation never reports

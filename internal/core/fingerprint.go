@@ -62,6 +62,29 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// CombineFingerprints folds an ordered sequence of per-backend fingerprints
+// into one: the digest is the order-sensitive FNV-1a mix of the component
+// digests, the candidate-segment counts add, and the max version is the
+// maximum. A sharded deployment publishes the combination of its shards'
+// fingerprints as the query's fingerprint: any component moving moves the
+// combination (so stale combined entries can never be re-addressed), while
+// mutations that leave every component untouched leave it addressable.
+// The digest is never zero — the offset basis is folded in — so a combined
+// fingerprint is Valid even over zero components.
+func CombineFingerprints(fps []TouchFingerprint) TouchFingerprint {
+	var out TouchFingerprint
+	h := uint64(fnvOffset64)
+	for _, fp := range fps {
+		h = fnvMix(h, fp.Digest)
+		out.Segments += fp.Segments
+		if fp.MaxVersion > out.MaxVersion {
+			out.MaxVersion = fp.MaxVersion
+		}
+	}
+	out.Digest = h
+	return out
+}
+
 // fnvMix folds one 64-bit word into the running FNV-1a hash, low byte
 // first.
 func fnvMix(h, v uint64) uint64 {

@@ -112,7 +112,7 @@ func BenchmarkStrategyRow(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecRowRel(row, q, nil); err != nil {
+		if _, err := Exec(row, q, ExecOpts{Strategy: StrategyRow}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func BenchmarkStrategyColumn(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecColumn(col, q, nil); err != nil {
+		if _, err := Exec(col, q, ExecOpts{Strategy: StrategyColumn}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +141,7 @@ func BenchmarkStrategyHybrid(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecHybrid(rel, q, nil); err != nil {
+		if _, err := Exec(rel, q, ExecOpts{Strategy: StrategyHybrid}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +152,7 @@ func BenchmarkStrategyGeneric(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecGeneric(row, q); err != nil {
+		if _, err := Exec(row, q, ExecOpts{Strategy: StrategyGeneric}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -202,14 +202,14 @@ func BenchmarkPipelineVectorized(b *testing.B) {
 	benchPipeline(b, storage.BuildColumnMajorSeg(tb, benchRows/16), StrategyVectorized)
 }
 
-func BenchmarkExecReorgOnline(b *testing.B) {
+func BenchmarkReorgOnline(b *testing.B) {
 	_, col, _ := benchFixture(b, 50)
 	attrs := []data.AttrID{0, 3, 7, 12, 18, 22, 28, 33, 39, 44}
 	q := query.Aggregation("R", expr.AggMax, attrs, nil)
 	b.SetBytes(int64(len(attrs)) * benchRows * 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ExecReorg(col, q, attrs, nil); err != nil {
+		if _, err := Exec(col, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: attrs}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -150,16 +150,6 @@ func foldColumnBitmap(st *expr.AggState, g *storage.ColumnGroup, off int, bm *Bi
 	}
 }
 
-// ExecHybridBitmap is ExecHybrid's aggregate path with bitmaps instead of
-// selection vectors, used by the bitmap ablation. It supports the plain
-// and grouped aggregation templates only.
-//
-// Deprecated: call Exec with StrategyBitmap. Kept for one PR so the
-// equivalence harness can prove old-vs-new bit-identical.
-func ExecHybridBitmap(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	return Exec(rel, q, ExecOpts{Strategy: StrategyBitmap, Stats: stats})
-}
-
 // bitmapSegPartial is the bitmap pipeline's per-segment operator: fused
 // predicate evaluation into a segment-sized bit-vector, refined by AND,
 // then aggregate or grouped folds over the set bits, emitted as that

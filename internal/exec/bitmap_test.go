@@ -89,17 +89,17 @@ func TestRefineBitmapMatchesRefineSel(t *testing.T) {
 	}
 }
 
-func TestExecHybridBitmapAgrees(t *testing.T) {
+func TestBitmapStrategyAgrees(t *testing.T) {
 	tb, col, row, grp := fixture(t)
 	_ = tb
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 5, 9},
 		query.ConjLtGt(0, 400_000_000, 7, -400_000_000))
-	want, err := ExecHybrid(col, q, nil)
+	want, err := Exec(col, q, ExecOpts{Strategy: StrategyHybrid})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, rel := range []*storage.Relation{col, row, grp} {
-		got, err := ExecHybridBitmap(rel, q, nil)
+		got, err := Exec(rel, q, ExecOpts{Strategy: StrategyBitmap})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,14 +109,14 @@ func TestExecHybridBitmapAgrees(t *testing.T) {
 	}
 	// No-predicate aggregation path.
 	q2 := query.Aggregation("R", expr.AggMin, []data.AttrID{2}, nil)
-	want2, _ := ExecHybrid(col, q2, nil)
-	got2, err := ExecHybridBitmap(col, q2, nil)
+	want2, _ := Exec(col, q2, ExecOpts{Strategy: StrategyHybrid})
+	got2, err := Exec(col, q2, ExecOpts{Strategy: StrategyBitmap})
 	if err != nil || !got2.Equal(want2) {
 		t.Fatalf("no-predicate bitmap path wrong: %v", err)
 	}
 	// Non-aggregate shapes are unsupported.
 	q3 := query.Projection("R", []data.AttrID{1}, nil)
-	if _, err := ExecHybridBitmap(col, q3, nil); err != ErrUnsupported {
+	if _, err := Exec(col, q3, ExecOpts{Strategy: StrategyBitmap}); err != ErrUnsupported {
 		t.Fatalf("err = %v", err)
 	}
 }

@@ -168,7 +168,8 @@ func Classify(q *query.Query) Outputs {
 
 // classifyGrouped validates the grouped select shape: every item must be an
 // aggregate or a bare reference to a group-by key. Any other shape is
-// OutOther, which no strategy executes (ExecGeneric reports a clean error).
+// OutOther, which no template executes (the generic pipeline reports a
+// clean error for grouped shapes and serves the rest interpretively).
 func classifyGrouped(q *query.Query, out Outputs) Outputs {
 	keys := q.GroupIDs()
 	keyIdx := make(map[data.AttrID]int, len(keys))

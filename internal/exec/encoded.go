@@ -431,27 +431,6 @@ func ServesEncoded(rel *storage.Relation, q *query.Query) bool {
 	return false
 }
 
-// ExecEncoded executes aggregate-shaped queries with splittable
-// conjunctive predicates directly over the encoded form of each segment,
-// declining (ErrUnsupported) when no unpruned segment serves encoded.
-//
-// Deprecated: call Exec with StrategyEncoded, gated on ServesEncoded when
-// the caller wants the historical whole-query decline. Kept for one PR so
-// the equivalence harness can prove old-vs-new bit-identical.
-func ExecEncoded(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	out := Classify(q)
-	if out.Kind != OutAggregates && out.Kind != OutAggExpression && out.Kind != OutGrouped {
-		return nil, ErrUnsupported
-	}
-	if _, splittable := SplitConjunction(q.Where); !splittable {
-		return nil, ErrUnsupported
-	}
-	if !ServesEncoded(rel, q) {
-		return nil, ErrUnsupported
-	}
-	return Exec(rel, q, ExecOpts{Strategy: StrategyEncoded, Stats: stats})
-}
-
 // encodedSegPartial is the encoded pipeline's per-segment operator: the
 // block-header fold kernel when the segment's needed groups hold
 // encodings, the flat filter path otherwise — routed per segment, so one

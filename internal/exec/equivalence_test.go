@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"math/rand"
-	"reflect"
 	"testing"
 
 	"h2o/internal/data"
@@ -283,29 +282,29 @@ type eqStrategy struct {
 func eqStrategies(rng *rand.Rand) []eqStrategy {
 	return []eqStrategy{
 		{"row", true, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecRowRel(rel, q, nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow})
 		}},
 		{"row-parallel", true, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecRowParallel(rel, q, 1+rng.Intn(7), nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Workers: 1 + rng.Intn(7)})
 		}},
 		{"column", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecColumn(rel, q, nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyColumn})
 		}},
 		{"hybrid", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecHybrid(rel, q, nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyHybrid})
 		}},
 		{"generic", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecGeneric(rel, q)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 		}},
 		{"vectorized", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
 			sizes := []int{0, 7, 64, 1024}
-			return ExecVectorized(rel, q, sizes[rng.Intn(len(sizes))], nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: sizes[rng.Intn(len(sizes))]})
 		}},
 		{"bitmap", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecHybridBitmap(rel, q, nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyBitmap})
 		}},
 		{"encoded", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
-			return ExecEncoded(rel, q, nil)
+			return Exec(rel, q, ExecOpts{Strategy: StrategyEncoded})
 		}},
 		{"reorg", false, func(rel *storage.Relation, q *query.Query) (*Result, error) {
 			// Random hot mask: the reorganizing executor must answer
@@ -315,8 +314,7 @@ func eqStrategies(rng *rand.Rand) []eqStrategy {
 			for i := range hot {
 				hot[i] = rng.Intn(2) == 0
 			}
-			_, res, err := ExecReorg(rel, q, q.AllAttrs(), hot)
-			return res, err
+			return Exec(rel, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: q.AllAttrs(), HotMask: hot})
 		}},
 	}
 }
@@ -325,7 +323,7 @@ func eqStrategies(rng *rand.Rand) []eqStrategy {
 // (relation, query, residency) combination.
 func checkEquivalence(t *testing.T, rng *rand.Rand, rel *storage.Relation, q *query.Query, residentFrac float64) {
 	t.Helper()
-	want, err := ExecGeneric(rel, q)
+	want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatalf("reference execution failed for %s: %v", q, err)
 	}
@@ -497,7 +495,7 @@ func TestDeltaRepairEquivalence(t *testing.T) {
 					}
 				}
 				repaired := Repaired(prior, fresh, reused)
-				want, err := ExecGeneric(rel, q)
+				want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -508,102 +506,6 @@ func TestDeltaRepairEquivalence(t *testing.T) {
 				// The repaired payload becomes the next round's cache, just
 				// as the serving layer republishes it.
 				qs[i].prior = repaired
-			}
-		}
-	}
-}
-
-// TestPipelineMatchesWrappers proves the deprecated per-strategy entry
-// points and the Exec pipeline are the same execution: every randomized
-// query shape runs through both on the same relation, and the results and
-// the scan accounting (SegmentsScanned / SegmentsPruned / Touched) must
-// agree exactly. Wrapper-side prechecks may decline a shape the pipeline
-// now serves (ErrUnsupported) — that is the documented compatibility
-// surface, so declines skip rather than fail. Parallel stats are compared
-// only for unlimited queries: under LIMIT the claim loop may legitimately
-// scan a different number of segments per run.
-func TestPipelineMatchesWrappers(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260807))
-	type pair struct {
-		name     string
-		rowShape bool
-		parallel bool
-		wrapper  func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error)
-		opts     func(st *StrategyStats) ExecOpts
-	}
-	pairs := []pair{
-		{"row", true, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecRowRel(rel, q, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyRow, Stats: st} }},
-		{"row-parallel", true, true,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecRowParallel(rel, q, 4, st)
-			},
-			func(st *StrategyStats) ExecOpts {
-				return ExecOpts{Strategy: StrategyRow, Workers: 4, Stats: st}
-			}},
-		{"column", false, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecColumn(rel, q, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyColumn, Stats: st} }},
-		{"hybrid", false, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecHybrid(rel, q, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyHybrid, Stats: st} }},
-		{"vectorized", false, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecVectorized(rel, q, 0, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyVectorized, Stats: st} }},
-		{"bitmap", false, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecHybridBitmap(rel, q, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyBitmap, Stats: st} }},
-		{"encoded", false, false,
-			func(rel *storage.Relation, q *query.Query, st *StrategyStats) (*Result, error) {
-				return ExecEncoded(rel, q, st)
-			},
-			func(st *StrategyStats) ExecOpts { return ExecOpts{Strategy: StrategyEncoded, Stats: st} }},
-	}
-	for r := 0; r < 4; r++ {
-		rel := eqRelation(t, rng)
-		installSnapshotLoader(rel)
-		demoteFraction(rel, 0.3)
-		for i := 0; i < 10; i++ {
-			q := eqQuery(rng, rel.Rows)
-			for _, p := range pairs {
-				if p.rowShape && !RowCovered(rel, q) {
-					continue
-				}
-				var wst, nst StrategyStats
-				wres, werr := p.wrapper(rel, q, &wst)
-				nres, nerr := Exec(rel, q, p.opts(&nst))
-				if werr == ErrUnsupported {
-					continue
-				}
-				if (werr == nil) != (nerr == nil) {
-					t.Fatalf("%s on %s: wrapper err %v, pipeline err %v", p.name, q, werr, nerr)
-				}
-				if werr != nil {
-					continue
-				}
-				if !wres.Equal(nres) {
-					t.Fatalf("%s on %s: wrapper and pipeline results diverge:\n old %d rows %v\n new %d rows %v",
-						p.name, q, wres.Rows, wres.Data, nres.Rows, nres.Data)
-				}
-				if !p.parallel || q.Limit == 0 {
-					if wst.SegmentsScanned != nst.SegmentsScanned || wst.SegmentsPruned != nst.SegmentsPruned ||
-						!reflect.DeepEqual(wst.Touched, nst.Touched) {
-						t.Fatalf("%s on %s: stats diverge:\n old scanned=%d pruned=%d touched=%v\n new scanned=%d pruned=%d touched=%v",
-							p.name, q, wst.SegmentsScanned, wst.SegmentsPruned, wst.Touched,
-							nst.SegmentsScanned, nst.SegmentsPruned, nst.Touched)
-					}
-				}
 			}
 		}
 	}

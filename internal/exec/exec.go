@@ -134,8 +134,8 @@ func Plannable(s Strategy) bool {
 
 // Exec executes q on rel with the selected strategy's per-segment
 // pipeline. It is the one entry point behind every strategy: the
-// deprecated Exec* wrappers, the engine's dispatch, the operator
-// generator and the harness all route through it.
+// engine's dispatch, the operator generator and the harness all route
+// through it.
 func Exec(rel *storage.Relation, q *query.Query, opts ExecOpts) (*Result, error) {
 	e, ok := strategies[opts.Strategy]
 	if !ok || e.build == nil {

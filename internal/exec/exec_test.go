@@ -119,15 +119,15 @@ func TestAllStrategiesAgree(t *testing.T) {
 			res  *Result
 			err  error
 		}
-		rowRes, rowErr := ExecRowRel(row, q, nil)
+		rowRes, rowErr := Exec(row, q, ExecOpts{Strategy: StrategyRow})
 		var runs []run
 		runs = append(runs, run{"row-fused", rowRes, rowErr})
 		for _, rel := range []*storage.Relation{col, row, grp} {
-			r1, e1 := ExecColumn(rel, q, nil)
+			r1, e1 := Exec(rel, q, ExecOpts{Strategy: StrategyColumn})
 			runs = append(runs, run{"column-late/" + rel.Kind().String(), r1, e1})
-			r2, e2 := ExecHybrid(rel, q, nil)
+			r2, e2 := Exec(rel, q, ExecOpts{Strategy: StrategyHybrid})
 			runs = append(runs, run{"hybrid/" + rel.Kind().String(), r2, e2})
-			r3, e3 := ExecGeneric(rel, q)
+			r3, e3 := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 			runs = append(runs, run{"generic/" + rel.Kind().String(), r3, e3})
 		}
 		for _, r := range runs {
@@ -148,8 +148,8 @@ func TestExecRowRequiresCoveringGroup(t *testing.T) {
 	if _, err := ExecRow(col.Segments[0].Groups[0], q); err == nil {
 		t.Fatal("ExecRow must reject a non-covering group")
 	}
-	if _, err := ExecRowRel(col, q, nil); err == nil {
-		t.Fatal("ExecRowRel must reject a relation without a covering group per segment")
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyRow}); err == nil {
+		t.Fatal("the row pipeline must reject a relation without a covering group per segment")
 	}
 }
 
@@ -162,13 +162,13 @@ func TestUnsupportedShapesFallThrough(t *testing.T) {
 	if _, err := ExecRow(row.Segments[0].Groups[0], q); err != ErrUnsupported {
 		t.Fatalf("ExecRow err = %v, want ErrUnsupported", err)
 	}
-	if _, err := ExecColumn(col, q, nil); err != ErrUnsupported {
-		t.Fatalf("ExecColumn err = %v, want ErrUnsupported", err)
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyColumn}); err != ErrUnsupported {
+		t.Fatalf("column err = %v, want ErrUnsupported", err)
 	}
-	if _, err := ExecHybrid(col, q, nil); err != ErrUnsupported {
-		t.Fatalf("ExecHybrid err = %v, want ErrUnsupported", err)
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyHybrid}); err != ErrUnsupported {
+		t.Fatalf("hybrid err = %v, want ErrUnsupported", err)
 	}
-	res, err := ExecGeneric(col, q)
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestExpressionPredicateViaGeneric(t *testing.T) {
 	// class explicitly).
 	p := &expr.Cmp{Op: expr.Gt, L: expr.SumCols([]data.AttrID{1, 2}), R: &expr.Const{V: 0}}
 	q := query.Aggregation("R", expr.AggCount, []data.AttrID{0}, p)
-	res, err := ExecGeneric(col, q)
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,13 +416,14 @@ func TestAddVectorsMaterialized(t *testing.T) {
 	}
 }
 
-func TestExecReorgAnswersAndBuilds(t *testing.T) {
+func TestReorgAnswersAndBuilds(t *testing.T) {
 	tb, col, row, grp := fixture(t)
 	q := query.AggExpression("R", []data.AttrID{2, 5, 9}, query.ConjLtGt(1, 400_000_000, 7, -400_000_000))
 	want := referenceExecute(tb, q)
 	for _, rel := range []*storage.Relation{col, row, grp} {
 		attrs := q.AllAttrs()
-		groups, res, err := ExecReorg(rel, q, attrs, nil)
+		var groups []*storage.ColumnGroup
+		res, err := Exec(rel, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: attrs, NewGroups: &groups})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -447,11 +448,12 @@ func TestExecReorgAnswersAndBuilds(t *testing.T) {
 	}
 }
 
-func TestExecReorgWiderThanQuery(t *testing.T) {
+func TestReorgWiderThanQuery(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
 	attrs := []data.AttrID{1, 2, 3, 4} // build a wider group than the query needs
-	groups, res, err := ExecReorg(col, q, attrs, nil)
+	var groups []*storage.ColumnGroup
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: attrs, NewGroups: &groups})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,11 +465,12 @@ func TestExecReorgWiderThanQuery(t *testing.T) {
 	}
 }
 
-func TestExecReorgGenericFallback(t *testing.T) {
+func TestReorgGenericFallback(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	q := query.Aggregation("R", expr.AggCount, []data.AttrID{2}, or)
-	groups, res, err := ExecReorg(col, q, q.AllAttrs(), nil)
+	var groups []*storage.ColumnGroup
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: q.AllAttrs(), NewGroups: &groups})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -526,10 +529,10 @@ func TestStrategiesAgreeProperty(t *testing.T) {
 			p = query.PredLt(predAttr, cut%data.ValueHi)
 		}
 		q := query.Aggregation("R", expr.AggSum, attrs, p)
-		a, err1 := ExecRowRel(row, q, nil)
-		b, err2 := ExecColumn(col, q, nil)
-		c, err3 := ExecHybrid(col, q, nil)
-		d, err4 := ExecGeneric(row, q)
+		a, err1 := Exec(row, q, ExecOpts{Strategy: StrategyRow})
+		b, err2 := Exec(col, q, ExecOpts{Strategy: StrategyColumn})
+		c, err3 := Exec(col, q, ExecOpts{Strategy: StrategyHybrid})
+		d, err4 := Exec(row, q, ExecOpts{Strategy: StrategyGeneric})
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return false
 		}

@@ -1,26 +1,10 @@
 package exec
 
 import (
-	"runtime"
-
 	"h2o/internal/data"
 	"h2o/internal/expr"
-	"h2o/internal/query"
 	"h2o/internal/storage"
 )
-
-// ExecRowParallel runs the fused row strategy over rel with one task per
-// *segment* — the intra-query parallelism the paper's engines use, "tuned
-// to use all the available CPUs". workers <= 0 selects runtime.NumCPU().
-//
-// Deprecated: call Exec with StrategyRow and ExecOpts.Workers. Kept for
-// one PR so the equivalence harness can prove old-vs-new bit-identical.
-func ExecRowParallel(rel *storage.Relation, q *query.Query, workers int, stats *StrategyStats) (*Result, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Workers: workers, Stats: stats})
-}
 
 // segTask is one planned unit of segment-parallel work: the segment (and
 // its index in the relation, for the touch set), the row pipeline's

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"runtime"
 	"testing"
 
 	"h2o/internal/data"
@@ -23,12 +24,12 @@ func parallelFixture(t *testing.T) (*data.Table, *storage.Relation) {
 func TestParallelMatchesSerial(t *testing.T) {
 	_, row := parallelFixture(t)
 	for qi, q := range queriesUnderTest() {
-		want, err := ExecRowRel(row, q, nil)
+		want, err := Exec(row, q, ExecOpts{Strategy: StrategyRow})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 7, 16, testRows + 5} {
-			got, err := ExecRowParallel(row, q, workers, nil)
+			got, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: workers})
 			if err != nil {
 				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
 			}
@@ -39,16 +40,16 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestParallelDefaultsToNumCPU(t *testing.T) {
+func TestParallelFullFanOut(t *testing.T) {
 	_, row := parallelFixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, nil)
-	got, err := ExecRowParallel(row, q, 0, nil)
+	got, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: runtime.NumCPU()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := ExecRowRel(row, q, nil)
+	want, _ := Exec(row, q, ExecOpts{Strategy: StrategyRow})
 	if !got.Equal(want) {
-		t.Fatal("workers=0 (NumCPU) result differs")
+		t.Fatal("workers=NumCPU result differs from serial")
 	}
 }
 
@@ -64,12 +65,12 @@ func TestParallelDisjunction(t *testing.T) {
 		query.Projection("R", []data.AttrID{0, 3}, or),
 		query.AggExpression("R", []data.AttrID{1, 2}, or),
 	} {
-		want, err := ExecGeneric(row, q)
+		want, err := Exec(row, q, ExecOpts{Strategy: StrategyGeneric})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 7, 16} {
-			got, err := ExecRowParallel(row, q, workers, nil)
+			got, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: workers})
 			if err != nil {
 				t.Fatalf("query %d workers=%d: %v", qi, workers, err)
 			}
@@ -88,7 +89,7 @@ func TestParallelUnsupportedShape(t *testing.T) {
 		{Agg: &expr.Agg{Op: expr.AggMax, Arg: &expr.Col{ID: 0}}},
 		{Expr: &expr.Col{ID: 1}},
 	}}
-	if _, err := ExecRowParallel(row, q, 4, nil); err != ErrUnsupported {
+	if _, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: 4}); err != ErrUnsupported {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
@@ -96,7 +97,7 @@ func TestParallelUnsupportedShape(t *testing.T) {
 func TestParallelCoverageError(t *testing.T) {
 	_, col, _, _ := fixture(t)
 	q := query.Projection("R", []data.AttrID{0, 1}, nil)
-	if _, err := ExecRowParallel(col, q, 4, nil); err == nil {
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyRow, Workers: 4}); err == nil {
 		t.Fatal("relation without a covering group per segment accepted")
 	}
 }
@@ -108,7 +109,7 @@ func TestParallelLimitEarlyExit(t *testing.T) {
 	tb, row := parallelFixture(t)
 	q := query.Projection("R", []data.AttrID{0, 1}, nil)
 	q.Limit = 100
-	got, err := ExecRowParallel(row, q, 4, nil)
+	got, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func BenchmarkParallelRowScan(b *testing.B) {
 	q := strategyQuery()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecRowParallel(row, q, 0, nil); err != nil {
+		if _, err := Exec(row, q, ExecOpts{Strategy: StrategyRow, Workers: runtime.NumCPU()}); err != nil {
 			b.Fatal(err)
 		}
 	}

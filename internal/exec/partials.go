@@ -265,8 +265,8 @@ type deltaTask struct {
 //
 // have is the version vector of the caller's cached partials (nil reuses
 // nothing — a full partial scan). workers > 1 fans the rescans out one
-// goroutine task per segment, exactly as ExecRowParallel does — partials
-// are per-segment and order-independent, so the usual case of one changed
+// goroutine task per segment, exactly as the row pipeline's fan-out does —
+// partials are per-segment and order-independent, so the usual case of one changed
 // tail stays serial while a cold seed of a large relation uses every core.
 // The caller must hold the relation stable (the engine's read lock
 // suffices). Non-repairable queries return ErrUnsupported. Stats, when

@@ -68,7 +68,7 @@ func TestPartialsMatchFullScan(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}
-		want, err := ExecGeneric(rel, q)
+		want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +126,7 @@ func TestExecDeltaTailAppend(t *testing.T) {
 		t.Fatalf("SegmentsScanned = %d, want 1", st.SegmentsScanned)
 	}
 
-	want, err := ExecGeneric(rel, q)
+	want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestExecDeltaPrunedTail(t *testing.T) {
 	if len(fresh.Segs) != 0 || len(reused) != 1 {
 		t.Fatalf("fresh=%d reused=%v, want 0 rescans and segment 0 reused", len(fresh.Segs), reused)
 	}
-	want, err := ExecGeneric(rel, q)
+	want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,47 +3,28 @@ package exec
 import (
 	"h2o/internal/data"
 	"h2o/internal/expr"
-	"h2o/internal/query"
 	"h2o/internal/storage"
 )
 
-// ExecReorg answers q while materializing new segment-local column groups
-// over attrs in the same pass — the paper's online data reorganization
-// (§3.2): "blocks from R1 and R2 are read and stitched together ... then,
-// for each new tuple, the predicates in the where clause are evaluated and
-// if the tuple qualifies the arithmetic expression in the select is
+// Online reorganization (Exec with StrategyReorg) answers q while
+// materializing new segment-local column groups over ExecOpts.ReorgAttrs
+// in the same pass — the paper's online data reorganization (§3.2):
+// "blocks from R1 and R2 are read and stitched together ... then, for
+// each new tuple, the predicates in the where clause are evaluated and if
+// the tuple qualifies the arithmetic expression in the select is
 // computed. The early materialization strategy allows H2O to generate the
 // data layout and compute the query result without scanning the relation
 // twice."
 //
-// Reorganization is *incremental*: only segments for which hot[si] is true
-// (nil hot means every segment) are stitched; the remaining segments answer
-// the query from their existing layout — pruned entirely when their zone
-// maps rule the predicates out — and keep that layout, so a single call
-// costs O(hot segments), not O(relation). The returned slice holds one new
-// group per segment (nil entries for segments left untouched); the caller
-// (the Data Layout Manager) registers them with the matching segments.
-//
-// attrs must cover every attribute the query touches.
-//
-// Deprecated: call Exec with StrategyReorg, passing attrs via
-// ExecOpts.ReorgAttrs, hot via ExecOpts.HotMask and receiving the new
-// groups via ExecOpts.NewGroups (stats ride ExecOpts.Stats — the
-// historical bolted-on stats parameter is gone). Kept for one PR so the
-// equivalence harness can prove old-vs-new bit-identical.
-func ExecReorg(rel *storage.Relation, q *query.Query, attrs []data.AttrID, hot []bool) ([]*storage.ColumnGroup, *Result, error) {
-	var groups []*storage.ColumnGroup
-	res, err := Exec(rel, q, ExecOpts{
-		Strategy:   StrategyReorg,
-		ReorgAttrs: attrs,
-		HotMask:    hot,
-		NewGroups:  &groups,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return groups, res, nil
-}
+// Reorganization is *incremental*: only segments for which HotMask[si] is
+// true (nil mask means every segment) are stitched; the remaining
+// segments answer the query from their existing layout — pruned entirely
+// when their zone maps rule the predicates out — and keep that layout, so
+// a single call costs O(hot segments), not O(relation). ExecOpts.NewGroups
+// receives one new group per segment (nil entries for segments left
+// untouched); the caller (the Data Layout Manager) registers them with
+// the matching segments. ReorgAttrs must cover every attribute the query
+// touches.
 
 // reorgScanSegment stitches one segment's new group while answering the
 // query over the freshly built mini-tuples — the fused copy-and-evaluate

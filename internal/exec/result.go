@@ -39,13 +39,6 @@
 // the cost-based chooser's candidate list and the operator generator's
 // template set all derive from it, so they agree by construction.
 //
-// The historical per-strategy entry points (ExecRowRel, ExecColumn,
-// ExecHybrid, ExecVectorized, ExecHybridBitmap, ExecGeneric, ExecEncoded,
-// ExecReorg, ExecRowParallel) are deprecated thin wrappers over Exec,
-// kept for one PR so the equivalence harness can prove old-vs-new
-// bit-identical; new code outside this package must call Exec (CI greps
-// for wrapper calls).
-//
 // # Segments and partial results
 //
 // Within a segment, aggregate items fold into per-segment accumulator

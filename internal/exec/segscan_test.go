@@ -42,12 +42,24 @@ func TestSelectiveScanSkipsColdSegments(t *testing.T) {
 		run  func(rel *storage.Relation, st *StrategyStats) (*Result, error)
 	}
 	strategies := []strat{
-		{"row-fused", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecRowRel(rel, q, st) }},
-		{"row-parallel", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecRowParallel(rel, q, 4, st) }},
-		{"column-late", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecColumn(rel, q, st) }},
-		{"hybrid", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecHybrid(rel, q, st) }},
-		{"vectorized", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecVectorized(rel, q, 0, st) }},
-		{"bitmap", func(rel *storage.Relation, st *StrategyStats) (*Result, error) { return ExecHybridBitmap(rel, q, st) }},
+		{"row-fused", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Stats: st})
+		}},
+		{"row-parallel", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Workers: 4, Stats: st})
+		}},
+		{"column-late", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyColumn, Stats: st})
+		}},
+		{"hybrid", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyHybrid, Stats: st})
+		}},
+		{"vectorized", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyVectorized, Stats: st})
+		}},
+		{"bitmap", func(rel *storage.Relation, st *StrategyStats) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyBitmap, Stats: st})
+		}},
 	}
 	for _, s := range strategies {
 		for _, rel := range []*storage.Relation{col, row} {
@@ -104,22 +116,22 @@ func TestLimitStopsConsumingSegments(t *testing.T) {
 	}
 
 	var st StrategyStats
-	res, err := ExecHybrid(col, q, &st)
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyHybrid, Stats: &st})
 	check("hybrid", res, &st, err)
 	st = StrategyStats{}
-	res, err = ExecColumn(col, q, &st)
+	res, err = Exec(col, q, ExecOpts{Strategy: StrategyColumn, Stats: &st})
 	check("column", res, &st, err)
 	st = StrategyStats{}
-	res, err = ExecVectorized(col, q, 0, &st)
+	res, err = Exec(col, q, ExecOpts{Strategy: StrategyVectorized, Stats: &st})
 	check("vectorized", res, &st, err)
 	st = StrategyStats{}
-	res, err = ExecRowRel(row, q, &st)
+	res, err = Exec(row, q, ExecOpts{Strategy: StrategyRow, Stats: &st})
 	check("row-fused", res, &st, err)
 
 	// The generic interpreted operator exits early too: segments beyond the
 	// needed prefix must never be touched (their read counters stay zero).
 	_, gen := segFixture(t, colBuild)
-	res, err = ExecGeneric(gen, q)
+	res, err = Exec(gen, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +153,7 @@ func TestLimitStopsConsumingSegments(t *testing.T) {
 	agg := query.Aggregation("R", expr.AggSum, []data.AttrID{1}, nil)
 	agg.Limit = 1
 	st = StrategyStats{}
-	aggRes, err := ExecHybrid(col, agg, &st)
+	aggRes, err := Exec(col, agg, ExecOpts{Strategy: StrategyHybrid, Stats: &st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,16 +192,16 @@ func TestMixedLayoutSegmentsAgree(t *testing.T) {
 		query.AggExpression("R", []data.AttrID{2, 4}, nil),
 	} {
 		want := referenceExecute(tb, q)
-		if res, err := ExecHybrid(rel, q, nil); err != nil || !res.Equal(want) {
+		if res, err := Exec(rel, q, ExecOpts{Strategy: StrategyHybrid}); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d hybrid on mixed layout: err=%v", qi, err)
 		}
-		if res, err := ExecColumn(rel, q, nil); err != nil || !res.Equal(want) {
+		if res, err := Exec(rel, q, ExecOpts{Strategy: StrategyColumn}); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d column on mixed layout: err=%v", qi, err)
 		}
-		if res, err := ExecGeneric(rel, q); err != nil || !res.Equal(want) {
+		if res, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric}); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d generic on mixed layout: err=%v", qi, err)
 		}
-		if res, err := ExecVectorized(rel, q, 0, nil); err != nil || !res.Equal(want) {
+		if res, err := Exec(rel, q, ExecOpts{Strategy: StrategyVectorized}); err != nil || !res.Equal(want) {
 			t.Fatalf("query %d vectorized on mixed layout: err=%v", qi, err)
 		}
 	}
@@ -204,7 +216,8 @@ func TestReorgHotSubset(t *testing.T) {
 	hot := make([]bool, len(rel.Segments))
 	hot[0], hot[7], hot[49] = true, true, true
 
-	groups, res, err := ExecReorg(rel, q, attrs, hot)
+	var groups []*storage.ColumnGroup
+	res, err := Exec(rel, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: attrs, HotMask: hot, NewGroups: &groups})
 	if err != nil {
 		t.Fatal(err)
 	}

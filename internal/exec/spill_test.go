@@ -65,17 +65,29 @@ func TestAllStrategiesFaultSpilledSegments(t *testing.T) {
 		run  func(*query.Query) (*Result, error)
 	}
 	strategies := []strat{
-		{"row", func(q *query.Query) (*Result, error) { return ExecRowRel(rel, q, nil) }},
-		{"row-parallel", func(q *query.Query) (*Result, error) { return ExecRowParallel(rel, q, 4, nil) }},
-		{"column", func(q *query.Query) (*Result, error) { return ExecColumn(rel, q, nil) }},
-		{"hybrid", func(q *query.Query) (*Result, error) { return ExecHybrid(rel, q, nil) }},
-		{"generic", func(q *query.Query) (*Result, error) { return ExecGeneric(rel, q) }},
-		{"vectorized", func(q *query.Query) (*Result, error) { return ExecVectorized(rel, q, 0, nil) }},
+		{"row", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow})
+		}},
+		{"row-parallel", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Workers: 4})
+		}},
+		{"column", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyColumn})
+		}},
+		{"hybrid", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyHybrid})
+		}},
+		{"generic", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
+		}},
+		{"vectorized", func(q *query.Query) (*Result, error) {
+			return Exec(rel, q, ExecOpts{Strategy: StrategyVectorized})
+		}},
 	}
 
 	for _, q := range queries {
 		// Reference: fully resident run via the generic interpreter.
-		want, err := ExecGeneric(rel, q)
+		want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 		if err != nil {
 			t.Fatalf("%s: reference: %v", q, err)
 		}
@@ -98,12 +110,12 @@ func TestAllStrategiesFaultSpilledSegments(t *testing.T) {
 
 	// The bitmap ablation path supports aggregations only.
 	aggQ := queries[0]
-	want, err := ExecGeneric(rel, aggQ)
+	want, err := Exec(rel, aggQ, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
 	unloadSealed(rel)
-	got, err := ExecHybridBitmap(rel, aggQ, nil)
+	got, err := Exec(rel, aggQ, ExecOpts{Strategy: StrategyBitmap})
 	if err != nil {
 		t.Fatalf("bitmap on spilled relation: %v", err)
 	}
@@ -122,7 +134,7 @@ func TestReorgPagesInBeforeStitching(t *testing.T) {
 	installSnapshotLoader(rel)
 
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1, 2}, query.PredGt(0, 3_499))
-	want, err := ExecGeneric(rel, q)
+	want, err := Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +145,8 @@ func TestReorgPagesInBeforeStitching(t *testing.T) {
 	// Hot = the last two segments (the predicate's range); cold = rest.
 	hot := make([]bool, len(rel.Segments))
 	hot[len(hot)-1], hot[len(hot)-2] = true, true
-	newGroups, res, err := ExecReorg(rel, q, []data.AttrID{0, 1, 2}, hot)
+	var newGroups []*storage.ColumnGroup
+	res, err := Exec(rel, q, ExecOpts{Strategy: StrategyReorg, ReorgAttrs: []data.AttrID{0, 1, 2}, HotMask: hot, NewGroups: &newGroups})
 	if err != nil {
 		t.Fatal(err)
 	}

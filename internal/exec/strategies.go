@@ -98,7 +98,8 @@ func limitFor(out Outputs, q *query.Query) int {
 // ExecRow executes q with the volcano-style row strategy over a single group
 // g that must store every attribute the query touches: one fused
 // tuple-at-a-time loop with predicate push-down (paper Figure 5). It is the
-// per-group kernel; ExecRowRel drives it across a relation's segments.
+// per-group kernel; the row pipeline (Exec with StrategyRow) drives it
+// across a relation's segments.
 func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
 	if !g.HasAll(q.AllAttrs()) {
 		return nil, fmt.Errorf("exec: group %v does not cover query attributes %v", g.Attrs, q.AllAttrs())
@@ -117,20 +118,6 @@ func ExecRow(g *storage.ColumnGroup, q *query.Query) (*Result, error) {
 	}
 	p := scanRange(g, out, bound, nil, 0, g.Rows)
 	return mergePartials(out, []*partial{p}), nil
-}
-
-// ExecRowRel executes q with the fused row strategy segment by segment.
-//
-// Deprecated: call Exec with StrategyRow. Kept for one PR so the
-// equivalence harness can prove old-vs-new bit-identical.
-func ExecRowRel(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	// The historical entry point refused non-conjunctive predicates; the
-	// row pipeline now serves them through its interpreted accessor, so
-	// the wrapper preserves the old ErrUnsupported contract itself.
-	if _, splittable := SplitConjunction(q.Where); !splittable {
-		return nil, ErrUnsupported
-	}
-	return Exec(rel, q, ExecOpts{Strategy: StrategyRow, Stats: stats})
 }
 
 // mergePartials combines per-segment partials in segment order: aggregate
@@ -166,15 +153,6 @@ func mergePartials(out Outputs, partials []*partial) *Result {
 		}
 		return res
 	}
-}
-
-// ExecColumn executes q with the column-at-a-time, late-materialization
-// strategy (paper §2.1), segment by segment.
-//
-// Deprecated: call Exec with StrategyColumn. Kept for one PR so the
-// equivalence harness can prove old-vs-new bit-identical.
-func ExecColumn(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	return Exec(rel, q, ExecOpts{Strategy: StrategyColumn, Stats: stats})
 }
 
 // columnSegPartial is the column pipeline's per-segment operator: the
@@ -344,17 +322,6 @@ func gatherOutputColumns(seg *storage.Segment, attrs []data.AttrID, sel []int32,
 	return cols, n, nil
 }
 
-// ExecHybrid executes q over whatever column groups currently cover its
-// attributes, segment by segment — segments may hold different layouts
-// (hot segments reorganized, cold ones not) and each is served from its
-// own covering set (Figure 6's q1_sel_vector generalized).
-//
-// Deprecated: call Exec with StrategyHybrid. Kept for one PR so the
-// equivalence harness can prove old-vs-new bit-identical.
-func ExecHybrid(rel *storage.Relation, q *query.Query, stats *StrategyStats) (*Result, error) {
-	return Exec(rel, q, ExecOpts{Strategy: StrategyHybrid, Stats: stats})
-}
-
 // hybridSegPartial is the hybrid pipeline's per-segment operator: the
 // multi-group selection-vector stages over one pinned segment, emitted as
 // that segment's partial. The reorg pipeline reuses it for cold segments
@@ -497,19 +464,6 @@ func hybridScanSegment(seg *storage.Segment, q *query.Query, out Outputs, preds 
 		return nil
 	}
 	return ErrUnsupported
-}
-
-// ExecGeneric is the generic interpreted operator (paper §3.4): a
-// tuple-at-a-time loop that evaluates the predicate tree and the select
-// expressions through per-attribute accessor indirection, segment by
-// segment. It handles every query shape, at the interpretation overhead
-// Figure 14 quantifies.
-//
-// Deprecated: call Exec with StrategyGeneric (stats ride ExecOpts.Stats
-// — the historical bolted-on stats parameter is gone). Kept for one PR
-// so the equivalence harness can prove old-vs-new bit-identical.
-func ExecGeneric(rel *storage.Relation, q *query.Query) (*Result, error) {
-	return Exec(rel, q, ExecOpts{Strategy: StrategyGeneric})
 }
 
 // genericSegmentScan is the per-segment body of the generic interpreter: a

@@ -7,21 +7,6 @@ import (
 	"h2o/internal/storage"
 )
 
-// ExecVectorized executes q with the paper's §3.3 vectorized processing
-// model: each segment is scanned in chunks of vectorSize tuples, and all
-// intermediates — the selection vector and the expression vectors — stay
-// L1-resident instead of being materialized at full column length.
-//
-// vectorSize <= 0 selects the default (VectorSize = 1024 values, L1-sized).
-// The ablation-vector experiment sweeps this parameter.
-//
-// Deprecated: call Exec with StrategyVectorized and ExecOpts.VectorSize.
-// Kept for one PR so the equivalence harness can prove old-vs-new
-// bit-identical.
-func ExecVectorized(rel *storage.Relation, q *query.Query, vectorSize int, stats *StrategyStats) (*Result, error) {
-	return Exec(rel, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: vectorSize, Stats: stats})
-}
-
 // vectorSegPartial is the vectorized pipeline's per-segment operator: the
 // chunked stages over one pinned segment, emitted as that segment's
 // partial. The L1-resident scratch vectors are allocated here — shared by

@@ -16,13 +16,13 @@ func TestVectorizedAgreesWithHybrid(t *testing.T) {
 	tb, col, row, grp := fixture(t)
 	_ = tb
 	for qi, q := range queriesUnderTest() {
-		want, err := ExecHybrid(col, q, nil)
+		want, err := Exec(col, q, ExecOpts{Strategy: StrategyHybrid})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, rel := range []*storage.Relation{col, row, grp} {
 			for _, vs := range []int{0, 64, 1000, 1024, testRows, testRows * 2} {
-				got, err := ExecVectorized(rel, q, vs, nil)
+				got, err := Exec(rel, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: vs})
 				if err != nil {
 					t.Fatalf("query %d vs=%d on %v: %v", qi, vs, rel.Kind(), err)
 				}
@@ -38,7 +38,7 @@ func TestVectorizedUnsupportedShapes(t *testing.T) {
 	_, col, _, _ := fixture(t)
 	or := &expr.Or{L: query.PredLt(0, 0).(*expr.Cmp), R: query.PredGt(1, 0).(*expr.Cmp)}
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2}, or)
-	if _, err := ExecVectorized(col, q, 0, nil); err != ErrUnsupported {
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyVectorized}); err != ErrUnsupported {
 		t.Fatalf("err = %v, want ErrUnsupported", err)
 	}
 }
@@ -47,7 +47,7 @@ func TestVectorizedStatsCountSelVectors(t *testing.T) {
 	_, col, _, _ := fixture(t)
 	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1}, query.PredLt(0, 0))
 	var st StrategyStats
-	if _, err := ExecVectorized(col, q, 256, &st); err != nil {
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: 256, Stats: &st}); err != nil {
 		t.Fatal(err)
 	}
 	if st.IntermediateWords <= 0 {
@@ -55,7 +55,7 @@ func TestVectorizedStatsCountSelVectors(t *testing.T) {
 	}
 	// The chunked intermediates must not exceed the full-length strategy's.
 	var full StrategyStats
-	if _, err := ExecColumn(col, q, &full); err != nil {
+	if _, err := Exec(col, q, ExecOpts{Strategy: StrategyColumn, Stats: &full}); err != nil {
 		t.Fatal(err)
 	}
 	if st.IntermediateWords > full.IntermediateWords+col.Rows {
@@ -69,7 +69,7 @@ func TestVectorizedEmptyChunks(t *testing.T) {
 	tb, col, _, _ := fixture(t)
 	_ = tb
 	q := query.Projection("R", []data.AttrID{1, 2}, query.PredLt(0, data.ValueLo-1))
-	res, err := ExecVectorized(col, q, 128, nil)
+	res, err := Exec(col, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func BenchmarkVectorizedExpression(b *testing.B) {
 	q := query.AggExpression("R", attrs, query.PredLt(0, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecVectorized(col, q, VectorSize, nil); err != nil {
+		if _, err := Exec(col, q, ExecOpts{Strategy: StrategyVectorized, VectorSize: VectorSize}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +98,7 @@ func BenchmarkHybridExpressionForComparison(b *testing.B) {
 	q := query.AggExpression("R", attrs, query.PredLt(0, 0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ExecHybrid(col, q, nil); err != nil {
+		if _, err := Exec(col, q, ExecOpts{Strategy: StrategyHybrid}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -166,6 +166,7 @@ func experiments() []Runner {
 		{"encode", "Compressed encoded segments: on-disk reduction and direct-over-encoded scan kernels vs flat", RunEncode},
 		{"repair", "Partial-result reuse: repeated aggregates under tail appends — flat delta-repair cost vs full recomputation", RunRepair},
 		{"groupby", "GROUP BY under tail appends: grouped delta repair (flat) vs full re-aggregation (grows with relation)", RunGroupBy},
+		{"shard", "Sharded scatter-gather: exec and repair latency vs shard count under the partials merge law", RunShard},
 	}
 }
 

@@ -305,14 +305,14 @@ func (st *SegmentStore) installV2(key string, seg *storage.Segment, words []uint
 					return err
 				}
 				blk := storage.EncBlock{
-					Kind: storage.EncKind(hdr[0]),
-					Rows: int(hdr[1]),
-					Bits: uint8(hdr[2]),
-					Runs: int(hdr[3]),
-					Min:  data.Value(hdr[4]),
-					Max:  data.Value(hdr[5]),
-					Sum:  data.Value(hdr[6]),
-					Base: data.Value(hdr[7]),
+					Kind:  storage.EncKind(hdr[0]),
+					Rows:  int(hdr[1]),
+					Bits:  uint8(hdr[2]),
+					Runs:  int(hdr[3]),
+					Min:   data.Value(hdr[4]),
+					Max:   data.Value(hdr[5]),
+					Sum:   data.Value(hdr[6]),
+					Base:  data.Value(hdr[7]),
 					DBase: data.Value(hdr[8]),
 				}
 				nWords := hdr[9]

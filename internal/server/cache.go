@@ -40,13 +40,13 @@ type entry struct {
 
 // shard is one lock domain of the cache. Lookups take the read lock and
 // bump the entry's access tick atomically — many clients replaying the same
-// hot query proceed in parallel. Only inserts take the write lock; eviction
-// scans for the smallest tick, which is exact LRU at a cost of O(cap) per
-// overflowing insert (caps are small per shard, and eviction only happens
-// on misses, which also paid a full query execution).
+// hot query proceed in parallel. Only inserts take the write lock; an
+// overflowing insert picks its LRU victim from the shard's eviction index
+// in O(log cap) (see evictIndex for how lock-free tick bumps reconcile).
 type shard struct {
 	mu    sync.RWMutex
 	items map[string]*entry
+	ix    evictIndex
 	cap   int
 	tick  atomic.Uint64
 }
@@ -78,30 +78,23 @@ func (s *shard) put(key string, res *exec.Result, info core.ExecInfo) {
 	e := &entry{res: res, info: info}
 	e.last.Store(s.tick.Add(1))
 	s.items[key] = e
+	s.ix.push(key, e.last.Load())
 	for len(s.items) > s.cap {
-		delete(s.items, oldestKey(s.items, func(e *entry) uint64 { return e.last.Load() }, ""))
+		victim := s.ix.pop(s.liveTick, "")
+		if victim == "" {
+			return
+		}
+		delete(s.items, victim)
 	}
 }
 
-// oldestKey returns the key of the entry with the smallest access tick —
-// exact LRU by O(n) scan, shared by every cache in this package (result
-// entries, partials payloads, fingerprint memos). The scan only runs on
-// inserts that overflow a budget, which also paid at least a full
-// fingerprint walk. skip is excluded from consideration (a byte-budgeted
-// put must never evict what it just installed); "" is returned only when
-// no other entry exists.
-func oldestKey[E any](items map[string]*E, last func(*E) uint64, skip string) string {
-	var oldest string
-	min := ^uint64(0)
-	for k, e := range items {
-		if k == skip {
-			continue
-		}
-		if t := last(e); t <= min {
-			min, oldest = t, k
-		}
+// liveTick is the shard's evictIndex liveness probe; the caller holds mu.
+func (s *shard) liveTick(key string) (uint64, bool) {
+	e, ok := s.items[key]
+	if !ok {
+		return 0, false
 	}
-	return oldest
+	return e.last.Load(), true
 }
 
 func (s *shard) len() int {

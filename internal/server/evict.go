@@ -1,0 +1,111 @@
+package server
+
+// heapEntry is one (key, access tick) pair in an evictIndex.
+type heapEntry struct {
+	key  string
+	tick uint64
+}
+
+// evictIndex is the eviction index shared by the three serving caches
+// (result entries, partials payloads, fingerprint memos): a lazy binary
+// min-heap over access ticks that finds an LRU victim in O(log n) instead
+// of the O(n) full-map scan it replaced. It is guarded by the owning
+// cache's write lock and holds exactly one pair per cached key: push runs
+// only when a key is inserted into the backing map, and pop removes the
+// pair it returns — a key leaves the map only through pop, so pairs and
+// map entries stay one-to-one.
+//
+// The heap is deliberately allowed to go stale: hit paths bump an entry's
+// tick atomically without taking the write lock (and in-place updates
+// bump it under the lock without touching the heap), so a pair's stored
+// tick can lag the live one. pop reconciles lazily — a stale root is
+// re-keyed to its live tick and sifted back down. Under concurrent hit
+// traffic this yields approximate LRU with bounded work per eviction;
+// at rest it is exact.
+type evictIndex struct {
+	h []heapEntry
+}
+
+func (ix *evictIndex) push(key string, tick uint64) {
+	ix.h = append(ix.h, heapEntry{key: key, tick: tick})
+	ix.up(len(ix.h) - 1)
+}
+
+func (ix *evictIndex) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if ix.h[p].tick <= ix.h[i].tick {
+			return
+		}
+		ix.h[p], ix.h[i] = ix.h[i], ix.h[p]
+		i = p
+	}
+}
+
+func (ix *evictIndex) down(i int) {
+	n := len(ix.h)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && ix.h[l].tick < ix.h[m].tick {
+			m = l
+		}
+		if r := 2*i + 2; r < n && ix.h[r].tick < ix.h[m].tick {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		ix.h[i], ix.h[m] = ix.h[m], ix.h[i]
+		i = m
+	}
+}
+
+func (ix *evictIndex) popRoot() heapEntry {
+	root := ix.h[0]
+	last := len(ix.h) - 1
+	ix.h[0] = ix.h[last]
+	ix.h[last] = heapEntry{} // release the key string
+	ix.h = ix.h[:last]
+	if last > 0 {
+		ix.down(0)
+	}
+	return root
+}
+
+// pop removes and returns the key with the smallest live access tick, or
+// "" when nothing evictable remains. live reports a key's current tick
+// (ok=false marks a key no longer in the cache; its pair is discarded —
+// defensive, since pairs and map entries normally stay one-to-one). skip
+// is never returned: a byte-budgeted put must not evict the entry it just
+// installed; its pairs are set aside and restored before returning. Stale
+// root ticks are fixed in place; after one full round of fixes the
+// current root is accepted, bounding the work per eviction.
+func (ix *evictIndex) pop(live func(string) (uint64, bool), skip string) string {
+	var held []heapEntry
+	fixes := 0
+	out := ""
+	for len(ix.h) > 0 {
+		root := ix.h[0]
+		t, ok := live(root.key)
+		if !ok {
+			ix.popRoot()
+			continue
+		}
+		if root.key == skip {
+			held = append(held, ix.popRoot())
+			continue
+		}
+		if t != root.tick && fixes < len(ix.h) {
+			ix.h[0].tick = t
+			ix.down(0)
+			fixes++
+			continue
+		}
+		out = ix.popRoot().key
+		break
+	}
+	for _, e := range held {
+		ix.push(e.key, e.tick)
+	}
+	return out
+}

@@ -40,6 +40,7 @@ type pentry struct {
 type partialCache struct {
 	mu    sync.Mutex
 	items map[string]*pentry
+	ix    evictIndex
 	bytes int64
 	cap   int64
 	tick  atomic.Uint64
@@ -74,15 +75,19 @@ func (c *partialCache) put(key string, p *exec.PartialResult) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, ok := c.items[key]; ok {
+	old, replaced := c.items[key]
+	if replaced {
 		c.bytes -= old.bytes
 	}
 	e := &pentry{p: p, bytes: b}
 	e.last.Store(c.tick.Add(1))
 	c.items[key] = e
 	c.bytes += b
+	if !replaced {
+		c.ix.push(key, e.last.Load())
+	}
 	for c.bytes > c.cap {
-		victim := oldestKey(c.items, func(e *pentry) uint64 { return e.last.Load() }, key)
+		victim := c.ix.pop(c.liveTick, key)
 		if victim == "" {
 			return
 		}
@@ -90,6 +95,15 @@ func (c *partialCache) put(key string, p *exec.PartialResult) {
 		delete(c.items, victim)
 		c.evicted.Add(1)
 	}
+}
+
+// liveTick is the cache's evictIndex liveness probe; the caller holds mu.
+func (c *partialCache) liveTick(key string) (uint64, bool) {
+	e, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	return e.last.Load(), true
 }
 
 // size returns the live entry count and byte total.
@@ -125,6 +139,7 @@ type mentry struct {
 type fpMemo struct {
 	mu    sync.RWMutex
 	items map[string]*mentry
+	ix    evictIndex
 	cap   int
 	tick  atomic.Uint64
 }
@@ -152,9 +167,9 @@ func (m *fpMemo) get(key string, version uint64) (core.TouchFingerprint, bool) {
 }
 
 // put memoizes fp for key at version, evicting the least-recently-used
-// entry past the capacity (exact LRU by tick scan, as the result cache
-// does; the scan is O(cap) and only runs on memo misses, which also paid
-// a full fingerprint walk).
+// entry past the capacity from the eviction index (O(log cap), as the
+// result cache does; eviction only runs on memo misses, which also paid a
+// full fingerprint walk).
 func (m *fpMemo) put(key string, version uint64, fp core.TouchFingerprint) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -166,7 +181,21 @@ func (m *fpMemo) put(key string, version uint64, fp core.TouchFingerprint) {
 	e := &mentry{version: version, fp: fp}
 	e.last.Store(m.tick.Add(1))
 	m.items[key] = e
+	m.ix.push(key, e.last.Load())
 	for len(m.items) > m.cap {
-		delete(m.items, oldestKey(m.items, func(e *mentry) uint64 { return e.last.Load() }, ""))
+		victim := m.ix.pop(m.liveTick, "")
+		if victim == "" {
+			return
+		}
+		delete(m.items, victim)
 	}
+}
+
+// liveTick is the memo's evictIndex liveness probe; the caller holds mu.
+func (m *fpMemo) liveTick(key string) (uint64, bool) {
+	e, ok := m.items[key]
+	if !ok {
+		return 0, false
+	}
+	return e.last.Load(), true
 }

@@ -112,7 +112,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats are serving-layer lifetime counters, all monotone.
+// Stats are serving-layer lifetime counters, all monotone. Every query
+// that enters Query lands in exactly one of the four outcome buckets, so
+// at any quiescent point
+//
+//	Submitted == CacheHits + CacheMisses + Canceled + Errors
+//
+// (under concurrent load a snapshot may catch queries mid-flight —
+// submitted but not yet bucketed — so Submitted can transiently exceed the
+// sum, never the reverse).
 type Stats struct {
 	// Submitted counts queries that entered Query.
 	Submitted uint64
@@ -120,11 +128,18 @@ type Stats struct {
 	Executed uint64
 	// CacheHits counts queries answered from the result cache.
 	CacheHits uint64
-	// CacheMisses counts queries that had to execute (cache enabled).
+	// CacheMisses counts queries that completed through the execution path
+	// — full or delta — instead of the result cache (caching disabled
+	// included). Counted at completion, not admission, so a query that is
+	// canceled or fails after missing the cache lands in Canceled or
+	// Errors, never in two buckets.
 	CacheMisses uint64
 	// Canceled counts queries abandoned by their context — while queued,
 	// while waiting for a worker, or before admission.
 	Canceled uint64
+	// Errors counts queries that failed: fingerprint or execution errors,
+	// and submissions refused by a closed server.
+	Errors uint64
 	// Uncacheable counts results not published at all: the backend
 	// reported no valid execution fingerprint to key them under.
 	Uncacheable uint64
@@ -201,6 +216,7 @@ type Server struct {
 	cacheHits    atomic.Uint64
 	cacheMisses  atomic.Uint64
 	canceled     atomic.Uint64
+	errored      atomic.Uint64
 	uncacheable  atomic.Uint64
 	republished  atomic.Uint64
 	repaired     atomic.Uint64
@@ -252,6 +268,7 @@ func (s *Server) Stats() Stats {
 		CacheHits:        s.cacheHits.Load(),
 		CacheMisses:      s.cacheMisses.Load(),
 		Canceled:         s.canceled.Load(),
+		Errors:           s.errored.Load(),
 		Uncacheable:      s.uncacheable.Load(),
 		Republished:      s.republished.Load(),
 		Repaired:         s.repaired.Load(),
@@ -334,6 +351,7 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 	// fence — nothing answers after it.
 	select {
 	case <-s.done:
+		s.errored.Add(1)
 		return nil, core.ExecInfo{}, ErrClosed
 	default:
 	}
@@ -353,6 +371,7 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 		tqKey := partialKey(q.Table, norm)
 		fp, err := s.fingerprint(q, tqKey)
 		if err != nil {
+			s.errored.Add(1)
 			return nil, core.ExecInfo{}, err
 		}
 		key = cacheKey(q.Table, norm, fp)
@@ -368,7 +387,6 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 			info.RepairedSegments = 0
 			return res, info, nil
 		}
-		s.cacheMisses.Add(1)
 		// Admission tier 2 — delta repair. The exact entry is gone (a
 		// candidate segment mutated, or the LRU recycled it), but for
 		// repairable aggregate queries the partials payload cached under
@@ -392,6 +410,7 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 		s.canceled.Add(1)
 		return nil, core.ExecInfo{}, ctx.Err()
 	case <-s.done:
+		s.errored.Add(1)
 		return nil, core.ExecInfo{}, ErrClosed
 	}
 
@@ -399,11 +418,24 @@ func (s *Server) Query(ctx context.Context, q *query.Query) (*exec.Result, core.
 	// after the client gave up does not block.
 	select {
 	case out := <-j.done:
+		// Completion-time bucketing: success means the query went through
+		// the execution path (a cache miss, or caching is off); a worker
+		// observing the client's cancellation counts as canceled exactly
+		// like the select arm below.
+		switch {
+		case out.err == nil:
+			s.cacheMisses.Add(1)
+		case errors.Is(out.err, context.Canceled), errors.Is(out.err, context.DeadlineExceeded):
+			s.canceled.Add(1)
+		default:
+			s.errored.Add(1)
+		}
 		return out.res, out.info, out.err
 	case <-ctx.Done():
 		s.canceled.Add(1)
 		return nil, core.ExecInfo{}, ctx.Err()
 	case <-s.done:
+		s.errored.Add(1)
 		return nil, core.ExecInfo{}, ErrClosed
 	}
 }

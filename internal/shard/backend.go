@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"h2o/internal/core"
+	"h2o/internal/exec"
+	"h2o/internal/query"
+	"h2o/internal/server"
+)
+
+// Backend adapts a Router to the serving layer's full capability set —
+// server.Backend, server.DeltaBackend and server.VersionBackend — for
+// deployments that put a Server directly over one sharded table. (The
+// h2o.DB facade performs the same adaptation per table for a catalog.)
+type Backend struct {
+	R *Router
+}
+
+var (
+	_ server.Backend        = Backend{}
+	_ server.DeltaBackend   = Backend{}
+	_ server.VersionBackend = Backend{}
+)
+
+func (b Backend) Exec(q *query.Query) (*exec.Result, core.ExecInfo, error) {
+	return b.R.Execute(q)
+}
+
+func (b Backend) Fingerprint(q *query.Query) (core.TouchFingerprint, error) {
+	return b.R.Fingerprint(q)
+}
+
+func (b Backend) ExecDelta(q *query.Query, have map[int]uint64) (*core.DeltaScan, bool, error) {
+	return b.R.QueryDelta(q, have)
+}
+
+// Version ignores the table name — a Backend serves exactly one table.
+func (b Backend) Version(string) (uint64, error) {
+	return b.R.Version(), nil
+}
