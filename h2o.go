@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"h2o/internal/core"
 	"h2o/internal/data"
@@ -314,11 +315,122 @@ func (db *DB) SegmentVersions(table string) ([]uint64, error) {
 // and their versions. The serving layer calls it at admission to address
 // its result cache; together with Exec this makes DB a server.Backend.
 func (db *DB) Fingerprint(q *Query) (TouchFingerprint, error) {
+	if len(q.Joins) > 0 {
+		return db.joinFingerprint(q)
+	}
 	h, err := db.handle(q.Table)
 	if err != nil {
 		return TouchFingerprint{}, err
 	}
 	return h.QueryFingerprint(q), nil
+}
+
+// joinFingerprint is the admission fingerprint of a join query: the
+// order-sensitive combination of each input relation's candidate-touch
+// fingerprint against its own side of the predicates (left first). Any
+// mutation of a candidate segment on either side moves the combination, so
+// cached join results invalidate segment-precisely on both inputs; the two
+// sides are snapshotted under separate engine read locks, which can only
+// cost a spurious miss (execution re-publishes under the fingerprint taken
+// inside its own locked section).
+func (db *DB) joinFingerprint(q *Query) (TouchFingerprint, error) {
+	left, right, err := db.joinEngines(q)
+	if err != nil {
+		return TouchFingerprint{}, err
+	}
+	db.mu.RLock()
+	ls := db.schemas[q.Table]
+	db.mu.RUnlock()
+	if ls == nil {
+		return TouchFingerprint{}, fmt.Errorf("h2o: unknown table %q", q.Table)
+	}
+	lp, lsplit, rp, rsplit := exec.JoinSidePreds(q, ls.NumAttrs())
+	return core.CombineFingerprints([]core.TouchFingerprint{
+		left.SideFingerprint(lp, lsplit),
+		right.SideFingerprint(rp, rsplit),
+	}), nil
+}
+
+// joinEngines resolves the two engines behind a single-join query. Sharded
+// tables have no single relation to build or probe, so they decline with a
+// descriptive error (the scatter-gather seam for joins — shard the build
+// side, broadcast the hash table, gather per-shard partials — is documented
+// in internal/shard but not built yet).
+func (db *DB) joinEngines(q *Query) (left, right *core.Engine, err error) {
+	if len(q.Joins) != 1 {
+		return nil, nil, fmt.Errorf("h2o: query joins %d tables; exactly one JOIN is supported", len(q.Tables()))
+	}
+	engines := make([]*core.Engine, 2)
+	for i, name := range q.Tables() {
+		h, err := db.handle(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, ok := h.(*core.Engine)
+		if !ok {
+			return nil, nil, fmt.Errorf("h2o: join over table %q: sharded tables (Options.Shards > 1) do not support joins yet", name)
+		}
+		engines[i] = e
+	}
+	return engines[0], engines[1], nil
+}
+
+// execJoin executes a join query over two engines (or one, self-joined).
+// Fingerprint and execution happen inside the same locked section, so the
+// published fingerprint describes exactly the state the result was computed
+// from. Two engines nest read locks in table-name order — the same order
+// for every join execution, so concurrent joins over the same pair cannot
+// deadlock; a self-join takes a single read lock (View is not reentrant).
+func (db *DB) execJoin(q *Query) (*Result, ExecInfo, error) {
+	left, right, err := db.joinEngines(q)
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	start := time.Now()
+	var res *Result
+	var st exec.StrategyStats
+	var fp TouchFingerprint
+	run := func(lrel, rrel *storage.Relation) error {
+		lp, lsplit, rp, rsplit := exec.JoinSidePreds(q, lrel.Schema.NumAttrs())
+		fp = core.CombineFingerprints([]core.TouchFingerprint{
+			core.TouchFingerprintPreds(lrel, lp, lsplit),
+			core.TouchFingerprintPreds(rrel, rp, rsplit),
+		})
+		var err error
+		res, err = exec.ExecJoin(lrel, rrel, q, exec.ExecOpts{Workers: db.opts.Parallelism, Stats: &st})
+		return err
+	}
+	if left == right {
+		err = left.View(func(rel *storage.Relation) error { return run(rel, rel) })
+	} else {
+		first, second := left, right
+		swapped := q.Joins[0].Table < q.Table
+		if swapped {
+			first, second = right, left
+		}
+		err = first.View(func(a *storage.Relation) error {
+			return second.View(func(b *storage.Relation) error {
+				if swapped {
+					return run(b, a)
+				}
+				return run(a, b)
+			})
+		})
+	}
+	if err != nil {
+		return nil, ExecInfo{}, err
+	}
+	// SegmentsTouched stays nil: the touch list is indexed per relation and
+	// a join spans two, so join executions report counts only (the serving
+	// layer's per-segment cache heat simply sees no join contributions).
+	return res, ExecInfo{
+		Strategy:        exec.StrategyJoin,
+		SegmentsScanned: st.SegmentsScanned,
+		SegmentsPruned:  st.SegmentsPruned,
+		SegmentsFaulted: st.SegmentsFaulted,
+		Fingerprint:     fp,
+		Duration:        time.Since(start),
+	}, nil
 }
 
 // ExecDelta answers a repairable aggregate query by rescanning only the
@@ -542,6 +654,9 @@ func (db *DB) ImportCSV(r io.Reader, tableName string) (*Table, error) {
 // execution: concurrent queries serialize only inside the engine, and only
 // when they mutate.
 func (db *DB) Exec(q *Query) (*Result, ExecInfo, error) {
+	if len(q.Joins) > 0 {
+		return db.execJoin(q)
+	}
 	h, err := db.handle(q.Table)
 	if err != nil {
 		return nil, ExecInfo{}, err

@@ -1,0 +1,281 @@
+package h2o_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"h2o"
+)
+
+// joinTables registers the standard join fixture: R is append-ordered
+// time-series data (a0 == row position, so R-side range predicates
+// zone-map-prune), S is a smaller dimension-style table whose a0 holds the
+// row index 0..rows-1, so "R join S on a0 = S.a0" matches exactly S's rows
+// against R's prefix.
+func joinTables(db *h2o.DB, rRows, sRows int) (rTab, sTab *h2o.Table) {
+	rTab = h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), rRows, 42)
+	sTab = h2o.Generate(h2o.SyntheticSchema("S", 3), sRows, 7)
+	for r := 0; r < sRows; r++ {
+		sTab.Cols[0][r] = int64(r)
+	}
+	db.AddTable(rTab)
+	db.AddTable(sTab)
+	return rTab, sTab
+}
+
+// TestJoinFacadeEndToEnd drives a two-table join through the SQL facade and
+// checks the answer against hand-computed values.
+func TestJoinFacadeEndToEnd(t *testing.T) {
+	db := h2o.NewDB()
+	defer db.Close()
+	_, sTab := joinTables(db, 2_000, 600)
+
+	var wantSum int64
+	for r := 0; r < 600; r++ {
+		wantSum += sTab.Cols[2][r]
+	}
+	res, info, err := db.Query("select count(a0), sum(S.a2) from R join S on a0 = S.a0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Strategy.String(); got != "hash-join" {
+		t.Fatalf("strategy = %q, want hash-join", got)
+	}
+	if res.At(0, 0) != 600 || res.At(0, 1) != wantSum {
+		t.Fatalf("count, sum = %d, %d; want 600, %d", res.At(0, 0), res.At(0, 1), wantSum)
+	}
+
+	// Grouped joined aggregate with a key from each side, predicate on the
+	// left side only.
+	res, _, err = db.Query("select count(a0) from R join S on a0 = S.a0 where a0 < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 0) != 100 {
+		t.Fatalf("filtered join count = %d, want 100", res.At(0, 0))
+	}
+}
+
+// TestJoinInvalidationFacade is the join counterpart of the segment-precise
+// invalidation acceptance test: a cached join result survives appends to
+// segments outside its candidate sets (the probe-pruned R tail), while an
+// append to *either* input's candidate set — including the un-predicated S
+// side — invalidates it. Joins are cached whole and never delta-repaired,
+// so a miss means full recomputation, observable through ServeStats.
+func TestJoinInvalidationFacade(t *testing.T) {
+	const (
+		segCap  = 1024
+		rRows   = 5*segCap + segCap/2
+		sRows   = 600
+		appends = 6
+	)
+	opts := h2o.DefaultOptions()
+	opts.Mode = h2o.ModeFrozen // no adaptation: only appends mutate
+	opts.SegmentCapacity = segCap
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	joinTables(db, rRows, sRows)
+	ctx := context.Background()
+
+	// R-side predicate prunes R's candidates to segment 0; every appended R
+	// row carries a huge a0 and lands in later segments, far outside it. S
+	// has no predicate, so all of S is always a candidate.
+	const joinQ = "select count(a0), sum(S.a2) from R join S on a0 = S.a0 where a0 < 1024"
+	const fullQ = "select count(a0) from R join S on a0 = S.a0"
+
+	first, info, err := db.QueryCtx(ctx, joinQ)
+	if err != nil || info.CacheHit {
+		t.Fatalf("first join query: err=%v hit=%v", err, info.CacheHit)
+	}
+	if first.At(0, 0) != sRows {
+		t.Fatalf("join count = %d, want %d", first.At(0, 0), sRows)
+	}
+	if _, _, err := db.QueryCtx(ctx, fullQ); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < appends; i++ {
+		if _, _, err := db.QueryCtx(ctx, "insert into R values (90000000, 7, 7, 7)"); err != nil {
+			t.Fatal(err)
+		}
+		// The append touched only R's tail — not a candidate of either side
+		// of joinQ — so the cached join result is still provably fresh.
+		got, infoC, err := db.QueryCtx(ctx, joinQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !infoC.CacheHit {
+			t.Fatalf("append %d to R's tail invalidated a join pruned away from the tail", i)
+		}
+		if !got.Equal(first) {
+			t.Fatalf("append %d: cached join result changed", i)
+		}
+		// The unpredicated join reads R's tail, so each R append misses.
+		if _, infoF, err := db.QueryCtx(ctx, fullQ); err != nil {
+			t.Fatal(err)
+		} else if infoF.CacheHit {
+			t.Fatalf("append %d: full join served stale from cache", i)
+		}
+	}
+
+	// An append to S — the other input — must invalidate, even though the
+	// new row matches nothing: S's candidate set moved.
+	if _, _, err := db.QueryCtx(ctx, "insert into S values (90000000, 1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	got, infoS, err := db.QueryCtx(ctx, joinQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoS.CacheHit {
+		t.Fatal("append to S served a stale cached join")
+	}
+	if !got.Equal(first) {
+		t.Fatal("recomputed join result changed after a non-matching S append")
+	}
+	if _, infoS2, err := db.QueryCtx(ctx, joinQ); err != nil || !infoS2.CacheHit {
+		t.Fatalf("repeat after S append: err=%v hit=%v", err, infoS2.CacheHit)
+	}
+
+	// One more R tail append: hits resume.
+	if _, _, err := db.QueryCtx(ctx, "insert into R values (90000001, 7, 7, 7)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, infoR, err := db.QueryCtx(ctx, joinQ); err != nil || !infoR.CacheHit {
+		t.Fatalf("after final R append: err=%v hit=%v", err, infoR.CacheHit)
+	}
+
+	st := db.ServeStats()
+	// joinQ: 1 miss, then appends hits, 1 S miss, 1 hit, 1 final hit.
+	// fullQ: 1 miss + one per R append.
+	wantHits := uint64(appends + 2)
+	wantMisses := uint64(appends + 3)
+	if st.CacheHits != wantHits || st.CacheMisses != wantMisses {
+		t.Fatalf("hits, misses = %d, %d; want %d, %d (stats %+v)",
+			st.CacheHits, st.CacheMisses, wantHits, wantMisses, st)
+	}
+}
+
+// TestJoinShardedTableError: a join referencing a sharded table must fail
+// with a descriptive error — through both the serving path and direct
+// fingerprinting — never panic.
+func TestJoinShardedTableError(t *testing.T) {
+	opts := h2o.DefaultOptions()
+	opts.Shards = 4
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	db.CreateTableFrom(h2o.SyntheticSchema("R", 4), 1_000, 1)
+	db.CreateTableFrom(h2o.SyntheticSchema("S", 3), 500, 2)
+
+	const src = "select sum(a1) from R join S on a0 = S.a0"
+	_, _, err := db.Query(src)
+	if err == nil {
+		t.Fatal("join over sharded tables succeeded; want a descriptive error")
+	}
+	if !strings.Contains(err.Error(), "do not support joins") {
+		t.Fatalf("err = %v, want mention of join-over-sharded-tables", err)
+	}
+
+	q, err := db.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Fingerprint(q); err == nil || !strings.Contains(err.Error(), "do not support joins") {
+		t.Fatalf("Fingerprint err = %v, want mention of join-over-sharded-tables", err)
+	}
+}
+
+// TestJoinConcurrentStress is the -race stress mix: joined reads (plain,
+// filtered, grouped, self-join) race appends to both tables, adaptive
+// reorganizations, and budget-driven evictions on both inputs.
+func TestJoinConcurrentStress(t *testing.T) {
+	opts := h2o.DefaultOptions()
+	opts.SegmentCapacity = 256
+	opts.MemoryBudgetBytes = 64 << 10 // tight budget: evictions churn residency
+	db := h2o.NewDBWith(opts)
+	defer db.Close()
+	rTab := h2o.GenerateTimeSeries(h2o.SyntheticSchema("R", 4), 2_000, 42)
+	sTab := h2o.GenerateTimeSeries(h2o.SyntheticSchema("S", 3), 1_000, 7)
+	db.AddTable(rTab)
+	db.AddTable(sTab)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var src string
+				switch (c + i) % 5 {
+				case 0:
+					src = "select count(a0), sum(S.a1) from R join S on a0 = S.a0"
+				case 1:
+					src = fmt.Sprintf("select sum(a1) from R join S on a0 = S.a0 where a0 < %d", 200+i*50)
+				case 2:
+					src = "select a3, count(S.a2) from R join S on a0 = S.a0 group by a3"
+				case 3:
+					src = "select count(a0) from R join R on a0 = R.a0"
+				default:
+					// Single-relation traffic keeps the adaptive advisor
+					// reorganizing segments underneath the joins.
+					src = fmt.Sprintf("select max(a%d) from R where a0 > %d", (c+i)%4, i*30)
+				}
+				if _, _, err := db.QueryCtx(ctx, src); err != nil {
+					errCh <- fmt.Errorf("client %d query %d (%s): %w", c, i, src, err)
+					return
+				}
+			}
+		}(c)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				table, vals := "R", "(90000000, 2, 3, 4)"
+				if w == 1 {
+					table, vals = "S", "(90000000, 2, 3)"
+				}
+				if _, _, err := db.QueryCtx(ctx, fmt.Sprintf("insert into %s values %s", table, vals)); err != nil {
+					errCh <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // evictor: force both engines over budget repeatedly
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			for _, table := range []string{"R", "S"} {
+				eng, err := db.Engine(table)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				eng.EnforceBudget()
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Final consistency: every S row with a0 == row index still matches R
+	// (writer keys 90000000 match on both sides too, pairing every appended
+	// R row with every appended S row).
+	res, _, err := db.Query("select count(a0) from R join S on a0 = S.a0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.At(0, 0) <= 0 {
+		t.Fatalf("final join count = %d, want positive", res.At(0, 0))
+	}
+}

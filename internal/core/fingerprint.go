@@ -107,6 +107,16 @@ func TouchFingerprintOf(rel *storage.Relation, q *query.Query) TouchFingerprint 
 	// zone-map lookups — the whole fingerprint is O(segments × terms) with
 	// one allocation, cheap enough for every admission.
 	preds, splittable := exec.SplitConjunction(q.Where)
+	return TouchFingerprintPreds(rel, preds, splittable)
+}
+
+// TouchFingerprintPreds is TouchFingerprintOf with the prune predicates
+// pre-split and rebased to rel's local attribute ids. Join admission uses
+// it to fingerprint each input relation against its own side of the
+// query's predicates (exec.JoinSidePreds); the combined join fingerprint
+// is CombineFingerprints over the left then right side fingerprints. The
+// caller must hold the relation stable, as for TouchFingerprintOf.
+func TouchFingerprintPreds(rel *storage.Relation, preds []exec.ColPred, splittable bool) TouchFingerprint {
 	h := fnvMix(fnvOffset64, rel.ID())
 	var fp TouchFingerprint
 	for si, seg := range rel.Segments {
@@ -135,6 +145,20 @@ func (e *Engine) QueryFingerprint(q *query.Query) TouchFingerprint {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return TouchFingerprintOf(e.rel, q)
+}
+
+// SideFingerprint computes one join side's candidate-touch fingerprint
+// under the engine's shared read lock: preds are that side's prune
+// predicates in this relation's local attribute ids (exec.JoinSidePreds).
+// The two-engine join path in the facade instead computes both sides
+// inside one locked section so fingerprint and execution see the same
+// snapshot; this method serves admission-time fingerprinting, where each
+// side is snapshotted independently and any interleaved mutation simply
+// moves the combined digest.
+func (e *Engine) SideFingerprint(preds []exec.ColPred, splittable bool) TouchFingerprint {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return TouchFingerprintPreds(e.rel, preds, splittable)
 }
 
 // SegmentVersions snapshots the relation's per-segment version vector under

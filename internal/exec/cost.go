@@ -41,6 +41,12 @@ const (
 	// instead of selection vectors. An ablation strategy, never
 	// cost-chosen.
 	StrategyBitmap
+	// StrategyJoin is the streaming hash-join operator (ExecJoin): the
+	// greedily chosen build side folds into a hash table segment-at-a-time,
+	// the probe side streams through the standard pipeline. It spans two
+	// relations, so it lives outside the single-relation registry and the
+	// cost-based chooser; the facade reports it on join executions.
+	StrategyJoin
 )
 
 // String names the strategy.
@@ -64,6 +70,8 @@ func (s Strategy) String() string {
 		return "vectorized"
 	case StrategyBitmap:
 		return "bitmap"
+	case StrategyJoin:
+		return "hash-join"
 	default:
 		return "unknown"
 	}

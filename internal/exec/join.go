@@ -1,0 +1,510 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// This file is the streaming hash-join operator: the first multi-relation
+// code path in the engine, attached at the pipeline seam exec.go documents
+// ("a join is another partial-producing operator").
+//
+// ExecJoin serves SELECT ... FROM L JOIN R ON L.x = R.y with the query's
+// attributes in the combined namespace (left [0, nL), right [nL, nL+nR)).
+// The WHERE conjunction splits by side: left-only terms filter (and
+// zone-map prune) the left relation, right-only terms the right, and mixed
+// terms become a residual predicate evaluated per joined row. One side —
+// the build side — is scanned segment-at-a-time into a hash table keyed by
+// its join key; the other — the probe side — streams through the standard
+// per-segment pipeline (pruning, pinning, fan-out, limit early-exit), and
+// each match folds straight into the query's projection/aggregate/group
+// outputs, so joined aggregates never materialize the full join.
+//
+// The build side is chosen greedily from the zone maps: each side's
+// candidate row count is the sum of its segments' rows after
+// predicate-clipped pruning, and the smaller side builds. Aggregate merges
+// are commutative and associative, so for aggregate and grouped shapes
+// either side may build; projection and expression shapes must emit rows
+// in left-major order (probe = left), so they always build the right side.
+// When pruning empties the build side — or the build filter leaves an
+// empty hash table — the probe side is never scanned at all.
+
+// joinSplit is the per-side decomposition of a join query's WHERE clause.
+// Right-side zone-map predicates are rebased to the right relation's local
+// attribute ids; the predicate trees keep combined ids and are evaluated
+// through rebasing accessors.
+type joinSplit struct {
+	leftPred  expr.Pred // conjunction terms over left attributes only
+	rightPred expr.Pred // terms over right attributes only (combined ids)
+	residual  expr.Pred // mixed terms, evaluated per joined row
+
+	leftCols   []ColPred // prunable left terms (left-local ids)
+	leftSplit  bool
+	rightCols  []ColPred // prunable right terms (right-local ids)
+	rightSplit bool
+}
+
+// conj rebuilds a conjunction from its terms: nil for none, the term
+// itself for one, an n-ary And otherwise.
+func conj(terms []expr.Pred) expr.Pred {
+	switch len(terms) {
+	case 0:
+		return nil
+	case 1:
+		return terms[0]
+	}
+	return &expr.And{Terms: terms}
+}
+
+// splitJoinWhere splits where into per-side and residual conjuncts. A
+// term referencing no attributes at all (a constant comparison) lands on
+// the left side; a non-conjunctive top level (a single Or, say) is one
+// term and splits by whichever side its attributes touch.
+func splitJoinWhere(where expr.Pred, nL int) joinSplit {
+	var js joinSplit
+	if where == nil {
+		js.leftSplit, js.rightSplit = true, true
+		return js
+	}
+	terms := []expr.Pred{where}
+	if and, ok := where.(*expr.And); ok {
+		terms = and.Terms
+	}
+	var lTerms, rTerms, xTerms []expr.Pred
+	for _, t := range terms {
+		attrs := t.Attrs(nil)
+		allL, allR := true, true
+		for _, a := range attrs {
+			if a < nL {
+				allR = false
+			} else {
+				allL = false
+			}
+		}
+		switch {
+		case allL:
+			lTerms = append(lTerms, t)
+		case allR:
+			rTerms = append(rTerms, t)
+		default:
+			xTerms = append(xTerms, t)
+		}
+	}
+	js.leftPred = conj(lTerms)
+	js.rightPred = conj(rTerms)
+	js.residual = conj(xTerms)
+	js.leftCols, js.leftSplit = splitSide(js.leftPred, 0)
+	js.rightCols, js.rightSplit = splitSide(js.rightPred, nL)
+	return js
+}
+
+// splitSide splits one side's conjunction into zone-map predicates rebased
+// by -base to that relation's local attribute ids.
+func splitSide(p expr.Pred, base int) ([]ColPred, bool) {
+	cols, ok := SplitConjunction(p)
+	if !ok {
+		return nil, false
+	}
+	for i := range cols {
+		cols[i].Attr -= base
+	}
+	return cols, true
+}
+
+// JoinSidePreds exposes the per-side zone-map predicates of a join query
+// for fingerprinting: the serving layer computes one touch fingerprint per
+// input relation (left first), each from its own side's predicate-clipped
+// candidate segment set, and combines them order-sensitively. nL is the
+// left relation's schema width. splittable=false means that side's
+// candidate set must conservatively include every non-empty segment.
+func JoinSidePreds(q *query.Query, nL int) (left []ColPred, leftSplit bool, right []ColPred, rightSplit bool) {
+	js := splitJoinWhere(q.Where, nL)
+	return js.leftCols, js.leftSplit, js.rightCols, js.rightSplit
+}
+
+// segBinding is one attribute's resolved location inside a pinned segment.
+type segBinding struct {
+	d      []data.Value
+	stride int
+	off    int
+}
+
+// segBindings resolves attrs (local ids) to per-attribute accessor
+// bindings over the segment's covering groups.
+func segBindings(seg *storage.Segment, attrs []data.AttrID) (map[data.AttrID]segBinding, error) {
+	_, assign, err := seg.CoveringGroups(attrs)
+	if err != nil {
+		return nil, err
+	}
+	binds := make(map[data.AttrID]segBinding, len(assign))
+	for a, g := range assign {
+		off, _ := g.Offset(a)
+		binds[a] = segBinding{d: g.Data, stride: g.Stride, off: off}
+	}
+	return binds, nil
+}
+
+// joinHashTable is the build side materialized for probing: tuples passing
+// the build-side filter, flattened into an arena holding only the
+// attributes the query reads after the join, indexed by join key in
+// insertion (segment, row) order — which keeps projection output in
+// canonical nested-loop order when the right side builds.
+type joinHashTable struct {
+	attrs  []data.AttrID       // stored attributes (combined ids), slot order
+	slot   map[data.AttrID]int // combined id -> arena slot
+	width  int
+	arena  []data.Value
+	m      map[data.Value][]int32
+	tuples int
+}
+
+// buildJoinHashTable scans rel's segments in order (skipping empty and
+// zone-map-pruned ones) and folds rows passing sidePred into the table.
+// base rebases combined attribute ids to rel's local ids; keyLocal is the
+// join key's local id. Build-side segments count into stats' scan/prune/
+// fault counters but not its Touched list — the touch set is per-relation
+// and a join spans two (see ExecJoin).
+func buildJoinHashTable(rel *storage.Relation, base int, keyLocal data.AttrID, sidePred expr.Pred, prune []ColPred, prunable bool, need []data.AttrID, stats *StrategyStats) (*joinHashTable, error) {
+	ht := &joinHashTable{
+		attrs: need,
+		slot:  make(map[data.AttrID]int, len(need)),
+		width: len(need),
+		m:     make(map[data.Value][]int32),
+	}
+	for i, a := range need {
+		ht.slot[a] = i
+	}
+	scanAttrs := []data.AttrID{keyLocal}
+	for _, a := range need {
+		scanAttrs = append(scanAttrs, a-base)
+	}
+	if sidePred != nil {
+		for _, a := range sidePred.Attrs(nil) {
+			scanAttrs = append(scanAttrs, a-base)
+		}
+	}
+	scanAttrs = data.SortedUnique(scanAttrs)
+
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if prunable && len(prune) > 0 && segPruned(seg, prune) {
+			if stats != nil {
+				stats.SegmentsPruned++
+			}
+			continue
+		}
+		faulted, err := seg.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		if stats != nil {
+			if faulted {
+				stats.SegmentsFaulted++
+			}
+			stats.SegmentsScanned++
+		}
+		seg.Touch()
+		err = func() error {
+			defer seg.Release()
+			binds, err := segBindings(seg, scanAttrs)
+			if err != nil {
+				return err
+			}
+			row := 0
+			localGet := func(a data.AttrID) data.Value {
+				b := binds[a]
+				return b.d[row*b.stride+b.off]
+			}
+			combGet := func(a data.AttrID) data.Value { return localGet(a - base) }
+			for row = 0; row < seg.Rows; row++ {
+				if sidePred != nil && !sidePred.EvalBool(combGet) {
+					continue
+				}
+				if ht.tuples == math.MaxInt32 {
+					return fmt.Errorf("exec: join build side exceeds %d rows", math.MaxInt32)
+				}
+				k := localGet(keyLocal)
+				ht.m[k] = append(ht.m[k], int32(ht.tuples))
+				for _, a := range ht.attrs {
+					ht.arena = append(ht.arena, localGet(a-base))
+				}
+				ht.tuples++
+			}
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ht, nil
+}
+
+// candidateJoinRows is the greedy ordering signal: the side's row count
+// after zone-map pruning with its predicate-clipped bounds, plus the count
+// of non-empty segments the pruning excluded.
+func candidateJoinRows(rel *storage.Relation, prune []ColPred, prunable bool) (rows, pruned int) {
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		if prunable && len(prune) > 0 && segPruned(seg, prune) {
+			pruned++
+			continue
+		}
+		rows += seg.Rows
+	}
+	return rows, pruned
+}
+
+// sideAttrs filters combined attribute ids to one side's range and rebases
+// them by -base to that relation's local ids.
+func sideAttrs(attrs []data.AttrID, lo, hi, base int) []data.AttrID {
+	var out []data.AttrID
+	for _, a := range attrs {
+		if a >= lo && a < hi {
+			out = append(out, a-base)
+		}
+	}
+	return data.SortedUnique(out)
+}
+
+// joinedNeed is the set of combined attributes read after the join: select
+// outputs, group keys, and residual predicate inputs. Per-side filter and
+// key attributes are excluded — they are consumed during build/probe.
+func joinedNeed(q *query.Query, out Outputs, residual expr.Pred) []data.AttrID {
+	need := q.SelectAttrs()
+	if len(out.GroupBy) > 0 {
+		need = data.Union(need, data.SortedUnique(append([]data.AttrID(nil), out.GroupBy...)))
+	}
+	if residual != nil {
+		need = data.Union(need, data.SortedUnique(residual.Attrs(nil)))
+	}
+	return need
+}
+
+// ExecJoin executes a single equi-join query over the left and right
+// relations. The query's attributes live in the combined namespace; the
+// output shape is whatever Classify reports for the combined query, merged
+// with the same machinery as single-relation pipelines. LIMIT is applied
+// here (the single-relation engines apply it post-Exec; join results don't
+// pass through them).
+func ExecJoin(left, right *storage.Relation, q *query.Query, opts ExecOpts) (*Result, error) {
+	if len(q.Joins) != 1 {
+		return nil, fmt.Errorf("exec: ExecJoin serves exactly one join clause, query has %d", len(q.Joins))
+	}
+	nL := left.Schema.NumAttrs()
+	nR := right.Schema.NumAttrs()
+	j := q.Joins[0]
+	if j.LeftKey.ID < 0 || j.LeftKey.ID >= nL || j.RightKey.ID < nL || j.RightKey.ID >= nL+nR {
+		return nil, fmt.Errorf("exec: join keys %d = %d outside combined namespace [0,%d) = [%d,%d)",
+			j.LeftKey.ID, j.RightKey.ID, nL, nL, nL+nR)
+	}
+	out := Classify(q)
+	if out.Kind == OutOther {
+		return nil, ErrUnsupported
+	}
+	js := splitJoinWhere(q.Where, nL)
+
+	// Greedy build-side choice. Projection shapes must stream the left
+	// side through the probe pipeline so output stays in left-major
+	// (nested-loop) order; aggregate and grouped merges are commutative,
+	// so the genuinely smaller side builds.
+	orderSensitive := out.Kind == OutProjection || out.Kind == OutExpression
+	leftRows, leftPruned := candidateJoinRows(left, js.leftCols, js.leftSplit)
+	rightRows, rightPruned := candidateJoinRows(right, js.rightCols, js.rightSplit)
+	buildRight := orderSensitive || rightRows <= leftRows
+
+	var buildRel, probeRel *storage.Relation
+	var buildBase, probeBase int
+	var buildKey, probeKey data.AttrID // local ids
+	var buildPred, probePred expr.Pred // combined ids
+	var buildPrune, probePrune []ColPred
+	var buildSplit, probeSplit bool
+	var buildCand, buildPruned int
+	if buildRight {
+		buildRel, probeRel = right, left
+		buildBase, probeBase = nL, 0
+		buildKey, probeKey = j.RightKey.ID-nL, j.LeftKey.ID
+		buildPred, probePred = js.rightPred, js.leftPred
+		buildPrune, buildSplit = js.rightCols, js.rightSplit
+		probePrune, probeSplit = js.leftCols, js.leftSplit
+		buildCand, buildPruned = rightRows, rightPruned
+	} else {
+		buildRel, probeRel = left, right
+		buildBase, probeBase = 0, nL
+		buildKey, probeKey = j.LeftKey.ID, j.RightKey.ID-nL
+		buildPred, probePred = js.leftPred, js.rightPred
+		buildPrune, buildSplit = js.leftCols, js.leftSplit
+		probePrune, probeSplit = js.rightCols, js.rightSplit
+		buildCand, buildPruned = leftRows, leftPruned
+	}
+
+	stats := &StrategyStats{}
+	defer func() {
+		if opts.Stats != nil {
+			s := opts.Stats
+			s.SegmentsScanned += stats.SegmentsScanned
+			s.SegmentsPruned += stats.SegmentsPruned
+			s.SegmentsFaulted += stats.SegmentsFaulted
+			s.IntermediateWords += stats.IntermediateWords
+			s.DecodeSkips += stats.DecodeSkips
+			s.EncodedBytes += stats.EncodedBytes
+			// Touched stays empty: the list is indexed per relation and a
+			// join spans two, so join executions report counts only.
+		}
+	}()
+
+	// Early termination: zone maps emptied the build side, so no row can
+	// join — the probe side is never touched (its cold segments stay cold).
+	// The build side's pruned segments are recorded here; when the build
+	// actually runs, buildJoinHashTable counts them itself.
+	if buildCand == 0 {
+		stats.SegmentsPruned += buildPruned
+		return trimJoinLimit(mergePartials(out, nil), q), nil
+	}
+
+	need := joinedNeed(q, out, js.residual)
+	lo, hi := buildBase, buildBase+buildRel.Schema.NumAttrs()
+	buildNeed := make([]data.AttrID, 0, len(need))
+	for _, a := range need {
+		if a >= lo && a < hi {
+			buildNeed = append(buildNeed, a)
+		}
+	}
+	ht, err := buildJoinHashTable(buildRel, buildBase, buildKey, buildPred, buildPrune, buildSplit, buildNeed, stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.IntermediateWords += len(ht.arena)
+	if ht.tuples == 0 {
+		return trimJoinLimit(mergePartials(out, nil), q), nil
+	}
+
+	// Probe-side attributes the per-segment scan resolves: everything the
+	// combined query reads from the probe relation, plus its join key and
+	// filter inputs, in local ids.
+	probeAttrs := sideAttrs(q.AllAttrs(), probeBase, probeBase+probeRel.Schema.NumAttrs(), probeBase)
+
+	limit := limitFor(out, q)
+	p := &pipeline{
+		out:   out,
+		limit: limit,
+		scan: func(c *segCtx) (*partial, error) {
+			return probeJoinSegment(c, q, out, js.residual, ht, probeAttrs, probeBase, probeKey, probePred, limit)
+		},
+	}
+	if probeSplit {
+		p.preds = probePrune
+	}
+	popts := opts
+	popts.Stats = stats
+	res, err := p.run(probeRel, popts)
+	if err != nil {
+		return nil, err
+	}
+	return trimJoinLimit(res, q), nil
+}
+
+// probeJoinSegment is the probe side's per-segment operator: filter the
+// probe rows, look each key up in the hash table, evaluate the residual
+// predicate over the joined accessor, and fold every surviving match into
+// the segment's partial. Matches emit in (probe row, build insertion)
+// order, so merged partials reproduce the canonical nested-loop order.
+func probeJoinSegment(c *segCtx, q *query.Query, out Outputs, residual expr.Pred, ht *joinHashTable, probeAttrs []data.AttrID, probeBase int, probeKey data.AttrID, probePred expr.Pred, limit int) (*partial, error) {
+	binds, err := segBindings(c.seg, probeAttrs)
+	if err != nil {
+		return nil, err
+	}
+	row := 0
+	localGet := func(a data.AttrID) data.Value {
+		b := binds[a]
+		return b.d[row*b.stride+b.off]
+	}
+	probeGet := func(a data.AttrID) data.Value { return localGet(a - probeBase) }
+	tupBase := 0
+	get := func(a data.AttrID) data.Value {
+		if slot, ok := ht.slot[a]; ok {
+			return ht.arena[tupBase+slot]
+		}
+		return localGet(a - probeBase)
+	}
+
+	p := &partial{states: newStates(out)}
+	if out.Kind == OutGrouped {
+		p.groups = newGroupedAcc(out)
+	}
+	kvals := make([]data.Value, len(out.GroupBy))
+	for row = c.lo; row < c.hi; row++ {
+		if probePred != nil && !probePred.EvalBool(probeGet) {
+			continue
+		}
+		matches := ht.m[localGet(probeKey)]
+		for _, ti := range matches {
+			tupBase = int(ti) * ht.width
+			if residual != nil && !residual.EvalBool(get) {
+				continue
+			}
+			foldJoined(out, p, get, kvals)
+		}
+		if limit > 0 && p.rows >= limit {
+			break
+		}
+	}
+	return p, nil
+}
+
+// foldJoined folds one joined row into the partial, by output shape —
+// the same shapes mergePartials combines.
+func foldJoined(out Outputs, p *partial, get expr.Accessor, kvals []data.Value) {
+	switch out.Kind {
+	case OutProjection:
+		for _, a := range out.ProjAttrs {
+			p.data = append(p.data, get(a))
+		}
+		p.rows++
+	case OutExpression:
+		var acc data.Value
+		for _, a := range out.ExprAttrs {
+			acc += get(a)
+		}
+		p.data = append(p.data, acc)
+		p.rows++
+	case OutAggregates:
+		for i, a := range out.AggAttrs {
+			p.states[i].Add(get(a))
+		}
+	case OutAggExpression:
+		var acc data.Value
+		for _, a := range out.ExprAttrs {
+			acc += get(a)
+		}
+		p.states[0].Add(acc)
+	case OutGrouped:
+		for i, a := range out.GroupBy {
+			kvals[i] = get(a)
+		}
+		sts := p.groups.statesFor(kvals)
+		for i, arg := range out.GroupArgs {
+			sts[i].Add(arg.Eval(get))
+		}
+	}
+}
+
+// trimJoinLimit applies q.Limit to a merged join result. Single-relation
+// paths trim in the engine after Exec; join results are returned straight
+// from here, so the trim happens here instead.
+func trimJoinLimit(res *Result, q *query.Query) *Result {
+	if q.Limit <= 0 || res == nil || res.Rows <= q.Limit {
+		return res
+	}
+	res.Rows = q.Limit
+	res.Data = res.Data[:q.Limit*len(res.Cols)]
+	return res
+}

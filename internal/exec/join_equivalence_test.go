@@ -1,0 +1,470 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+	"h2o/internal/query"
+	"h2o/internal/storage"
+)
+
+// Join equivalence harness: the hash-join operator's answer on every
+// generated (query, relation pair, residency) combination must be
+// bit-identical to a nested-loop reference that never hashes, never prunes,
+// never splits predicates and never chooses a build side — it materializes
+// both inputs, walks the full cross product in left-major order, and folds
+// surviving pairs with the same output machinery mergePartials combines.
+// Any divergence in the join-specific code paths (side splitting, greedy
+// ordering, rebased accessors, residual evaluation, early termination,
+// limit trimming) fails here before it can poison a cached join result.
+
+const (
+	jeqLeftWidth  = 4 // asymmetric widths catch combined-id rebasing bugs
+	jeqRightWidth = 3
+)
+
+// jeqRelation builds one randomized join input over a width-attribute
+// schema and returns it with its designated join-key attribute. The key
+// column's cardinality is drawn from three regimes — unique (every value
+// distinct), dense duplicates (round-robin over a small domain), and
+// skewed (half the rows pile onto one hot key) — all null-free, as every
+// value in this engine is. Layout and size randomization mirrors
+// eqRelation: mixed per-segment groups, boundary sizes, empty relations.
+func jeqRelation(t testing.TB, rng *rand.Rand, name string, width int) (*storage.Relation, data.AttrID) {
+	t.Helper()
+	schema := data.SyntheticSchema(name, width)
+	rowChoices := []int{0, 1, eqSegCap - 1, eqSegCap, 3 * eqSegCap, 4*eqSegCap + 77}
+	rows := rowChoices[rng.Intn(len(rowChoices))]
+
+	var tb *data.Table
+	if rng.Intn(2) == 0 {
+		tb = data.GenerateTimeSeries(schema, rows, rng.Int63()) // attr 0 zone-map-prunable
+	} else {
+		tb = data.Generate(schema, rows, rng.Int63())
+	}
+
+	// Rewrite the key column (never attr 0, which stays append-ordered for
+	// pruning scenarios) into a controlled small non-negative domain so the
+	// two sides of a pair genuinely overlap.
+	key := data.AttrID(1 + rng.Intn(width-1))
+	switch rng.Intn(3) {
+	case 0: // unique: at most one match per probe row
+		for r := 0; r < rows; r++ {
+			tb.Cols[key][r] = data.Value(r)
+		}
+	case 1: // dense duplicates
+		d := int64(1 + rng.Intn(64))
+		for r := 0; r < rows; r++ {
+			tb.Cols[key][r] = data.Value(int64(r) % d)
+		}
+	case 2: // skewed: one hot key carries half the rows
+		d := int64(1 + rng.Intn(64))
+		for r := 0; r < rows; r++ {
+			if rng.Intn(2) == 0 {
+				tb.Cols[key][r] = 0
+			} else {
+				tb.Cols[key][r] = data.Value(rng.Int63n(d))
+			}
+		}
+	}
+
+	var rel *storage.Relation
+	if rng.Intn(2) == 0 {
+		rel = storage.BuildColumnMajorSeg(tb, eqSegCap)
+	} else {
+		rel = storage.BuildRowMajorSeg(tb, false, eqSegCap)
+	}
+
+	// Mixed layouts, as in eqRelation: segments legitimately disagree.
+	all := make([]data.AttrID, width)
+	for a := range all {
+		all[a] = data.AttrID(a)
+	}
+	for _, seg := range rel.Segments {
+		if seg.Rows == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // keep the base layout
+		case 1: // add a full-width row group
+			if _, ok := seg.ExactGroup(all); ok {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.AddGroup(g); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // add a random narrow group
+			attrs := query.RandomAttrs(width, 2+rng.Intn(2), rng.Intn)
+			if _, ok := seg.ExactGroup(attrs); ok {
+				continue
+			}
+			g, err := storage.StitchSeg(seg, attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seg.AddGroup(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return rel, key
+}
+
+// jeqQuery generates one randomized join query over the combined namespace
+// [0, nL+nR): projection / aggregates / arithmetic expression / aggregated
+// expression / grouped aggregation with keys from either side, a random
+// predicate shape (none, single, conjunction, disjunction — terms land on
+// either side or mix both, exercising side splitting and the residual),
+// and a random limit on materializing shapes. The join usually runs on the
+// cardinality-controlled key columns; occasionally on arbitrary attributes,
+// whose full-domain values make near-empty results.
+func jeqQuery(rng *rand.Rand, rightTable string, nL, nR int, leftKey, rightKey data.AttrID, leftRows int) *query.Query {
+	n := nL + nR
+	lk, rk := leftKey, rightKey
+	if rng.Intn(5) == 0 {
+		lk = data.AttrID(rng.Intn(nL))
+		rk = data.AttrID(rng.Intn(nR))
+	}
+	join := query.JoinOn(rightTable, lk, int(rk), nL)
+
+	attrs := query.RandomAttrs(n, 1+rng.Intn(3), rng.Intn)
+
+	var where expr.Pred
+	cmp := func() expr.Pred {
+		a := data.AttrID(rng.Intn(n))
+		ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge}
+		return &expr.Cmp{Op: ops[rng.Intn(len(ops))], L: &expr.Col{ID: a},
+			R: &expr.Const{V: eqPredConst(rng, a, leftRows)}}
+	}
+	switch rng.Intn(4) {
+	case 0: // no predicate
+	case 1:
+		where = cmp()
+	case 2:
+		where = &expr.And{Terms: []expr.Pred{cmp(), cmp()}}
+	case 3:
+		// Disjunction: unsplittable, so the side it touches loses zone-map
+		// pruning (or it lands in the residual when it spans both sides) —
+		// the answer must not change either way.
+		where = &expr.Or{L: cmp(), R: cmp()}
+	}
+
+	var q *query.Query
+	switch rng.Intn(5) {
+	case 0:
+		q = query.Projection("R", attrs, where)
+	case 1:
+		ops := []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg}
+		q = query.Aggregation("R", ops[rng.Intn(len(ops))], attrs, where)
+	case 2:
+		q = query.ArithExpression("R", attrs, where)
+	case 3:
+		q = query.AggExpression("R", attrs, where)
+	case 4:
+		// Grouped joined aggregates: keys drawn from the combined space, so
+		// groups routinely span both sides of the join.
+		keys := query.RandomAttrs(n, 1+rng.Intn(2), rng.Intn)
+		gb := make([]expr.Col, len(keys))
+		items := make([]query.SelectItem, 0, len(keys)+len(attrs))
+		for i, k := range keys {
+			gb[i] = expr.Col{ID: k}
+			if len(keys) == 1 || rng.Intn(4) != 0 {
+				items = append(items, query.SelectItem{Expr: &expr.Col{ID: k}})
+			}
+		}
+		ops := []expr.AggOp{expr.AggSum, expr.AggMax, expr.AggMin, expr.AggCount, expr.AggAvg}
+		for _, a := range attrs {
+			var arg expr.Expr = &expr.Col{ID: a}
+			if rng.Intn(4) == 0 {
+				arg = expr.SumCols(query.RandomAttrs(n, 2, rng.Intn))
+			}
+			items = append(items, query.SelectItem{Agg: &expr.Agg{Op: ops[rng.Intn(len(ops))], Arg: arg}})
+		}
+		q = &query.Query{Table: "R", Items: items, Where: where, GroupBy: gb}
+	}
+	q.Joins = []query.Join{join}
+	if !q.HasAggregates() && len(q.GroupBy) == 0 && rng.Intn(3) == 0 {
+		q.Limit = 1 + rng.Intn(2*eqSegCap)
+	}
+	if len(q.GroupBy) > 0 && rng.Intn(4) == 0 {
+		q.Limit = 1 + rng.Intn(6)
+	}
+	return q
+}
+
+// materializeRows reads every row of rel through the generic interpreter
+// (full-width projection, no predicate) into flat row-major data.
+func materializeRows(t testing.TB, rel *storage.Relation) []data.Value {
+	t.Helper()
+	n := rel.Schema.NumAttrs()
+	attrs := make([]data.AttrID, n)
+	for i := range attrs {
+		attrs[i] = data.AttrID(i)
+	}
+	res, err := Exec(rel, query.Projection("J", attrs, nil), ExecOpts{Strategy: StrategyGeneric})
+	if err != nil {
+		t.Fatalf("materialize %s: %v", rel.Schema.Name, err)
+	}
+	return res.Data
+}
+
+// nestedLoopJoin is the reference implementation: materialize both inputs,
+// walk the full cross product in left-major order, keep pairs whose keys
+// match and whose (unsplit) WHERE holds over the combined accessor, fold
+// with the shared per-shape machinery, merge, trim. It exercises none of
+// the hash-join's decisions — no pruning, no side splitting, no greedy
+// ordering, no hash table — so agreement means those decisions are sound.
+func nestedLoopJoin(t testing.TB, left, right *storage.Relation, q *query.Query) *Result {
+	t.Helper()
+	nL := left.Schema.NumAttrs()
+	nR := right.Schema.NumAttrs()
+	L := materializeRows(t, left)
+	R := materializeRows(t, right)
+	out := Classify(q)
+	j := q.Joins[0]
+
+	p := &partial{states: newStates(out)}
+	if out.Kind == OutGrouped {
+		p.groups = newGroupedAcc(out)
+	}
+	kvals := make([]data.Value, len(out.GroupBy))
+	var lrow, rrow []data.Value
+	get := func(a data.AttrID) data.Value {
+		if int(a) < nL {
+			return lrow[a]
+		}
+		return rrow[int(a)-nL]
+	}
+	for lo := 0; lo < len(L); lo += nL {
+		lrow = L[lo : lo+nL]
+		for ro := 0; ro < len(R); ro += nR {
+			rrow = R[ro : ro+nR]
+			if lrow[j.LeftKey.ID] != rrow[j.RightKey.ID-nL] {
+				continue
+			}
+			if q.Where != nil && !q.Where.EvalBool(get) {
+				continue
+			}
+			foldJoined(out, p, get, kvals)
+		}
+	}
+	return trimJoinLimit(mergePartials(out, []*partial{p}), q)
+}
+
+// checkJoinEquivalence runs ExecJoin serially and fanned out against the
+// nested-loop reference on one (pair, query, residency) combination. The
+// residency mix is re-established before each run — the previous one
+// faulted whatever it probed back in — so the join reads flat, encoded and
+// spilled segments side by side on both inputs.
+func checkJoinEquivalence(t *testing.T, rng *rand.Rand, left, right *storage.Relation, q *query.Query, residentFrac float64) {
+	t.Helper()
+	want := nestedLoopJoin(t, left, right, q)
+	for _, workers := range []int{0, 1 + rng.Intn(7)} {
+		unloadFraction(left, 1-residentFrac)
+		demoteFraction(left, 0.5)
+		if right != left {
+			unloadFraction(right, 1-residentFrac)
+			demoteFraction(right, 0.5)
+		}
+		got, err := ExecJoin(left, right, q, ExecOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("hash join (workers=%d) failed on %s (resident %.0f%%): %v", workers, q, residentFrac*100, err)
+		}
+		if len(q.GroupBy) > 0 && !groupedRowsEqual(got, want) {
+			t.Fatalf("hash join (workers=%d) produced wrong groups on %s (resident %.0f%%):\n got %d rows %v\nwant %d rows %v",
+				workers, q, residentFrac*100, got.Rows, got.Data, want.Rows, want.Data)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("hash join (workers=%d) diverged on %s (resident %.0f%%):\n got %d rows %v\nwant %d rows %v",
+				workers, q, residentFrac*100, got.Rows, got.Data, want.Rows, want.Data)
+		}
+	}
+}
+
+// TestJoinEquivalence is the harness entry point: for each residency level,
+// fresh randomized relation pairs (and a self-joined single relation) each
+// run a batch of randomized join queries — over 200 (query, pair,
+// residency) cases in total, each checked serially and in parallel.
+func TestJoinEquivalence(t *testing.T) {
+	const (
+		pairsPerLevel   = 4
+		queriesPerPair  = 18
+		selfJoinQueries = 8
+	)
+	for _, residentFrac := range []float64{0, 0.5, 1} {
+		residentFrac := residentFrac
+		t.Run(fmt.Sprintf("resident=%.0f%%", residentFrac*100), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(20140623 + int64(residentFrac*100)))
+			for pr := 0; pr < pairsPerLevel; pr++ {
+				left, lk := jeqRelation(t, rng, "R", jeqLeftWidth)
+				right, rk := jeqRelation(t, rng, "S", jeqRightWidth)
+				installSnapshotLoader(left)
+				installSnapshotLoader(right)
+				for i := 0; i < queriesPerPair; i++ {
+					q := jeqQuery(rng, "S", jeqLeftWidth, jeqRightWidth, lk, rk, left.Rows)
+					checkJoinEquivalence(t, rng, left, right, q, residentFrac)
+				}
+			}
+			// Self-join: the same relation is both inputs, so the combined
+			// namespace holds two copies of one schema and the operator must
+			// not assume the inputs are distinct objects.
+			self, sk := jeqRelation(t, rng, "R", jeqLeftWidth)
+			installSnapshotLoader(self)
+			for i := 0; i < selfJoinQueries; i++ {
+				q := jeqQuery(rng, "R", jeqLeftWidth, jeqLeftWidth, sk, sk, self.Rows)
+				checkJoinEquivalence(t, rng, self, self, q, residentFrac)
+			}
+		})
+	}
+}
+
+// TestJoinEarlyTermination proves the ordering payoff end-to-end: when zone
+// maps empty the build side, the probe side is never scanned at all — its
+// spilled segments stay spilled — and the result still matches the
+// reference.
+func TestJoinEarlyTermination(t *testing.T) {
+	lschema := data.SyntheticSchema("R", jeqLeftWidth)
+	rschema := data.SyntheticSchema("S", jeqRightWidth)
+	left := storage.BuildColumnMajorSeg(data.GenerateTimeSeries(lschema, 4*eqSegCap, 11), eqSegCap)
+	right := storage.BuildColumnMajorSeg(data.Generate(rschema, 2*eqSegCap, 12), eqSegCap)
+	installSnapshotLoader(left)
+	installSnapshotLoader(right)
+	unloadFraction(left, 1) // every sealed probe candidate starts cold
+
+	// Right-side predicate below the value domain: every right segment's
+	// zone map rules it out, so the build side empties under pruning.
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{1}, query.PredLt(jeqLeftWidth+1, data.ValueLo))
+	q.Joins = []query.Join{query.JoinOn("S", 2, 0, jeqLeftWidth)}
+
+	var st StrategyStats
+	got, err := ExecJoin(left, right, q, ExecOpts{Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsScanned != 0 {
+		t.Fatalf("scanned %d segments; early termination should scan none", st.SegmentsScanned)
+	}
+	if st.SegmentsPruned == 0 {
+		t.Fatal("no segments pruned; the build side should have been emptied by zone maps")
+	}
+	for si, seg := range left.Segments[:len(left.Segments)-1] {
+		if seg.State() != storage.SegSpilled {
+			t.Fatalf("probe segment %d was faulted in (state %v); early termination must leave the probe side cold", si, seg.State())
+		}
+	}
+	// The reference faults both inputs back in, so it runs after the
+	// cold-state assertions.
+	if !got.Equal(nestedLoopJoin(t, left, right, q)) {
+		t.Fatalf("early-terminated join diverged from reference: %v", got.Data)
+	}
+}
+
+// TestJoinGreedyBuildSide checks the ordering rule is observable: for
+// order-insensitive shapes the smaller candidate side builds (the hash
+// arena stays proportional to it, whichever side it is), while projections
+// always build the right side to preserve left-major output order.
+func TestJoinGreedyBuildSide(t *testing.T) {
+	small := storage.BuildColumnMajorSeg(data.Generate(data.SyntheticSchema("R", jeqLeftWidth), 64, 21), eqSegCap)
+	big := storage.BuildColumnMajorSeg(data.Generate(data.SyntheticSchema("S", jeqRightWidth), 8*eqSegCap, 22), eqSegCap)
+	bigLeft := storage.BuildColumnMajorSeg(data.Generate(data.SyntheticSchema("R", jeqLeftWidth), 8*eqSegCap, 23), eqSegCap)
+	smallRight := storage.BuildColumnMajorSeg(data.Generate(data.SyntheticSchema("S", jeqRightWidth), 64, 24), eqSegCap)
+
+	agg := func(leftW int) *query.Query {
+		q := query.Aggregation("R", expr.AggSum, []data.AttrID{0, data.AttrID(leftW)}, nil)
+		q.Joins = []query.Join{query.JoinOn("S", 1, 1, leftW)}
+		return q
+	}
+
+	// Small left, big right: the left side must build (arena ≤ 64 tuples,
+	// one stored attribute each).
+	var st StrategyStats
+	if _, err := ExecJoin(small, big, agg(jeqLeftWidth), ExecOpts{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.IntermediateWords > 64 {
+		t.Fatalf("arena holds %d words; the 64-row side should have built", st.IntermediateWords)
+	}
+
+	// Big left, small right: the right side builds — same bound.
+	st = StrategyStats{}
+	if _, err := ExecJoin(bigLeft, smallRight, agg(jeqLeftWidth), ExecOpts{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.IntermediateWords > 64 {
+		t.Fatalf("arena holds %d words; the 64-row side should have built", st.IntermediateWords)
+	}
+
+	// Projection over a big right side: order sensitivity forces the right
+	// build even though the left is smaller, so the arena scales with it.
+	proj := query.Projection("R", []data.AttrID{0, jeqLeftWidth}, nil)
+	proj.Joins = []query.Join{query.JoinOn("S", 1, 1, jeqLeftWidth)}
+	st = StrategyStats{}
+	if _, err := ExecJoin(small, big, proj, ExecOpts{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.IntermediateWords < 8*eqSegCap {
+		t.Fatalf("arena holds %d words; projections must build the right side to keep left-major order", st.IntermediateWords)
+	}
+}
+
+// BenchmarkJoinHashProbe times the probe-dominated regime: a small build
+// side against a large streaming probe side, aggregate output. It rides in
+// the CI bench.json artifact next to the single-relation scan benchmarks.
+func BenchmarkJoinHashProbe(b *testing.B) {
+	left := storage.BuildColumnMajorSeg(data.GenerateTimeSeries(data.SyntheticSchema("R", jeqLeftWidth), 64*eqSegCap, 31), eqSegCap)
+	rtb := data.Generate(data.SyntheticSchema("S", jeqRightWidth), 2*eqSegCap, 32)
+	for r := 0; r < rtb.Rows; r++ {
+		rtb.Cols[1][r] = data.Value(int64(r) % 997)
+	}
+	right := storage.BuildColumnMajorSeg(rtb, eqSegCap)
+	q := query.Aggregation("R", expr.AggSum, []data.AttrID{2, data.AttrID(jeqLeftWidth + 2)}, nil)
+	q.Joins = []query.Join{query.JoinOn("S", 1, 1, jeqLeftWidth)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecJoin(left, right, q, ExecOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinGroupedAgg times grouped joined aggregation — the shape the
+// streaming design exists for: group keys from both sides, aggregates over
+// the join, never materializing a joined row.
+func BenchmarkJoinGroupedAgg(b *testing.B) {
+	ltb := data.GenerateTimeSeries(data.SyntheticSchema("R", jeqLeftWidth), 32*eqSegCap, 41)
+	for r := 0; r < ltb.Rows; r++ {
+		ltb.Cols[1][r] = data.Value(int64(r) % 256)
+		ltb.Cols[3][r] = data.Value(int64(r) % 16)
+	}
+	left := storage.BuildColumnMajorSeg(ltb, eqSegCap)
+	rtb := data.Generate(data.SyntheticSchema("S", jeqRightWidth), eqSegCap, 42)
+	for r := 0; r < rtb.Rows; r++ {
+		rtb.Cols[0][r] = data.Value(int64(r) % 256)
+		rtb.Cols[2][r] = data.Value(int64(r) % 8)
+	}
+	right := storage.BuildColumnMajorSeg(rtb, eqSegCap)
+	q := &query.Query{
+		Table: "R",
+		Joins: []query.Join{query.JoinOn("S", 1, 0, jeqLeftWidth)},
+		Items: []query.SelectItem{
+			{Expr: &expr.Col{ID: 3}},
+			{Expr: &expr.Col{ID: jeqLeftWidth + 2}},
+			{Agg: &expr.Agg{Op: expr.AggSum, Arg: &expr.Col{ID: 2}}},
+			{Agg: &expr.Agg{Op: expr.AggCount, Arg: &expr.Col{ID: 0}}},
+		},
+		GroupBy: []expr.Col{{ID: 3}, {ID: jeqLeftWidth + 2}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecJoin(left, right, q, ExecOpts{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -91,9 +91,13 @@ type PartialResult struct {
 // query must carry no LIMIT. Grouped queries are repairable when their
 // select shape classifies as OutGrouped — aggregates plus bare group-key
 // columns — since per-segment group maps merge key-wise under the same
-// decomposition law. See the partials contract at the top of this file.
+// decomposition law. Join queries are not repairable: a join result does
+// not decompose into per-segment partials of one relation (a changed
+// segment on either side perturbs matches across every segment of the
+// other), so joins are cached whole and invalidated by their fingerprint
+// pair instead. See the partials contract at the top of this file.
 func Repairable(q *query.Query) bool {
-	if q == nil || q.Limit != 0 || len(q.Items) == 0 {
+	if q == nil || q.Limit != 0 || len(q.Items) == 0 || len(q.Joins) > 0 {
 		return false
 	}
 	if len(q.GroupBy) > 0 {

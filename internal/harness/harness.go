@@ -167,6 +167,7 @@ func experiments() []Runner {
 		{"repair", "Partial-result reuse: repeated aggregates under tail appends — flat delta-repair cost vs full recomputation", RunRepair},
 		{"groupby", "GROUP BY under tail appends: grouped delta repair (flat) vs full re-aggregation (grows with relation)", RunGroupBy},
 		{"shard", "Sharded scatter-gather: exec and repair latency vs shard count under the partials merge law", RunShard},
+		{"join", "Streaming hash join: latency vs build-side selectivity under zone-map pruning and early termination", RunJoin},
 	}
 }
 

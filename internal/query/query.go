@@ -1,8 +1,16 @@
 // Package query defines the logical query representation shared by the
 // parser, the monitoring/adaptation machinery and the execution layer:
-// select-project-aggregate queries over one relation, the exact query class
-// the paper evaluates (joins are out of scope per §4: "we focus on scan based
-// queries and we do not consider joins").
+// select-project-aggregate queries over one relation — the exact query class
+// the paper evaluates (§4: "we focus on scan based queries and we do not
+// consider joins") — extended with two-table equi-joins (Query.Joins), the
+// first step past the paper's single-relation scope.
+//
+// A join query addresses attributes in a *combined* namespace: the left
+// (FROM) table keeps its schema positions 0..nL-1 and the joined table's
+// attributes follow at nL..nL+nR-1, so select items, predicates and group
+// keys are ordinary expr trees over a single flat attribute space and every
+// downstream classifier works unchanged. The execution layer maps combined
+// ids back to per-side schema positions.
 package query
 
 import (
@@ -37,9 +45,34 @@ func (it SelectItem) Attrs(dst []data.AttrID) []data.AttrID {
 	return it.Expr.Attrs(dst)
 }
 
-// Query is a select-project-aggregate query over a single relation.
+// Join is one equi-join clause: the joined table and the pair of key
+// columns the equality ties together. Both keys carry combined-namespace
+// attribute ids: LeftKey addresses the accumulated attribute space of the
+// tables joined so far (for a two-table join, the FROM table's own
+// positions), RightKey addresses the joined table's attributes offset past
+// it. Key Names carry the canonical rendering — the bare attribute name for
+// FROM-table columns, "table.attr" for joined-table columns — so String()
+// round-trips through the parser.
+type Join struct {
+	Table    string
+	LeftKey  expr.Col
+	RightKey expr.Col
+}
+
+// String renders the clause in SQL-ish syntax.
+func (j Join) String() string {
+	return fmt.Sprintf("join %s on %s = %s", j.Table, j.LeftKey.String(), j.RightKey.String())
+}
+
+// Query is a select-project-aggregate query over a single relation, or — when
+// Joins is non-empty — over the equi-join of the FROM relation with the
+// joined tables (attributes addressed in the combined namespace, see the
+// package comment).
 type Query struct {
 	Table string
+	// Joins lists the equi-join clauses in join order. The representation is
+	// N-table-ready; the current execution layer serves exactly one.
+	Joins []Join
 	Items []SelectItem
 	Where expr.Pred // nil when the query has no where clause
 	// GroupBy lists the group-key columns, in GROUP BY order, deduplicated.
@@ -67,6 +100,9 @@ func (q *Query) String() string {
 		parts[i] = it.String()
 	}
 	s := fmt.Sprintf("select %s from %s", strings.Join(parts, ", "), q.Table)
+	for _, j := range q.Joins {
+		s += " " + j.String()
+	}
 	if q.Where != nil {
 		s += " where " + q.Where.String()
 	}
@@ -119,9 +155,29 @@ func (q *Query) WhereAttrs() []data.AttrID {
 	return data.SortedUnique(q.Where.Attrs(nil))
 }
 
-// AllAttrs returns the sorted set of all attributes the query touches.
+// AllAttrs returns the sorted set of all attributes the query touches,
+// including equi-join keys (combined-namespace ids for join queries).
 func (q *Query) AllAttrs() []data.AttrID {
-	return data.Union(q.SelectAttrs(), q.WhereAttrs())
+	all := data.Union(q.SelectAttrs(), q.WhereAttrs())
+	if len(q.Joins) > 0 {
+		keys := make([]data.AttrID, 0, 2*len(q.Joins))
+		for i := range q.Joins {
+			keys = append(keys, q.Joins[i].LeftKey.ID, q.Joins[i].RightKey.ID)
+		}
+		all = data.Union(all, data.SortedUnique(keys))
+	}
+	return all
+}
+
+// Tables returns every table name the query references: the FROM table
+// followed by the joined tables in join order.
+func (q *Query) Tables() []string {
+	out := make([]string, 0, 1+len(q.Joins))
+	out = append(out, q.Table)
+	for i := range q.Joins {
+		out = append(out, q.Joins[i].Table)
+	}
+	return out
 }
 
 // HasAggregates reports whether any select item is an aggregate.
@@ -228,6 +284,20 @@ func AggExpression(table string, attrs []data.AttrID, where expr.Pred) *Query {
 		Table: table,
 		Items: []SelectItem{{Agg: &expr.Agg{Op: expr.AggSum, Arg: expr.SumCols(attrs)}}},
 		Where: where,
+	}
+}
+
+// JoinOn builds the equi-join clause joining table with leftKey (a
+// combined-namespace id in the left input) equal to the joined table's
+// attribute at position rightLocal; leftWidth is the width of the left
+// input's attribute space, so the right key lands at leftWidth+rightLocal in
+// the combined namespace. Key names follow the synthetic a0..aN convention
+// (data.SyntheticSchema), which every test and benchmark schema uses.
+func JoinOn(table string, leftKey data.AttrID, rightLocal, leftWidth int) Join {
+	return Join{
+		Table:    table,
+		LeftKey:  expr.Col{ID: leftKey},
+		RightKey: expr.Col{ID: leftWidth + rightLocal, Name: fmt.Sprintf("%s.a%d", table, rightLocal)},
 	}
 }
 

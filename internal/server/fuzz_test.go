@@ -26,6 +26,15 @@ func FuzzCacheKey(f *testing.F) {
 	// so grouped and ungrouped forms of one aggregate must key apart.
 	f.Add("R", "select a3, sum(a1) from R group by a3", uint64(5), 2, uint64(4),
 		"R", "select sum(a1) from R", uint64(5), 2, uint64(4))
+	// Join shapes: the joined table and keys live in the normalized text, so
+	// a join must key apart from its FROM-side component query and from the
+	// same join under a different fingerprint pair (combined digests differ).
+	f.Add("R", "select sum(a1) from R join S on a0 = S.a0", uint64(11), 3, uint64(6),
+		"R", "select sum(a1) from R", uint64(11), 3, uint64(6))
+	f.Add("R", "select sum(a1) from R join S on a0 = S.a0", uint64(11), 3, uint64(6),
+		"R", "select sum(a1) from R join S on a0 = S.a1", uint64(11), 3, uint64(6))
+	f.Add("R", "select a2, count(S.a1) from R join S on a0 = S.a0 group by a2", uint64(4), 5, uint64(9),
+		"R", "select a2, count(S.a1) from R join S on a0 = S.a0 group by a2", uint64(5), 5, uint64(9))
 	// Delimiter abuse: table/query pairs whose concatenations coincide.
 	f.Add("t:1", "select x", uint64(3), 1, uint64(3),
 		"t", ":1:select x", uint64(3), 1, uint64(3))
@@ -68,8 +77,26 @@ func FuzzQueryNormalization(f *testing.F) {
 		"select a2, a1, count(a3) from r group by a2, a1")
 	// Key-only grouping vs. plain projection must key apart.
 	f.Add("select a1 from r group by a1", "select a1 from r")
+	// Join shapes: keyword case and spacing normalize away; a mirrored ON
+	// condition normalizes to left-key-first; aliases canonicalize to table
+	// names; a join must never collide with its FROM-side component.
+	f.Add("select sum(a1) from r join s on a0 = s.a0",
+		"SELECT sum(a1) FROM r JOIN s ON a0=s.a0")
+	f.Add("select sum(a1) from r join s on s.a0 = a0",
+		"select sum(a1) from r join s on a0 = s.a0")
+	f.Add("select sum(x.a1) from r x join s y on x.a0 = y.a1",
+		"select sum(a1) from r join s on a0 = s.a1")
+	f.Add("select sum(a1) from r join s on a0 = s.a0",
+		"select sum(a1) from r")
+	f.Add("select count(a0) from r join r on a0 = r.a0",
+		"select count(a0) from r")
+	f.Add("select a2, count(s.a1) from r join s on a0 = s.a0 where a1 < 9 group by a2",
+		"select a2, count(s.a1) from r join s on a0 = s.a0 group by a2")
 	f.Fuzz(func(t *testing.T, srcA, srcB string) {
-		schemas := sql.SchemaMap{"r": data.SyntheticSchema("r", 8)}
+		schemas := sql.SchemaMap{
+			"r": data.SyntheticSchema("r", 8),
+			"s": data.SyntheticSchema("s", 4),
+		}
 		qA, errA := sql.Parse(srcA, schemas)
 		qB, errB := sql.Parse(srcB, schemas)
 		if errA != nil || errB != nil {

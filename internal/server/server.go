@@ -457,14 +457,21 @@ func (s *Server) worker() {
 // caller's (table, normalized query) composite key at the backend's
 // relation version when the backend exposes one. The version is read
 // *before* the walk it guards: see fpMemo for why that order is what makes
-// a racing mutation harmless.
+// a racing mutation harmless. A join query's memo version is the sum of
+// every input table's version — versions are monotone, so any mutation of
+// any input strictly changes the sum and the memoized pair fingerprint is
+// never served stale.
 func (s *Server) fingerprint(q *query.Query, tqKey string) (core.TouchFingerprint, error) {
 	if s.memo == nil {
 		return s.backend.Fingerprint(q)
 	}
-	ver, err := s.ver.Version(q.Table)
-	if err != nil {
-		return core.TouchFingerprint{}, err
+	var ver uint64
+	for _, table := range q.Tables() {
+		v, err := s.ver.Version(table)
+		if err != nil {
+			return core.TouchFingerprint{}, err
+		}
+		ver += v
 	}
 	if fp, ok := s.memo.get(tqKey, ver); ok {
 		s.memoHits.Add(1)

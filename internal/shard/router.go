@@ -21,6 +21,16 @@
 // The router reaches shards only through the Conn interface, which
 // exchanges queries, results, fingerprints and partials — never storage
 // internals — keeping the seam network-ready.
+//
+// Join queries are declined with exec.ErrUnsupported for now. The gather
+// seam they will use is the same one aggregates use today: build the join's
+// hash table once from the (greedily chosen, usually small) build side,
+// broadcast it to every shard of the probe side, scatter the probe as a
+// shard-local ExecJoin, and gather the per-shard partials under the
+// existing merge law — probe segments are disjoint across shards, so the
+// per-shard join partials merge exactly like single-relation ones. Only
+// the broadcast is new; Conn would grow one call carrying the serialized
+// build table.
 package shard
 
 import (
@@ -170,6 +180,13 @@ func (r *Router) scatter(fn func(s int, c Conn) error) error {
 // merge per-segment partial aggregates; everything else concatenates row
 // results in shard order.
 func (r *Router) Execute(q *query.Query) (*exec.Result, core.ExecInfo, error) {
+	if len(q.Joins) > 0 {
+		// Joins need a relation to build a hash table from and one to
+		// probe; a sharded table has neither in one place. The gather seam
+		// for joins is sketched in the package doc — until it exists,
+		// decline cleanly so callers can route to unsharded engines.
+		return nil, core.ExecInfo{}, fmt.Errorf("shard: join queries are not supported on sharded tables: %w", exec.ErrUnsupported)
+	}
 	start := time.Now()
 	qx := q
 	if q.Limit != 0 {
@@ -405,6 +422,8 @@ func (r *Router) Fingerprint(q *query.Query) (core.TouchFingerprint, error) {
 // execution, which runs that shard's adaptation.
 func (r *Router) QueryDelta(q *query.Query, have map[int]uint64) (*core.DeltaScan, bool, error) {
 	if !exec.Repairable(q) {
+		// Join queries always land here (never repairable) and decline to
+		// the full path, where Execute rejects them with ErrUnsupported.
 		return nil, false, nil
 	}
 	n := len(r.conns)

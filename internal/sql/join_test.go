@@ -1,0 +1,161 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"h2o/internal/data"
+	"h2o/internal/expr"
+)
+
+// joinResolver has two tables with different widths so combined-namespace
+// offsets are exercised: R has 4 attributes (a0..a3), S has 3 (a0..a2).
+// S's attributes occupy combined ids 4..6 when joined to the right of R.
+func joinResolver() Resolver {
+	return SchemaMap{
+		"R": data.SyntheticSchema("R", 4),
+		"S": data.SyntheticSchema("S", 3),
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantLeft/wantRight are the combined attribute ids of the join keys.
+		wantLeft, wantRight data.AttrID
+		wantTable           string
+		wantCanon           string // "" means String() of the parse result
+	}{
+		{
+			name:      "qualified keys",
+			src:       "select sum(a1) from R join S on R.a0 = S.a0",
+			wantLeft:  0,
+			wantRight: 4,
+			wantTable: "S",
+			wantCanon: "select sum(a1) from R join S on a0 = S.a0",
+		},
+		{
+			name:      "unqualified left key resolves left-first",
+			src:       "select sum(a1) from R join S on a0 = S.a2",
+			wantLeft:  0,
+			wantRight: 6,
+			wantTable: "S",
+		},
+		{
+			name:      "keys given right-first normalize to left = right",
+			src:       "select sum(a1) from R join S on S.a0 = R.a3",
+			wantLeft:  3,
+			wantRight: 4,
+			wantTable: "S",
+			wantCanon: "select sum(a1) from R join S on a3 = S.a0",
+		},
+		{
+			name:      "aliases resolve and canonicalize away",
+			src:       "select sum(x.a1), max(y.a2) from R x join S y on x.a0 = y.a1",
+			wantLeft:  0,
+			wantRight: 5,
+			wantTable: "S",
+			wantCanon: "select sum(a1), max(S.a2) from R join S on a0 = S.a1",
+		},
+		{
+			name:      "self-join: qualified name picks the joined copy",
+			src:       "select count(a0) from R join R on a0 = R.a0",
+			wantLeft:  0,
+			wantRight: 4,
+			wantTable: "R",
+			wantCanon: "select count(a0) from R join R on a0 = R.a0",
+		},
+		{
+			name:      "where and group by over both sides",
+			src:       "select R.a2, sum(S.a1) from R join S on R.a0 = S.a0 where R.a1 < 10 and S.a2 > 3 group by R.a2",
+			wantLeft:  0,
+			wantRight: 4,
+			wantTable: "S",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.src, joinResolver())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(q.Joins) != 1 {
+				t.Fatalf("Joins = %v, want one", q.Joins)
+			}
+			j := q.Joins[0]
+			if j.Table != tc.wantTable || j.LeftKey.ID != tc.wantLeft || j.RightKey.ID != tc.wantRight {
+				t.Fatalf("join = %+v, want table %s keys %d=%d", j, tc.wantTable, tc.wantLeft, tc.wantRight)
+			}
+			// Canonical form must round-trip to itself (normalization fixpoint).
+			canon := q.String()
+			if tc.wantCanon != "" && canon != tc.wantCanon {
+				t.Fatalf("String() = %q, want %q", canon, tc.wantCanon)
+			}
+			q2, err := Parse(canon, joinResolver())
+			if err != nil {
+				t.Fatalf("reparse %q: %v", canon, err)
+			}
+			if q2.String() != canon {
+				t.Fatalf("round trip: %q -> %q", canon, q2.String())
+			}
+		})
+	}
+}
+
+func TestParseJoinTables(t *testing.T) {
+	q, err := Parse("select sum(a1) from R join S on a0 = S.a0", joinResolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Tables()
+	if len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("Tables() = %v", got)
+	}
+}
+
+func TestParseJoinStarExpandsBothSides(t *testing.T) {
+	q, err := Parse("select * from R join S on a0 = S.a0", joinResolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Items) != 7 {
+		t.Fatalf("star over R(4) join S(3) expanded to %d items", len(q.Items))
+	}
+	// Right-side items must render qualified so the canonical form reparses.
+	if c, ok := q.Items[4].Expr.(*expr.Col); !ok || c.ID != 4 || c.Name != "S.a0" {
+		t.Fatalf("item 4 = %v, want S.a0 at combined id 4", q.Items[4])
+	}
+}
+
+func TestParseJoinErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string // substring the error must contain
+	}{
+		{"select a0 from R join Nope on a0 = Nope.a0", "unknown table"},
+		{"select a0 from R join S on a0 < S.a0", "equalities"},
+		{"select a0 from R join S on a0 <= S.a0", "equalities"},
+		{"select a0 from R join S on a0 != S.a0", "equalities"},
+		{"select a0 from R join S on a0 + 1 = S.a0", "'='"},
+		{"select a0 from R join S on a0 = 5", "column name"},
+		{"select a0 from R join S on a0 = a1", "left-table column"}, // both resolve left
+		{"select a0 from R join S on S.a0 = S.a1", "left-table column"},
+		{"select a0 from R join S", "\"on\""},
+		{"select a0 from R join S on", "column name"},
+		{"select a0 from R join S on Z.a0 = S.a0", "unknown table or alias"},
+		{"select a0 from R join S on a0 = S.a9", "no attribute"},
+		{"select a0 from R join S on a0 = S.a0 join S on a1 = S.a1", "at most one"},
+		{"select zz from R join S on a0 = S.a0", "no attribute"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src, joinResolver())
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 // Package sql implements a small hand-written lexer and recursive-descent
-// parser for H2O's query class: single-table select-project-aggregate
-// statements with conjunctive/disjunctive comparison predicates, e.g.
+// parser for H2O's query class: select-project-aggregate statements over one
+// table or a two-table equi-join, with conjunctive/disjunctive comparison
+// predicates, e.g.
 //
 //	select a + b + c from R where d < 10 and e > 20
 //	select max(a), sum(b) from R where c >= 0
+//	select sum(S.v) from R join S on R.k = S.k where R.t < 100 group by R.g
 //
-// The parser resolves column names against a relation schema and produces
-// the logical query.Query representation.
+// The parser resolves column names against the relation schemas (qualified
+// by table name or alias when joined) and produces the logical query.Query
+// representation with all attributes in the combined namespace.
 package sql
 
 import (
@@ -22,6 +25,7 @@ const (
 	tokIdent
 	tokNumber
 	tokComma
+	tokDot
 	tokLParen
 	tokRParen
 	tokPlus
@@ -81,6 +85,8 @@ func lex(src string) ([]token, error) {
 			switch c {
 			case ',':
 				l.emit(tokComma, start, l.pos)
+			case '.':
+				l.emit(tokDot, start, l.pos)
 			case '(':
 				l.emit(tokLParen, start, l.pos)
 			case ')':

@@ -50,7 +50,27 @@ type parser struct {
 	toks     []token
 	idx      int
 	resolver Resolver
-	schema   *data.Schema
+	refs     []tableRef
+}
+
+// tableRef is one table occurrence in the FROM clause. base is the offset of
+// its attributes in the query's combined attribute namespace: the left table
+// occupies [0, nL), a joined table [nL, nL+nR).
+type tableRef struct {
+	name   string
+	alias  string
+	schema *data.Schema
+	base   int
+}
+
+// canonName is the canonical rendering of an attribute of ref: bare for the
+// left table, "table.attr" for a joined table. Aliases are canonicalized
+// away so equivalent queries normalize to the same String().
+func canonName(ref *tableRef, attr string) string {
+	if ref.base == 0 {
+		return attr
+	}
+	return ref.name + "." + attr
 }
 
 func (p *parser) cur() token  { return p.toks[p.idx] }
@@ -77,17 +97,20 @@ func (p *parser) expectKeyword(kw string) error {
 
 // parseSelect parses:
 //
-//	SELECT items FROM table [WHERE pred] [GROUP BY col (, col)*] [LIMIT n]
+//	SELECT items FROM table [alias] [JOIN table [alias] ON col = col]
+//	  [WHERE pred] [GROUP BY col (, col)*] [LIMIT n]
 //
-// The grammar requires the table name before column resolution, so the
-// parser first scans ahead for FROM, resolves the schema, then parses the
-// item list. A simpler approach — parse items unresolved then bind — would
-// need a second tree pass; scanning ahead keeps the tree immutable.
+// The grammar requires the table references before column resolution, so the
+// parser first scans ahead for FROM, parses the FROM clause (resolving every
+// table's schema into the combined attribute namespace), then rewinds and
+// parses the item list. A simpler approach — parse items unresolved then
+// bind — would need a second tree pass; scanning ahead keeps the tree
+// immutable.
 func (p *parser) parseSelect() (*query.Query, error) {
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}
-	// Find FROM at paren depth 0 to locate the table name.
+	// Find FROM at paren depth 0 to locate the table references.
 	depth := 0
 	fromIdx := -1
 	for i := p.idx; i < len(p.toks); i++ {
@@ -111,19 +134,25 @@ func (p *parser) parseSelect() (*query.Query, error) {
 	if fromIdx+1 >= len(p.toks) || p.toks[fromIdx+1].kind != tokIdent {
 		return nil, fmt.Errorf("sql: missing table name after FROM")
 	}
-	table := p.toks[fromIdx+1].text
-	schema, err := p.resolver.SchemaOf(table)
+	// Parse the FROM clause first so items can resolve, then rewind.
+	itemsIdx := p.idx
+	p.idx = fromIdx + 1
+	table, joins, err := p.parseTableRefs()
 	if err != nil {
 		return nil, err
 	}
-	p.schema = schema
+	fromEnd := p.idx
+	p.idx = itemsIdx
 
 	var items []query.SelectItem
 	if p.cur().kind == tokStar {
-		// select * from R: expand to every schema attribute.
+		// select * : expand to every attribute of every table reference.
 		p.next()
-		for id, name := range schema.Attrs {
-			items = append(items, query.SelectItem{Expr: &expr.Col{ID: id, Name: name}})
+		for ri := range p.refs {
+			ref := &p.refs[ri]
+			for id, name := range ref.schema.Attrs {
+				items = append(items, query.SelectItem{Expr: &expr.Col{ID: ref.base + id, Name: canonName(ref, name)}})
+			}
 		}
 	} else {
 		for {
@@ -142,11 +171,9 @@ func (p *parser) parseSelect() (*query.Query, error) {
 	if err := p.expectKeyword("from"); err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokIdent, "table name"); err != nil {
-		return nil, err
-	}
+	p.idx = fromEnd
 
-	q := &query.Query{Table: table, Items: items}
+	q := &query.Query{Table: table, Joins: joins, Items: items}
 	if isKeyword(p.cur(), "where") {
 		p.next()
 		pred, err := p.parseOr()
@@ -179,6 +206,153 @@ func (p *parser) parseSelect() (*query.Query, error) {
 	return q, nil
 }
 
+// parseTableRefs parses `table [alias] (JOIN table [alias] ON col = col)*`
+// starting at the token after FROM, filling p.refs, and returns the left
+// table's name plus the parsed join clauses. The representation is
+// N-table-ready but the execution layer serves exactly one join, so more
+// than one JOIN is rejected here with a clear error.
+func (p *parser) parseTableRefs() (string, []query.Join, error) {
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return "", nil, err
+	}
+	sch, err := p.resolver.SchemaOf(t.text)
+	if err != nil {
+		return "", nil, err
+	}
+	p.refs = append(p.refs, tableRef{name: t.text, schema: sch})
+	p.maybeAlias()
+	var joins []query.Join
+	for isKeyword(p.cur(), "join") {
+		if len(p.refs) > 1 {
+			return "", nil, p.errf("at most one JOIN per query is supported")
+		}
+		p.next()
+		rt, err := p.expect(tokIdent, "joined table name")
+		if err != nil {
+			return "", nil, err
+		}
+		rsch, err := p.resolver.SchemaOf(rt.text)
+		if err != nil {
+			return "", nil, err
+		}
+		prev := &p.refs[len(p.refs)-1]
+		p.refs = append(p.refs, tableRef{name: rt.text, schema: rsch, base: prev.base + prev.schema.NumAttrs()})
+		p.maybeAlias()
+		if err := p.expectKeyword("on"); err != nil {
+			return "", nil, err
+		}
+		j, err := p.parseJoinCond(rt.text)
+		if err != nil {
+			return "", nil, err
+		}
+		joins = append(joins, j)
+	}
+	return t.text, joins, nil
+}
+
+// maybeAlias consumes an optional alias identifier after a table name. Any
+// identifier that is not a clause keyword is taken as the alias for the most
+// recently added table reference.
+func (p *parser) maybeAlias() {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return
+	}
+	for _, kw := range [...]string{"join", "on", "where", "group", "limit"} {
+		if isKeyword(t, kw) {
+			return
+		}
+	}
+	p.refs[len(p.refs)-1].alias = t.text
+	p.next()
+}
+
+// parseJoinCond parses `col = col` after ON. Only equality between two plain
+// columns on opposite sides of the join is accepted; anything else gets a
+// descriptive error rather than a silent cross product.
+func (p *parser) parseJoinCond(rightTable string) (query.Join, error) {
+	a, err := p.resolveColumn()
+	if err != nil {
+		return query.Join{}, err
+	}
+	switch p.cur().kind {
+	case tokEq:
+		p.next()
+	case tokLt, tokLe, tokGt, tokGe, tokNe:
+		return query.Join{}, p.errf("join conditions must be equalities (a.x = b.y), found %s", p.cur())
+	default:
+		return query.Join{}, p.errf("expected '=' in join condition, found %s", p.cur())
+	}
+	b, err := p.resolveColumn()
+	if err != nil {
+		return query.Join{}, err
+	}
+	rightBase := p.refs[len(p.refs)-1].base
+	var lk, rk expr.Col
+	switch {
+	case a.ID < rightBase && b.ID >= rightBase:
+		lk, rk = *a, *b
+	case b.ID < rightBase && a.ID >= rightBase:
+		lk, rk = *b, *a
+	default:
+		return query.Join{}, p.errf("join condition must relate a left-table column to a %s column", rightTable)
+	}
+	return query.Join{Table: rightTable, LeftKey: lk, RightKey: rk}, nil
+}
+
+// resolveColumn parses `ident` or `qualifier . ident` and resolves it to a
+// column in the combined attribute namespace. Unqualified names resolve
+// left-first across the table references; qualified names match a reference
+// by alias first, then table name, and when several references match (a
+// self-join without aliases) the last occurrence wins, so `R.k` names the
+// joined copy of R. Canonical names come from canonName, so String()
+// round-trips regardless of the aliases the input used.
+func (p *parser) resolveColumn() (*expr.Col, error) {
+	t, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokDot {
+		p.next()
+		at, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return nil, err
+		}
+		var ref *tableRef
+		for i := range p.refs {
+			if p.refs[i].alias == t.text {
+				ref = &p.refs[i]
+			}
+		}
+		if ref == nil {
+			for i := range p.refs {
+				if p.refs[i].name == t.text {
+					ref = &p.refs[i]
+				}
+			}
+		}
+		if ref == nil {
+			return nil, p.errf("unknown table or alias %q", t.text)
+		}
+		id, err := ref.schema.AttrIndex(at.text)
+		if err != nil {
+			return nil, fmt.Errorf("sql: %w", err)
+		}
+		return &expr.Col{ID: ref.base + id, Name: canonName(ref, at.text)}, nil
+	}
+	var firstErr error
+	for i := range p.refs {
+		ref := &p.refs[i]
+		if id, err := ref.schema.AttrIndex(t.text); err == nil {
+			return &expr.Col{ID: ref.base + id, Name: canonName(ref, t.text)}, nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("sql: %w", firstErr)
+}
+
 // parseGroupBy parses the key list after GROUP BY, deduplicates it, checks
 // that every select item is either an aggregate or a bare group-key column,
 // and prepends any group keys missing from the select list so grouped
@@ -191,17 +365,13 @@ func (p *parser) parseGroupBy(q *query.Query) error {
 		if op, ok := aggOf(p.cur()); ok && p.idx+1 < len(p.toks) && p.toks[p.idx+1].kind == tokLParen {
 			return p.errf("cannot group by aggregate %s(...); group keys must be plain columns", op)
 		}
-		t, err := p.expect(tokIdent, "group-by column")
+		c, err := p.resolveColumn()
 		if err != nil {
 			return err
 		}
-		id, err := p.schema.AttrIndex(t.text)
-		if err != nil {
-			return fmt.Errorf("sql: %w", err)
-		}
-		if !seen[id] {
-			seen[id] = true
-			keys = append(keys, expr.Col{ID: id, Name: t.text})
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			keys = append(keys, *c)
 		}
 		if p.cur().kind == tokComma {
 			p.next()
@@ -448,15 +618,11 @@ func (p *parser) parseFactor() (expr.Expr, error) {
 	case tokIdent:
 		if isKeyword(t, "from") || isKeyword(t, "where") || isKeyword(t, "and") ||
 			isKeyword(t, "or") || isKeyword(t, "between") || isKeyword(t, "limit") ||
-			isKeyword(t, "group") || isKeyword(t, "by") {
+			isKeyword(t, "group") || isKeyword(t, "by") ||
+			isKeyword(t, "join") || isKeyword(t, "on") {
 			return nil, p.errf("expected expression, found keyword %s", t)
 		}
-		p.next()
-		id, err := p.schema.AttrIndex(t.text)
-		if err != nil {
-			return nil, fmt.Errorf("sql: %w", err)
-		}
-		return &expr.Col{ID: id, Name: t.text}, nil
+		return p.resolveColumn()
 	case tokNumber:
 		p.next()
 		v, err := strconv.ParseInt(t.text, 10, 64)

@@ -149,7 +149,7 @@ func TestParseErrors(t *testing.T) {
 		"select a0 from R where",
 		"select a0 from R where a1",          // missing comparison
 		"select a0 from R where a1 <",        // missing rhs
-		"select a0 from R extra",             // trailing tokens
+		"select a0 from R alias extra",       // trailing tokens after alias
 		"select a0 a1 from R",                // missing comma
 		"select (a0 from R",                  // unbalanced paren
 		"select a0 from R where a1 ! a2",     // bad operator
